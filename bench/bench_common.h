@@ -1,0 +1,207 @@
+#ifndef ASYMNVM_BENCH_BENCH_COMMON_H_
+#define ASYMNVM_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared scaffolding for the table/figure reproduction benchmarks.
+ *
+ * Throughput is measured against *virtual time* (see DESIGN.md §2): the
+ * per-session SimClock accumulates the modeled cost of every NVM access,
+ * RDMA verb and CPU step, so `ops / virtual seconds` reproduces the
+ * paper's performance shape deterministically. Because of that, the
+ * google-benchmark wall-clock loop is not the measurement instrument
+ * here; each binary is a self-contained harness that prints the same
+ * rows/series the paper's table or figure reports.
+ */
+
+#include <cinttypes>
+#include <thread>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_node.h"
+#include "common/stats.h"
+#include "ds/bptree.h"
+#include "ds/bst.h"
+#include "ds/hash_table.h"
+#include "ds/mv_bptree.h"
+#include "ds/mv_bst.h"
+#include "ds/queue.h"
+#include "ds/skiplist.h"
+#include "ds/stack.h"
+#include "frontend/session.h"
+#include "workload/workload.h"
+
+namespace asymnvm::bench {
+
+/** The system variants of Table 3. */
+enum class Mode
+{
+    Symmetric,
+    SymmetricB,
+    Naive,
+    R,
+    RC,
+    RCB,
+};
+
+inline const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Symmetric: return "Symmetric";
+      case Mode::SymmetricB: return "Symmetric-B";
+      case Mode::Naive: return "AsymNVM-Naive";
+      case Mode::R: return "AsymNVM-R";
+      case Mode::RC: return "AsymNVM-RC";
+      case Mode::RCB: return "AsymNVM-RCB";
+    }
+    return "?";
+}
+
+/** Default back-end sizing used by the benchmarks. */
+inline BackendConfig
+benchBackendConfig(uint64_t nvm_mb = 128, uint32_t max_frontends = 8)
+{
+    BackendConfig cfg;
+    cfg.nvm_size = nvm_mb << 20;
+    cfg.max_frontends = max_frontends;
+    cfg.max_names = 64;
+    cfg.memlog_ring_size = 4ull << 20;
+    cfg.oplog_ring_size = 2ull << 20;
+    return cfg;
+}
+
+/**
+ * Session configuration for a mode. @p cache_bytes applies to the C/B
+ * variants (Table 3 runs with 10% of the NVM size); @p batch to B.
+ */
+inline SessionConfig
+sessionFor(Mode mode, uint64_t id, uint64_t cache_bytes = 12ull << 20,
+           uint32_t batch = 1024)
+{
+    switch (mode) {
+      case Mode::Symmetric:
+        return SessionConfig::symmetricBase(id, false);
+      case Mode::SymmetricB:
+        return SessionConfig::symmetricBase(id, true);
+      case Mode::Naive:
+        return SessionConfig::naive(id);
+      case Mode::R:
+        return SessionConfig::r(id);
+      case Mode::RC:
+        return SessionConfig::rc(id, cache_bytes);
+      case Mode::RCB:
+        return SessionConfig::rcb(id, cache_bytes, batch);
+    }
+    return SessionConfig::naive(id);
+}
+
+/**
+ * Approximate NVM footprint per key of each structure, used to size the
+ * front-end cache at a *fraction of the data set* (the paper's "caching
+ * 10% NVM size" with terabyte-class data; at simulation scale the cache
+ * must scale with the structure or it would trivially hold everything).
+ */
+template <typename DS>
+constexpr uint64_t
+bytesPerKey()
+{
+    if constexpr (std::is_same_v<DS, SkipList>)
+        return 208;
+    else if constexpr (std::is_same_v<DS, BpTree> ||
+                       std::is_same_v<DS, MvBpTree>)
+        return 100; // ~528B node / 16 keys + 64B value cell + slack
+    else
+        return 88; // BST/MV-BST nodes, hash-table chain nodes
+}
+
+/** Cache capacity for @p pct (0..1) of an @p nkeys data set. */
+template <typename DS>
+uint64_t
+cacheBytesFor(double pct, uint64_t nkeys)
+{
+    const double bytes = pct * static_cast<double>(nkeys) *
+                         static_cast<double>(bytesPerKey<DS>());
+    return std::max<uint64_t>(static_cast<uint64_t>(bytes), 16 << 10);
+}
+
+/** Keyed-structure driver: put/get via whichever interface the DS has. */
+template <typename DS>
+Status
+dsPut(DS &ds, Key key, const Value &v)
+{
+    if constexpr (requires { ds.put(key, v); })
+        return ds.put(key, v);
+    else
+        return ds.insert(key, v);
+}
+
+template <typename DS>
+Status
+dsGet(DS &ds, Key key, Value *out)
+{
+    if constexpr (requires { ds.get(key, out); })
+        return ds.get(key, out);
+    else
+        return ds.find(key, out);
+}
+
+/**
+ * Run a pre-generated workload against a keyed structure.
+ *
+ * @p interleave yields the host thread after every operation so that
+ * concurrent sessions interleave at operation granularity — on a host
+ * with few cores, timeslice-granularity scheduling would otherwise let
+ * each session run alone and hide the shared-NIC contention the
+ * multi-front-end figures measure.
+ */
+template <typename DS>
+Throughput
+runKvWorkload(FrontendSession &s, DS &ds,
+              const std::vector<WorkItem> &ops, bool interleave = false)
+{
+    const uint64_t t0 = s.clock().now();
+    for (const WorkItem &item : ops) {
+        if (item.op == WorkOp::Put) {
+            (void)dsPut(ds, item.key, item.value);
+        } else {
+            Value v;
+            (void)dsGet(ds, item.key, &v);
+        }
+        if (interleave)
+            std::this_thread::yield();
+    }
+    (void)s.flushAll();
+    return Throughput{ops.size(), s.clock().now() - t0};
+}
+
+/** Preload a keyed structure with the workload's key space. */
+template <typename DS>
+void
+preloadKeys(FrontendSession &s, DS &ds, const WorkloadConfig &wcfg,
+            uint64_t n)
+{
+    WorkloadConfig load_cfg = wcfg;
+    load_cfg.put_ratio = 1.0;
+    load_cfg.dist = KeyDist::Uniform; // cover the space evenly
+    Workload loader(load_cfg);
+    for (uint64_t i = 0; i < n; ++i) {
+        const WorkItem item = loader.next();
+        (void)dsPut(ds, item.key, item.value);
+    }
+    (void)s.flushAll();
+}
+
+/** Print a table header. */
+inline void
+printHeader(const std::string &title, const std::string &columns)
+{
+    std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+} // namespace asymnvm::bench
+
+#endif // ASYMNVM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 12 reproduction: throughput under uniform and skewed (Zipf 0.5,
+ * 0.9, 0.99) YCSB-style workloads for the five index structures. The
+ * paper's point: AsymNVM adapts well to skew — throughput stays
+ * comparable (skew even helps the cache) all the way to theta = 0.99.
+ */
+
+#include "bench_common.h"
+
+namespace asymnvm::bench {
+namespace {
+
+constexpr uint64_t kPreload = 30000;
+constexpr uint64_t kOps = 8000;
+
+uint64_t session_counter = 9000;
+
+template <typename DS>
+double
+runAtSkew(KeyDist dist, double theta)
+{
+    BackendNode be(1, benchBackendConfig());
+    FrontendSession s(sessionFor(Mode::RCB, ++session_counter,
+                                 cacheBytesFor<DS>(0.10, kPreload), 64));
+    if (!ok(s.connect(&be)))
+        return -1;
+    DS ds;
+    if (!ok(DS::create(s, 1, "z", &ds)))
+        return -1;
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    preloadKeys(s, ds, wcfg, kPreload);
+    s.resetStats();
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = 0.5;
+    mcfg.dist = dist;
+    mcfg.zipf_theta = theta;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const auto ops = w.generate(kOps);
+    return runKvWorkload(s, ds, ops).kops();
+}
+
+void
+run()
+{
+    struct Row
+    {
+        const char *label;
+        KeyDist dist;
+        double theta;
+    };
+    const Row rows[] = {{"Uniform", KeyDist::Uniform, 0},
+                        {"Skewed(.5)", KeyDist::Zipf, 0.5},
+                        {"Skewed(.9)", KeyDist::Zipf, 0.9},
+                        {"Skewed(.99)", KeyDist::Zipf, 0.99}};
+    printHeader("Figure 12: throughput (KOPS) under uniform vs Zipf "
+                "workloads (50% put / 50% get)",
+                "Workload          BPT       BST  SkipList    MV-BPT"
+                "    MV-BST");
+    for (const Row &row : rows) {
+        std::printf("%-12s %9.1f %9.1f %9.1f %9.1f %9.1f\n", row.label,
+                    runAtSkew<BpTree>(row.dist, row.theta),
+                    runAtSkew<Bst>(row.dist, row.theta),
+                    runAtSkew<SkipList>(row.dist, row.theta),
+                    runAtSkew<MvBpTree>(row.dist, row.theta),
+                    runAtSkew<MvBst>(row.dist, row.theta));
+    }
+    std::printf("\nPaper (Fig. 12) reference shape: stable (or slightly "
+                "improving) throughput as skew\nincreases — hot keys "
+                "concentrate in the front-end cache.\n");
+}
+
+} // namespace
+} // namespace asymnvm::bench
+
+int
+main()
+{
+    asymnvm::bench::run();
+    return 0;
+}

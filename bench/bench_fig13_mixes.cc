@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Figure 13 reproduction: throughput of every data structure across
+ * read/write mixes (100% put, 50/50, 75% put / 25% get, 10% put / 90%
+ * get, 100% get) under Naive, R and RC — the eight sub-figures 13a-13h.
+ *
+ * The workload stands in for the paper's Alibaba traces: power-law key
+ * popularity with hashed keys (Section 9.6 reports the traces follow a
+ * power-law distribution). Queue/stack use push/pop mixes instead.
+ */
+
+#include "bench_common.h"
+
+namespace asymnvm::bench {
+namespace {
+
+constexpr uint64_t kPreload = 30000;
+constexpr uint64_t kOps = 8000;
+
+uint64_t session_counter = 10000;
+
+struct Mix
+{
+    const char *label;
+    double put_ratio;
+};
+
+const Mix kMixes[] = {{"100%put", 1.0},
+                      {"50/50", 0.5},
+                      {"75%put", 0.75},
+                      {"10%put", 0.10},
+                      {"100%get", 0.0}};
+
+const Mode kModes[] = {Mode::Naive, Mode::R, Mode::RC};
+
+template <typename DS>
+double
+runMix(Mode mode, double put_ratio)
+{
+    BackendNode be(1, benchBackendConfig());
+    FrontendSession s(sessionFor(mode, ++session_counter,
+                                 cacheBytesFor<DS>(0.10, kPreload)));
+    if (!ok(s.connect(&be)))
+        return -1;
+    DS ds;
+    Status st;
+    if constexpr (std::is_same_v<DS, HashTable>)
+        st = HashTable::create(s, 1, "m", kPreload * 2, &ds);
+    else
+        st = DS::create(s, 1, "m", &ds);
+    if (!ok(st))
+        return -1;
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    preloadKeys(s, ds, wcfg, kPreload);
+    s.resetStats();
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = put_ratio;
+    mcfg.dist = KeyDist::Zipf; // industry traces are power-law
+    mcfg.zipf_theta = 0.9;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const auto ops = w.generate(kOps);
+    return runKvWorkload(s, ds, ops).kops();
+}
+
+/** Queue/stack mixes: push ratio instead of put ratio. */
+template <typename DS>
+double
+runListMix(Mode mode, double push_ratio)
+{
+    BackendNode be(1, benchBackendConfig());
+    FrontendSession s(sessionFor(mode, ++session_counter, 64 << 10));
+    if (!ok(s.connect(&be)))
+        return -1;
+    DS ds;
+    if (!ok(DS::create(s, 1, "l", &ds)))
+        return -1;
+    // Preload elements so pops have work to do.
+    for (uint64_t i = 0; i < kOps; ++i) {
+        if constexpr (std::is_same_v<DS, Queue>)
+            (void)ds.enqueue(Value::ofU64(i));
+        else
+            (void)ds.push(Value::ofU64(i));
+    }
+    (void)s.flushAll();
+    Rng rng(9);
+    const uint64_t t0 = s.clock().now();
+    for (uint64_t i = 0; i < kOps; ++i) {
+        Value v = Value::ofU64(i);
+        if (rng.nextDouble() < push_ratio) {
+            if constexpr (std::is_same_v<DS, Queue>)
+                (void)ds.enqueue(v);
+            else
+                (void)ds.push(v);
+        } else {
+            if constexpr (std::is_same_v<DS, Queue>)
+                (void)ds.dequeue(&v);
+            else
+                (void)ds.pop(&v);
+        }
+    }
+    (void)s.flushAll();
+    return Throughput{kOps, s.clock().now() - t0}.kops();
+}
+
+template <typename DS>
+void
+kvPanel(const char *title)
+{
+    std::printf("\n(%s)\nMix        ", title);
+    for (Mode m : kModes)
+        std::printf("%14s", modeName(m));
+    std::printf("\n");
+    for (const Mix &mix : kMixes) {
+        std::printf("%-10s ", mix.label);
+        for (Mode m : kModes)
+            std::printf("%14.1f", runMix<DS>(m, mix.put_ratio));
+        std::printf("\n");
+    }
+}
+
+template <typename DS>
+void
+listPanel(const char *title)
+{
+    const Mix mixes[] = {{"100%push", 1.0},
+                         {"50/50", 0.5},
+                         {"100%pop", 0.0}};
+    std::printf("\n(%s)\nMix        ", title);
+    for (Mode m : kModes)
+        std::printf("%14s", modeName(m));
+    std::printf("\n");
+    for (const Mix &mix : mixes) {
+        std::printf("%-10s ", mix.label);
+        for (Mode m : kModes)
+            std::printf("%14.1f", runListMix<DS>(m, mix.put_ratio));
+        std::printf("\n");
+    }
+}
+
+void
+run()
+{
+    printHeader("Figure 13: throughput (KOPS) across read/write mixes, "
+                "power-law workload",
+                "");
+    kvPanel<Bst>("a: BST");
+    kvPanel<MvBst>("b: MV-BST");
+    kvPanel<BpTree>("c: BPT");
+    kvPanel<MvBpTree>("d: MV-BPT");
+    kvPanel<SkipList>("e: SkipList");
+    listPanel<Queue>("f: Queue");
+    listPanel<Stack>("g: Stack");
+    kvPanel<HashTable>("h: HashTable");
+    std::printf(
+        "\nPaper (Fig. 13) reference shape: throughput rises as the read"
+        "\nshare grows; RC > R > Naive everywhere; MV variants trail"
+        "\ntheir in-place counterparts at high write ratios (54-71%% gap"
+        "\nat 100%% put) because path copying writes more data.\n");
+}
+
+} // namespace
+} // namespace asymnvm::bench
+
+int
+main()
+{
+    asymnvm::bench::run();
+    return 0;
+}

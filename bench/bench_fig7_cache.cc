@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Figure 7 reproduction: throughput as a function of the front-end cache
+ * size (1%, 5%, 10%, 20% of the data set) for BPT, BST, SkipList, TATP,
+ * MV-BPT, MV-BST, HashTable and SmallBank, plus the tree-aware caching
+ * ablation (adaptive level admission vs native LRU) the figure's text
+ * discusses (native LRU is ~38% below AsymNVM's policy on BPT).
+ *
+ * Workload: 50% put / 50% get so that the cache serves real read traffic.
+ */
+
+#include "bench_common.h"
+
+#include "apps/smallbank.h"
+#include "apps/tatp.h"
+
+namespace asymnvm::bench {
+namespace {
+
+constexpr uint64_t kPreload = 30000;
+constexpr uint64_t kOps = 8000;
+
+uint64_t session_counter = 4000;
+
+template <typename DS>
+double
+runAtCache(double pct)
+{
+    BackendNode be(1, benchBackendConfig());
+    FrontendSession s(sessionFor(Mode::RCB, ++session_counter,
+                                 cacheBytesFor<DS>(pct, kPreload), 64));
+    if (!ok(s.connect(&be)))
+        return -1;
+    DS ds;
+    Status st;
+    if constexpr (std::is_same_v<DS, HashTable>)
+        st = HashTable::create(s, 1, "c", kPreload * 2, &ds);
+    else
+        st = DS::create(s, 1, "c", &ds);
+    if (!ok(st))
+        return -1;
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    preloadKeys(s, ds, wcfg, kPreload);
+    s.resetStats();
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = 0.5;
+    mcfg.dist = KeyDist::Zipf; // skew gives the cache hot data to keep
+    mcfg.zipf_theta = 0.9;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const auto ops = w.generate(kOps);
+    return runKvWorkload(s, ds, ops).kops();
+}
+
+double
+runTatpAtCache(double pct)
+{
+    BackendNode be(1, benchBackendConfig());
+    const uint64_t bytes = static_cast<uint64_t>(pct * 6.0 * 1024 * 1024);
+    FrontendSession s(sessionFor(Mode::RCB, ++session_counter,
+                                 std::max<uint64_t>(bytes, 16 << 10), 64));
+    if (!ok(s.connect(&be)))
+        return -1;
+    Tatp tatp;
+    if (!ok(Tatp::create(s, 1, 10000, &tatp)))
+        return -1;
+    s.resetStats();
+    Rng rng(6);
+    const uint64_t t0 = s.clock().now();
+    const uint64_t n = kOps / 2;
+    for (uint64_t i = 0; i < n; ++i)
+        (void)tatp.runOne(rng);
+    (void)s.flushAll();
+    return Throughput{n, s.clock().now() - t0}.kops();
+}
+
+double
+runSmallBankAtCache(double pct)
+{
+    BackendNode be(1, benchBackendConfig());
+    const uint64_t bytes =
+        static_cast<uint64_t>(pct * 10000 * 88);
+    FrontendSession s(sessionFor(Mode::RC, ++session_counter,
+                                 std::max<uint64_t>(bytes, 16 << 10)));
+    if (!ok(s.connect(&be)))
+        return -1;
+    SmallBank bank;
+    if (!ok(SmallBank::create(s, 1, 10000, &bank)))
+        return -1;
+    s.resetStats();
+    Rng rng(5);
+    const uint64_t t0 = s.clock().now();
+    const uint64_t n = kOps / 2;
+    for (uint64_t i = 0; i < n; ++i)
+        (void)bank.runOne(rng);
+    (void)s.flushAll();
+    return Throughput{n, s.clock().now() - t0}.kops();
+}
+
+/** Tree-aware adaptive admission vs admitting everything (native LRU). */
+double
+runBptNativeLru(double pct)
+{
+    BackendNode be(1, benchBackendConfig());
+    SessionConfig cfg = sessionFor(Mode::RCB, ++session_counter,
+                                   cacheBytesFor<BpTree>(pct, kPreload),
+                                   64);
+    cfg.cache_policy = CachePolicy::Lru;
+    FrontendSession s(cfg);
+    if (!ok(s.connect(&be)))
+        return -1;
+    BpTree ds;
+    if (!ok(BpTree::create(s, 1, "c", &ds)))
+        return -1;
+    // Disable the level threshold: every node goes through the cache,
+    // the "native LRU strategy" of the figure's discussion.
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    preloadKeys(s, ds, wcfg, kPreload);
+    s.resetStats();
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = 0.5;
+    mcfg.dist = KeyDist::Zipf;
+    mcfg.zipf_theta = 0.9;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const uint64_t t0 = s.clock().now();
+    for (const WorkItem &item : w.generate(kOps)) {
+        if (item.op == WorkOp::Put) {
+            (void)ds.insert(item.key, item.value);
+        } else {
+            Value v;
+            (void)ds.find(item.key, &v);
+        }
+    }
+    (void)s.flushAll();
+    return Throughput{kOps, s.clock().now() - t0}.kops();
+}
+
+void
+run()
+{
+    const double pcts[] = {0.01, 0.05, 0.10, 0.20};
+    printHeader("Figure 7: throughput (KOPS) vs cache size (% of data)",
+                "Cache%        BPT       BST  SkipList      TATP"
+                "    MV-BPT    MV-BST   HashTbl SmallBank");
+    for (double pct : pcts) {
+        std::printf("%5.0f%%  %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f"
+                    " %9.1f %9.1f\n",
+                    pct * 100, runAtCache<BpTree>(pct),
+                    runAtCache<Bst>(pct), runAtCache<SkipList>(pct),
+                    runTatpAtCache(pct), runAtCache<MvBpTree>(pct),
+                    runAtCache<MvBst>(pct), runAtCache<HashTable>(pct),
+                    runSmallBankAtCache(pct));
+    }
+    std::printf("\nTree-aware caching ablation (BPT, 10%% cache): "
+                "adaptive level admission %.1f KOPS vs native LRU "
+                "%.1f KOPS\n",
+                runAtCache<BpTree>(0.10), runBptNativeLru(0.10));
+    std::printf("\nPaper (Fig. 7) reference shape: throughput grows with "
+                "cache size;\nMV variants barely improve (their modified "
+                "data stays in front-end memory);\nnative LRU trails the "
+                "level-aware policy by ~38%% on BPT.\n");
+}
+
+} // namespace
+} // namespace asymnvm::bench
+
+int
+main()
+{
+    asymnvm::bench::run();
+    return 0;
+}

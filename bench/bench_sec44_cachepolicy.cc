@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Section 4.4 reproduction: cache replacement policy comparison under a
+ * Zipf workload. The paper reports, with a sample set of 32: hybrid
+ * 29.2% miss ratio vs RR 62.7% (a 33.5-point reduction), a miss ratio
+ * similar to LRU, and ~27.5% higher throughput than LRU (which pays
+ * list maintenance on every hit).
+ */
+
+#include "bench_common.h"
+
+namespace asymnvm::bench {
+namespace {
+
+constexpr uint64_t kPreload = 40000;
+constexpr uint64_t kOps = 50000;
+
+uint64_t session_counter = 11000;
+
+struct PolicyResult
+{
+    double miss_ratio;
+    double kops;
+};
+
+PolicyResult
+runPolicy(CachePolicy policy, uint32_t sample_k)
+{
+    BackendNode be(1, benchBackendConfig());
+    SessionConfig cfg = sessionFor(Mode::RC, ++session_counter,
+                                   cacheBytesFor<HashTable>(0.10,
+                                                            kPreload));
+    cfg.cache_policy = policy;
+    cfg.cache_sample_k = sample_k;
+    FrontendSession s(cfg);
+    if (!ok(s.connect(&be)))
+        return {-1, -1};
+    HashTable ht;
+    if (!ok(HashTable::create(s, 1, "p", kPreload * 2, &ht)))
+        return {-1, -1};
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    preloadKeys(s, ht, wcfg, kPreload);
+    s.resetStats();
+
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = 0.0; // read-only: isolate the cache policy
+    mcfg.dist = KeyDist::Zipf;
+    mcfg.zipf_theta = 0.99;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const uint64_t t0 = s.clock().now();
+    for (uint64_t i = 0; i < kOps; ++i) {
+        Value v;
+        (void)ht.get(w.next().key, &v);
+    }
+    return {s.cache().missRatio(),
+            Throughput{kOps, s.clock().now() - t0}.kops()};
+}
+
+void
+run()
+{
+    printHeader("Section 4.4: cache replacement policies, Zipf(0.9) "
+                "reads, cache = 10% of data",
+                "Policy             MissRatio      KOPS");
+    const PolicyResult rr = runPolicy(CachePolicy::Random, 0);
+    const PolicyResult lru = runPolicy(CachePolicy::Lru, 0);
+    const PolicyResult hybrid = runPolicy(CachePolicy::Hybrid, 32);
+    std::printf("%-18s %8.1f%% %9.1f\n", "Random (RR)",
+                rr.miss_ratio * 100, rr.kops);
+    std::printf("%-18s %8.1f%% %9.1f\n", "LRU", lru.miss_ratio * 100,
+                lru.kops);
+    std::printf("%-18s %8.1f%% %9.1f\n", "Hybrid (sample 32)",
+                hybrid.miss_ratio * 100, hybrid.kops);
+    std::printf("\nSample-set sweep (hybrid policy):\nK     MissRatio\n");
+    for (uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const PolicyResult r = runPolicy(CachePolicy::Hybrid, k);
+        std::printf("%-5u %8.1f%%\n", k, r.miss_ratio * 100);
+    }
+    std::printf("\nPaper (Sec. 4.4) reference: hybrid(32) 29.2%% miss vs "
+                "RR 62.7%%, miss ratio similar\nto LRU with ~27.5%% "
+                "higher throughput (LRU pays bookkeeping per access).\n");
+}
+
+} // namespace
+} // namespace asymnvm::bench
+
+int
+main()
+{
+    asymnvm::bench::run();
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Walkthrough of the failure cases of Section 7.2 on a live cluster:
+ *
+ *   Case 2 — front-end writer crash mid-batch (op logs replayed),
+ *   Case 3 — back-end transient failure and restart from its own NVM
+ *            (including a torn transaction caught by the checksum),
+ *   Case 4 — permanent back-end failure, mirror voted and promoted,
+ *   Case 5 — mirror crash with service continuing.
+ *
+ * Each step prints what the protocol did and verifies the data.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "ds/hash_table.h"
+#include "frontend/session.h"
+
+using namespace asymnvm;
+
+namespace {
+
+bool
+verifyRange(HashTable &ht, uint64_t upto)
+{
+    for (uint64_t k = 1; k <= upto; ++k) {
+        Value v;
+        if (ht.get(k, &v) != Status::Ok || v.asU64() != k * 10) {
+            std::printf("  ✗ key %llu missing/wrong\n",
+                        static_cast<unsigned long long>(k));
+            return false;
+        }
+    }
+    std::printf("  ✓ keys 1..%llu intact\n",
+                static_cast<unsigned long long>(upto));
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    ClusterConfig ccfg;
+    ccfg.num_backends = 1;
+    ccfg.mirrors_per_backend = 2;
+    ccfg.backend.nvm_size = 32ull << 20;
+    Cluster cluster(ccfg);
+    auto s = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 64));
+
+    HashTable ht;
+    HashTable::create(*s, 1, "demo", 1024, &ht);
+
+    std::printf("== Case 2: front-end writer crash mid-batch ==\n");
+    for (uint64_t k = 1; k <= 40; ++k)
+        ht.put(k, Value::ofU64(k * 10));
+    std::printf("  40 puts issued, %u still in the open batch\n",
+                s->opsInBatch());
+    s->simulateCrash();
+    HashTable re1;
+    HashTable::open(*s, 1, "demo", &re1);
+    s->recover();
+    std::printf("  recovered via op-log re-execution\n");
+    HashTable v1;
+    HashTable::open(*s, 1, "demo", &v1);
+    if (!verifyRange(v1, 40))
+        return 1;
+
+    std::printf("== Case 3: back-end transient failure (torn commit) ==\n");
+    for (uint64_t k = 41; k <= 60; ++k)
+        v1.put(k, Value::ofU64(k * 10));
+    cluster.backend(1)->failure().armCrashAfterVerbs(0, /*seed=*/11);
+    const Status st = s->flushAll(); // the commit write tears mid-flight
+    std::printf("  flush during crash -> %s (checksum will catch the "
+                "torn tail)\n",
+                statusName(st));
+    cluster.backend(1)->nvm().crash();
+    cluster.restartBackend(1);
+    s->simulateCrash();
+    s->failover(1, cluster.backend(1));
+    HashTable re2;
+    HashTable::open(*s, 1, "demo", &re2);
+    s->recover();
+    HashTable v2;
+    HashTable::open(*s, 1, "demo", &v2);
+    if (!verifyRange(v2, 60))
+        return 1;
+
+    std::printf("== Case 4: permanent back-end failure, mirror vote ==\n");
+    for (uint64_t k = 61; k <= 80; ++k)
+        v2.put(k, Value::ofU64(k * 10));
+    s->flushAll();
+    cluster.crashBackendTransient(1);
+    if (!ok(cluster.failBackendPermanently(1, s->clock().now()))) {
+        std::printf("  no promotable mirror!\n");
+        return 1;
+    }
+    std::printf("  keepAlive voted a mirror; replica promoted under "
+                "node id 1\n");
+    s->failover(1, cluster.backend(1));
+    HashTable v3;
+    HashTable::open(*s, 1, "demo", &v3);
+    if (!verifyRange(v3, 80))
+        return 1;
+
+    std::printf("== Case 5: mirror crash ==\n");
+    cluster.crashMirror(1, 0, s->clock().now());
+    std::printf("  mirror left the group; %zu remain; service "
+                "continues:\n",
+                cluster.mirrorsOf(1).size());
+    for (uint64_t k = 81; k <= 90; ++k)
+        v3.put(k, Value::ofU64(k * 10));
+    s->flushAll();
+    if (!verifyRange(v3, 90))
+        return 1;
+
+    std::printf("all five failure cases handled ✓\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A remote object store with failover: variable-size objects (64 B to
+ * 8 KB, the paper's industry-trace range) stored in disaggregated NVM
+ * through BlobStore, surviving a permanent back-end failure via mirror
+ * promotion with end-to-end checksum verification of every object.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asymnvm.h"
+
+using namespace asymnvm;
+
+int
+main()
+{
+    ClusterConfig ccfg;
+    ccfg.num_backends = 1;
+    ccfg.mirrors_per_backend = 2;
+    ccfg.backend.nvm_size = 64ull << 20;
+    Cluster cluster(ccfg);
+    auto session = cluster.makeSession(SessionConfig::rcb(1, 2 << 20, 32));
+
+    BlobStore store;
+    if (!ok(BlobStore::create(*session, 1, "objects", 4096, &store))) {
+        std::fprintf(stderr, "create failed\n");
+        return 1;
+    }
+
+    // Store objects of every size class the traces describe.
+    Rng rng(2026);
+    std::vector<uint32_t> sizes;
+    uint64_t total_bytes = 0;
+    for (uint64_t id = 1; id <= 500; ++id) {
+        const uint32_t len =
+            static_cast<uint32_t>(64 + rng.nextBounded(8129));
+        std::vector<uint8_t> obj(len);
+        for (uint32_t i = 0; i < len; ++i)
+            obj[i] = static_cast<uint8_t>(mix64(id) + i);
+        if (!ok(store.put(id, obj.data(), len))) {
+            std::fprintf(stderr, "put %llu failed\n",
+                         static_cast<unsigned long long>(id));
+            return 1;
+        }
+        sizes.push_back(len);
+        total_bytes += len;
+    }
+    session->flushAll();
+    std::printf("stored 500 objects (%.2f MB) in disaggregated NVM\n",
+                total_bytes / 1e6);
+
+    // Disaster: the back-end blade dies for good.
+    cluster.crashBackendTransient(1);
+    if (!ok(cluster.failBackendPermanently(1, session->clock().now()))) {
+        std::fprintf(stderr, "no promotable mirror\n");
+        return 1;
+    }
+    session->failover(1, cluster.backend(1));
+    std::printf("back-end lost; mirror promoted under the same node id\n");
+
+    // Every object must come back intact — BlobStore verifies each
+    // payload against its descriptor CRC.
+    BlobStore reopened;
+    if (!ok(BlobStore::open(*session, 1, "objects", &reopened))) {
+        std::fprintf(stderr, "reopen failed\n");
+        return 1;
+    }
+    uint64_t verified = 0;
+    for (uint64_t id = 1; id <= 500; ++id) {
+        std::vector<uint8_t> obj;
+        const Status st = reopened.get(id, &obj);
+        if (st != Status::Ok || obj.size() != sizes[id - 1]) {
+            std::fprintf(stderr, "object %llu lost/corrupt (%s)\n",
+                         static_cast<unsigned long long>(id),
+                         statusName(st));
+            return 1;
+        }
+        bool good = true;
+        for (uint32_t i = 0; i < obj.size(); ++i)
+            good &= obj[i] == static_cast<uint8_t>(mix64(id) + i);
+        if (!good) {
+            std::fprintf(stderr, "object %llu bytes wrong\n",
+                         static_cast<unsigned long long>(id));
+            return 1;
+        }
+        ++verified;
+    }
+    std::printf("all %llu objects verified byte-for-byte after "
+                "failover ✓\n",
+                static_cast<unsigned long long>(verified));
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: the smallest complete AsymNVM program.
+ *
+ * Builds a one-back-end cluster (with two mirror nodes, as the paper
+ * deploys), connects a front-end session in the full RCB configuration,
+ * creates a persistent B+tree in back-end NVM, writes and reads a few
+ * keys, and shows that the data survives a complete reconnect.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "ds/bptree.h"
+#include "frontend/session.h"
+
+using namespace asymnvm;
+
+int
+main()
+{
+    // 1. A cluster: one NVM back-end blade, two mirror nodes.
+    ClusterConfig ccfg;
+    ccfg.num_backends = 1;
+    ccfg.mirrors_per_backend = 2;
+    ccfg.backend.nvm_size = 64ull << 20;
+    Cluster cluster(ccfg);
+
+    // 2. A front-end session with operation logs, caching and batching
+    //    (the AsymNVM-RCB configuration of the paper).
+    auto session = cluster.makeSession(
+        SessionConfig::rcb(/*id=*/1, /*cache=*/4 << 20, /*batch=*/64));
+    if (session == nullptr) {
+        std::fprintf(stderr, "failed to connect\n");
+        return 1;
+    }
+
+    // 3. A named persistent B+tree, hosted in back-end NVM.
+    BpTree tree;
+    if (!ok(BpTree::create(*session, /*backend=*/1, "quickstart/tree",
+                           &tree))) {
+        std::fprintf(stderr, "create failed\n");
+        return 1;
+    }
+
+    // 4. Writes return per the configured persistence mode; flushAll()
+    //    is the explicit durability fence (group commit).
+    for (uint64_t k = 1; k <= 1000; ++k)
+        tree.insert(k, Value::ofU64(k * k));
+    session->flushAll();
+    std::printf("inserted 1000 keys, size=%llu\n",
+                static_cast<unsigned long long>(tree.size()));
+
+    Value v;
+    tree.find(707, &v);
+    std::printf("tree[707] = %llu (expect 499849)\n",
+                static_cast<unsigned long long>(v.asU64()));
+
+    // 5. Persistence: a brand-new session re-opens the tree by name.
+    session->disconnect(cluster.backend(1));
+    auto session2 = cluster.makeSession(SessionConfig::rc(2, 4 << 20));
+    BpTree reopened;
+    if (!ok(BpTree::open(*session2, 1, "quickstart/tree", &reopened))) {
+        std::fprintf(stderr, "open failed\n");
+        return 1;
+    }
+    reopened.find(707, &v);
+    std::printf("after reconnect: tree[707] = %llu, size=%llu\n",
+                static_cast<unsigned long long>(v.asU64()),
+                static_cast<unsigned long long>(reopened.size()));
+
+    // 6. Virtual-time accounting: what did this cost?
+    std::printf("front-end virtual time: %.2f ms, verbs issued: %llu\n",
+                session2->clock().now() / 1e6,
+                static_cast<unsigned long long>(
+                    session2->verbs().verbsIssued()));
+    return 0;
+}

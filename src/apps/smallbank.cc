@@ -1,0 +1,196 @@
+#include "apps/smallbank.h"
+
+namespace asymnvm {
+
+namespace {
+constexpr int64_t kInitialBalance = 100;
+constexpr int64_t kOverdraftPenalty = 1;
+} // namespace
+
+Status
+SmallBank::create(FrontendSession &s, NodeId backend, uint64_t accounts,
+                  SmallBank *out)
+{
+    Status st = HashTable::create(s, backend, "smallbank/accounts",
+                                  accounts * 2, &out->table_);
+    if (!ok(st))
+        return st;
+    out->accounts_ = accounts;
+    Account init{kInitialBalance, kInitialBalance};
+    for (uint64_t a = 1; a <= accounts; ++a) {
+        st = out->table_.put(a, init.toValue());
+        if (!ok(st))
+            return st;
+    }
+    // The account count is recoverable from the index's own element
+    // count (aux words 0-2 belong to the HashTable implementation).
+    return s.flushAll();
+}
+
+Status
+SmallBank::open(FrontendSession &s, NodeId backend, SmallBank *out)
+{
+    const Status st =
+        HashTable::open(s, backend, "smallbank/accounts", &out->table_);
+    if (!ok(st))
+        return st;
+    out->accounts_ = out->table_.size();
+    return Status::Ok;
+}
+
+Status
+SmallBank::readAccount(uint64_t acct, Account *a)
+{
+    Value v;
+    const Status st = table_.get(acct, &v);
+    if (!ok(st))
+        return st;
+    *a = Account::fromValue(v);
+    return Status::Ok;
+}
+
+Status
+SmallBank::writeAccount(uint64_t acct, const Account &a)
+{
+    return table_.put(acct, a.toValue());
+}
+
+Status
+SmallBank::balance(uint64_t acct, int64_t *total)
+{
+    Account a;
+    const Status st = readAccount(acct, &a);
+    if (!ok(st))
+        return st;
+    *total = a.savings + a.checking;
+    return Status::Ok;
+}
+
+Status
+SmallBank::depositChecking(uint64_t acct, int64_t amount)
+{
+    if (amount < 0)
+        return Status::InvalidArgument;
+    Account a;
+    Status st = readAccount(acct, &a);
+    if (!ok(st))
+        return st;
+    a.checking += amount;
+    return writeAccount(acct, a);
+}
+
+Status
+SmallBank::transactSavings(uint64_t acct, int64_t amount)
+{
+    Account a;
+    Status st = readAccount(acct, &a);
+    if (!ok(st))
+        return st;
+    if (a.savings + amount < 0)
+        return Status::InvalidArgument; // insufficient funds
+    a.savings += amount;
+    return writeAccount(acct, a);
+}
+
+Status
+SmallBank::amalgamate(uint64_t from, uint64_t to)
+{
+    if (from == to)
+        return Status::InvalidArgument;
+    Account a, b;
+    Status st = readAccount(from, &a);
+    if (!ok(st))
+        return st;
+    st = readAccount(to, &b);
+    if (!ok(st))
+        return st;
+    b.checking += a.savings + a.checking;
+    a.savings = 0;
+    a.checking = 0;
+    st = writeAccount(from, a);
+    if (!ok(st))
+        return st;
+    return writeAccount(to, b);
+}
+
+Status
+SmallBank::writeCheck(uint64_t acct, int64_t amount)
+{
+    Account a;
+    Status st = readAccount(acct, &a);
+    if (!ok(st))
+        return st;
+    if (a.savings + a.checking < amount)
+        a.checking -= amount + kOverdraftPenalty; // overdraft penalty
+    else
+        a.checking -= amount;
+    return writeAccount(acct, a);
+}
+
+Status
+SmallBank::sendPayment(uint64_t from, uint64_t to, int64_t amount)
+{
+    if (from == to || amount < 0)
+        return Status::InvalidArgument;
+    Account a, b;
+    Status st = readAccount(from, &a);
+    if (!ok(st))
+        return st;
+    if (a.checking < amount)
+        return Status::InvalidArgument;
+    st = readAccount(to, &b);
+    if (!ok(st))
+        return st;
+    a.checking -= amount;
+    b.checking += amount;
+    st = writeAccount(from, a);
+    if (!ok(st))
+        return st;
+    return writeAccount(to, b);
+}
+
+Status
+SmallBank::runOne(Rng &rng)
+{
+    const uint64_t a = 1 + rng.nextBounded(accounts_);
+    uint64_t b = 1 + rng.nextBounded(accounts_);
+    if (b == a)
+        b = (b % accounts_) + 1;
+    const int64_t amount = 1 + static_cast<int64_t>(rng.nextBounded(50));
+    // Standard mix: 15/15/15/15/25/15.
+    const uint64_t dice = rng.nextBounded(100);
+    Status st;
+    if (dice < 15) {
+        int64_t total;
+        st = balance(a, &total);
+    } else if (dice < 30) {
+        st = depositChecking(a, amount);
+    } else if (dice < 45) {
+        st = transactSavings(a, amount);
+    } else if (dice < 60) {
+        st = amalgamate(a, b);
+    } else if (dice < 85) {
+        st = writeCheck(a, amount);
+    } else {
+        st = sendPayment(a, b, amount);
+    }
+    // Business rejections (insufficient funds) are successful runs.
+    return st == Status::InvalidArgument ? Status::Ok : st;
+}
+
+Status
+SmallBank::totalAssets(int64_t *out)
+{
+    int64_t sum = 0;
+    for (uint64_t a = 1; a <= accounts_; ++a) {
+        Account acc;
+        const Status st = readAccount(a, &acc);
+        if (!ok(st))
+            return st;
+        sum += acc.savings + acc.checking;
+    }
+    *out = sum;
+    return Status::Ok;
+}
+
+} // namespace asymnvm

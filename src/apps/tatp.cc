@@ -1,0 +1,186 @@
+#include "apps/tatp.h"
+
+namespace asymnvm {
+
+Status
+Tatp::create(FrontendSession &s, NodeId backend, uint64_t subscribers,
+             Tatp *out)
+{
+    Status st = BpTree::create(s, backend, "tatp/subscriber",
+                               &out->subscriber_);
+    if (!ok(st))
+        return st;
+    st = BpTree::create(s, backend, "tatp/access_info",
+                        &out->access_info_);
+    if (!ok(st))
+        return st;
+    st = BpTree::create(s, backend, "tatp/special_facility",
+                        &out->special_facility_);
+    if (!ok(st))
+        return st;
+    st = BpTree::create(s, backend, "tatp/call_forwarding",
+                        &out->call_forwarding_);
+    if (!ok(st))
+        return st;
+    out->subscribers_ = subscribers;
+
+    Rng rng(subscribers ^ 0x7a7);
+    for (uint64_t id = 1; id <= subscribers; ++id) {
+        st = out->subscriber_.insert(subscriberKey(id),
+                                     Value::ofU64(id * 131));
+        if (!ok(st))
+            return st;
+        // TATP: each subscriber has 1-4 access-info and special-facility
+        // rows; call-forwarding rows are sparse.
+        const uint32_t nai = 1 + rng.nextBounded(4);
+        for (uint8_t t = 1; t <= nai; ++t) {
+            st = out->access_info_.insert(accessKey(id, t),
+                                          Value::ofU64(id + t));
+            if (!ok(st))
+                return st;
+        }
+        const uint32_t nsf = 1 + rng.nextBounded(4);
+        for (uint8_t t = 1; t <= nsf; ++t) {
+            st = out->special_facility_.insert(facilityKey(id, t),
+                                               Value::ofU64(1)); // active
+            if (!ok(st))
+                return st;
+            if (rng.nextBool(0.25)) {
+                st = out->call_forwarding_.insert(
+                    forwardingKey(id, t, 8), Value::ofString("555-0100"));
+                if (!ok(st))
+                    return st;
+            }
+        }
+    }
+    // Persist the subscriber count for open(). (BpTree uses aux1 for
+    // its element count; aux2 is free for the application. aux3 is
+    // reserved by the framework for the writer generation.)
+    st = s.writeAux(out->subscriber_.id(), backend, 2, subscribers);
+    if (!ok(st))
+        return st;
+    return s.flushAll();
+}
+
+Status
+Tatp::open(FrontendSession &s, NodeId backend, Tatp *out)
+{
+    Status st = BpTree::open(s, backend, "tatp/subscriber",
+                             &out->subscriber_);
+    if (!ok(st))
+        return st;
+    st = BpTree::open(s, backend, "tatp/access_info",
+                      &out->access_info_);
+    if (!ok(st))
+        return st;
+    st = BpTree::open(s, backend, "tatp/special_facility",
+                      &out->special_facility_);
+    if (!ok(st))
+        return st;
+    st = BpTree::open(s, backend, "tatp/call_forwarding",
+                      &out->call_forwarding_);
+    if (!ok(st))
+        return st;
+    return s.readAux(out->subscriber_.id(), backend, 2,
+                     &out->subscribers_);
+}
+
+Status
+Tatp::getSubscriberData(uint64_t s_id, Value *out)
+{
+    return subscriber_.find(subscriberKey(s_id), out);
+}
+
+Status
+Tatp::getNewDestination(uint64_t s_id, uint8_t sf_type,
+                        uint8_t start_hour, Value *out)
+{
+    Value facility;
+    Status st = special_facility_.find(facilityKey(s_id, sf_type),
+                                       &facility);
+    if (!ok(st))
+        return st;
+    if (facility.asU64() == 0)
+        return Status::NotFound; // facility inactive
+    return call_forwarding_.find(forwardingKey(s_id, sf_type, start_hour),
+                                 out);
+}
+
+Status
+Tatp::getAccessData(uint64_t s_id, uint8_t ai_type, Value *out)
+{
+    return access_info_.find(accessKey(s_id, ai_type), out);
+}
+
+Status
+Tatp::updateSubscriberData(uint64_t s_id, uint8_t sf_type, uint64_t bit,
+                           uint64_t data)
+{
+    Status st = subscriber_.insert(subscriberKey(s_id),
+                                   Value::ofU64(bit));
+    if (!ok(st))
+        return st;
+    return special_facility_.insert(facilityKey(s_id, sf_type),
+                                    Value::ofU64(data));
+}
+
+Status
+Tatp::updateLocation(uint64_t s_id, uint64_t vlr_location)
+{
+    return subscriber_.insert(subscriberKey(s_id),
+                              Value::ofU64(vlr_location));
+}
+
+Status
+Tatp::insertCallForwarding(uint64_t s_id, uint8_t sf_type,
+                           uint8_t start_hour, const Value &numberx)
+{
+    return call_forwarding_.insert(
+        forwardingKey(s_id, sf_type, start_hour), numberx);
+}
+
+Status
+Tatp::deleteCallForwarding(uint64_t s_id, uint8_t sf_type,
+                           uint8_t start_hour)
+{
+    return call_forwarding_.erase(
+        forwardingKey(s_id, sf_type, start_hour));
+}
+
+Status
+Tatp::runOne(Rng &rng)
+{
+    const uint64_t s_id = 1 + rng.nextBounded(subscribers_);
+    const uint8_t sf_type = static_cast<uint8_t>(1 + rng.nextBounded(4));
+    const uint8_t ai_type = static_cast<uint8_t>(1 + rng.nextBounded(4));
+    const uint8_t hour = static_cast<uint8_t>(8 * rng.nextBounded(3));
+    Value v;
+    Status st = Status::Ok;
+    const uint64_t dice = rng.nextBounded(100);
+    if (dice < 35) {
+        st = getSubscriberData(s_id, &v);
+    } else if (dice < 45) {
+        st = getNewDestination(s_id, sf_type, hour, &v);
+    } else if (dice < 80) {
+        st = getAccessData(s_id, ai_type, &v);
+    } else if (dice < 82) {
+        st = updateSubscriberData(s_id, sf_type, rng.next(), rng.next());
+    } else if (dice < 96) {
+        st = updateLocation(s_id, rng.next());
+    } else if (dice < 98) {
+        st = insertCallForwarding(s_id, sf_type, hour,
+                                  Value::ofString("555-0199"));
+    } else {
+        st = deleteCallForwarding(s_id, sf_type, hour);
+    }
+    if (st == Status::NotFound) {
+        // TATP defines a fraction of transactions to miss by design.
+        ++stats_.not_found;
+        return Status::Ok;
+    }
+    if (ok(st))
+        ++stats_.committed;
+    return st;
+}
+
+} // namespace asymnvm

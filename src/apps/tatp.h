@@ -1,0 +1,105 @@
+#ifndef ASYMNVM_APPS_TATP_H_
+#define ASYMNVM_APPS_TATP_H_
+
+/**
+ * @file
+ * TATP (Telecommunication Application Transaction Processing) benchmark
+ * (Section 9.2, Table 3), on the AsymNVM framework with B+tree indexes —
+ * the paper uses BPT as TATP's index structure.
+ *
+ * The four tables are indexed by composite keys packed into 64 bits:
+ *   subscriber:        s_id
+ *   access_info:       s_id << 8  | ai_type   (1..4)
+ *   special_facility:  s_id << 8  | sf_type   (1..4)
+ *   call_forwarding:   s_id << 16 | sf_type << 8 | start_hour
+ *
+ * The standard transaction mix is 80% read / 20% write:
+ *   GetSubscriberData 35, GetNewDestination 10, GetAccessData 35,
+ *   UpdateSubscriberData 2, UpdateLocation 14,
+ *   InsertCallForwarding 2, DeleteCallForwarding 2.
+ */
+
+#include "common/rand.h"
+#include "ds/bptree.h"
+
+namespace asymnvm {
+
+/** TATP transaction types. */
+enum class TatpTx : uint8_t
+{
+    GetSubscriberData,
+    GetNewDestination,
+    GetAccessData,
+    UpdateSubscriberData,
+    UpdateLocation,
+    InsertCallForwarding,
+    DeleteCallForwarding,
+};
+
+/** Per-transaction-type execution counters. */
+struct TatpStats
+{
+    uint64_t committed = 0;
+    uint64_t not_found = 0; //!< TATP expects a share of misses
+};
+
+/** The TATP application. */
+class Tatp
+{
+  public:
+    Tatp() = default;
+
+    /** Create and populate the four tables for @p subscribers. */
+    static Status create(FrontendSession &s, NodeId backend,
+                         uint64_t subscribers, Tatp *out);
+
+    /** Open existing tables. */
+    static Status open(FrontendSession &s, NodeId backend, Tatp *out);
+
+    // --- the seven transactions ---
+    Status getSubscriberData(uint64_t s_id, Value *out);
+    Status getNewDestination(uint64_t s_id, uint8_t sf_type,
+                             uint8_t start_hour, Value *out);
+    Status getAccessData(uint64_t s_id, uint8_t ai_type, Value *out);
+    Status updateSubscriberData(uint64_t s_id, uint8_t sf_type,
+                                uint64_t bit, uint64_t data);
+    Status updateLocation(uint64_t s_id, uint64_t vlr_location);
+    Status insertCallForwarding(uint64_t s_id, uint8_t sf_type,
+                                uint8_t start_hour, const Value &numberx);
+    Status deleteCallForwarding(uint64_t s_id, uint8_t sf_type,
+                                uint8_t start_hour);
+
+    /** Run one transaction of the standard mix. */
+    Status runOne(Rng &rng);
+
+    uint64_t subscriberCount() const { return subscribers_; }
+    const TatpStats &stats() const { return stats_; }
+
+    static constexpr Key subscriberKey(uint64_t s_id) { return s_id; }
+    static constexpr Key accessKey(uint64_t s_id, uint8_t ai_type)
+    {
+        return (s_id << 8) | ai_type;
+    }
+    static constexpr Key facilityKey(uint64_t s_id, uint8_t sf_type)
+    {
+        return (s_id << 8) | sf_type;
+    }
+    static constexpr Key forwardingKey(uint64_t s_id, uint8_t sf_type,
+                                       uint8_t start_hour)
+    {
+        return (s_id << 16) | (static_cast<uint64_t>(sf_type) << 8) |
+               start_hour;
+    }
+
+  private:
+    BpTree subscriber_;
+    BpTree access_info_;
+    BpTree special_facility_;
+    BpTree call_forwarding_;
+    uint64_t subscribers_ = 0;
+    TatpStats stats_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_APPS_TATP_H_

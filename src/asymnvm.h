@@ -1,0 +1,38 @@
+#ifndef ASYMNVM_ASYMNVM_H_
+#define ASYMNVM_ASYMNVM_H_
+
+/**
+ * @file
+ * Umbrella header: the public API of the AsymNVM framework.
+ *
+ * A typical application includes this single header and uses:
+ *
+ *   Cluster          — back-end NVM blades + mirrors + keepAlive wiring
+ *   FrontendSession  — the per-thread client runtime (Table 1 API)
+ *   Stack/Queue/HashTable/SkipList/Bst/BpTree/MvBst/MvBpTree
+ *                    — the persistent data structures of Section 8
+ *   Partitioned<DS>  — key-hash partitioning across back-ends
+ *   BlobStore        — variable-size values on the same substrate
+ *   SmallBank/Tatp   — the transaction applications of Section 9
+ *
+ * See README.md for a quickstart and DESIGN.md for the architecture.
+ */
+
+#include "apps/smallbank.h"
+#include "apps/tatp.h"
+#include "cluster/cluster.h"
+#include "common/types.h"
+#include "ds/blob_store.h"
+#include "ds/bptree.h"
+#include "ds/bst.h"
+#include "ds/hash_table.h"
+#include "ds/mv_bptree.h"
+#include "ds/mv_bst.h"
+#include "ds/partitioned.h"
+#include "ds/queue.h"
+#include "ds/skiplist.h"
+#include "ds/stack.h"
+#include "frontend/session.h"
+#include "workload/workload.h"
+
+#endif // ASYMNVM_ASYMNVM_H_

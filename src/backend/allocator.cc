@@ -1,0 +1,120 @@
+#include "backend/allocator.h"
+
+#include <cassert>
+
+namespace asymnvm {
+
+BackendAllocator::BackendAllocator(NvmDevice *nvm, const Layout &layout,
+                                   NvmWriter writer)
+    : nvm_(nvm), layout_(layout), writer_(std::move(writer))
+{
+    const uint64_t words = (layout_.super.data_blocks + 63) / 64;
+    bitmap_.assign(words, 0);
+    free_blocks_ = layout_.super.data_blocks;
+}
+
+void
+BackendAllocator::recover()
+{
+    const uint64_t words = (layout_.super.data_blocks + 63) / 64;
+    bitmap_.assign(words, 0);
+    nvm_->read(layout_.super.bitmap_off, bitmap_.data(), words * 8);
+    free_blocks_ = 0;
+    for (uint64_t b = 0; b < layout_.super.data_blocks; ++b) {
+        if (!testBit(b))
+            ++free_blocks_;
+    }
+    rover_ = 0;
+}
+
+bool
+BackendAllocator::testBit(uint64_t block) const
+{
+    return (bitmap_[block / 64] >> (block % 64)) & 1;
+}
+
+void
+BackendAllocator::setBits(uint64_t first, uint64_t count, bool value)
+{
+    for (uint64_t b = first; b < first + count; ++b) {
+        if (value)
+            bitmap_[b / 64] |= 1ull << (b % 64);
+        else
+            bitmap_[b / 64] &= ~(1ull << (b % 64));
+    }
+    // Persist the touched bitmap words through the owner's write hook.
+    const uint64_t w0 = first / 64;
+    const uint64_t w1 = (first + count - 1) / 64;
+    writer_(layout_.super.bitmap_off + w0 * 8, &bitmap_[w0],
+            (w1 - w0 + 1) * 8);
+}
+
+Status
+BackendAllocator::alloc(uint64_t nblocks, uint64_t *off)
+{
+    if (nblocks == 0)
+        return Status::InvalidArgument;
+    const uint64_t total = layout_.super.data_blocks;
+    if (nblocks > free_blocks_)
+        return Status::OutOfMemory;
+    // Next-fit scan for a contiguous run, wrapping once.
+    uint64_t scanned = 0;
+    uint64_t run = 0;
+    uint64_t pos = rover_;
+    while (scanned < 2 * total) {
+        if (pos >= total) {
+            pos = 0;
+            run = 0; // runs do not wrap across the end of the area
+        }
+        if (!testBit(pos)) {
+            if (++run == nblocks) {
+                const uint64_t first = pos + 1 - nblocks;
+                setBits(first, nblocks, true);
+                free_blocks_ -= nblocks;
+                rover_ = pos + 1;
+                *off = layout_.dataOff() +
+                       first * layout_.super.block_size;
+                return Status::Ok;
+            }
+        } else {
+            run = 0;
+        }
+        ++pos;
+        ++scanned;
+    }
+    return Status::OutOfMemory; // fragmented
+}
+
+Status
+BackendAllocator::free(uint64_t off, uint64_t nblocks)
+{
+    if (off < layout_.dataOff() || nblocks == 0)
+        return Status::InvalidArgument;
+    const uint64_t rel = off - layout_.dataOff();
+    if (rel % layout_.super.block_size != 0)
+        return Status::InvalidArgument;
+    const uint64_t first = rel / layout_.super.block_size;
+    if (first + nblocks > layout_.super.data_blocks)
+        return Status::InvalidArgument;
+    for (uint64_t b = first; b < first + nblocks; ++b) {
+        if (!testBit(b))
+            return Status::InvalidArgument; // double free
+    }
+    setBits(first, nblocks, false);
+    free_blocks_ += nblocks;
+    return Status::Ok;
+}
+
+bool
+BackendAllocator::isAllocated(uint64_t off) const
+{
+    if (off < layout_.dataOff())
+        return false;
+    const uint64_t block =
+        (off - layout_.dataOff()) / layout_.super.block_size;
+    if (block >= layout_.super.data_blocks)
+        return false;
+    return testBit(block);
+}
+
+} // namespace asymnvm

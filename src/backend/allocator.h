@@ -1,0 +1,71 @@
+#ifndef ASYMNVM_BACKEND_ALLOCATOR_H_
+#define ASYMNVM_BACKEND_ALLOCATOR_H_
+
+/**
+ * @file
+ * Back-end tier of the two-tier slab allocator (Section 5).
+ *
+ * The back-end hands out fixed-size blocks ("slabs") from the data area
+ * and records usage in a *persistent bitmap* — one bit per block — so the
+ * allocator recovers by rescanning the bitmap after a restart (the paper's
+ * design decision for fast recovery, Section 5.1). The front-end tier
+ * (frontend/allocator.h) subdivides slabs at finer granularity.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "backend/layout.h"
+#include "common/types.h"
+#include "nvm/nvm_device.h"
+
+namespace asymnvm {
+
+/** Bitmap slab allocator over the back-end data area. */
+class BackendAllocator
+{
+  public:
+    /**
+     * Hook through which every bitmap mutation is written, so the owning
+     * BackendNode can persist it and forward it to mirror nodes.
+     */
+    using NvmWriter =
+        std::function<void(uint64_t off, const void *src, size_t len)>;
+
+    BackendAllocator(NvmDevice *nvm, const Layout &layout, NvmWriter writer);
+
+    /** Rebuild the volatile free count and rover from the NVM bitmap. */
+    void recover();
+
+    /**
+     * Allocate @p nblocks contiguous blocks.
+     * @param[out] off Absolute NVM offset of the first block.
+     */
+    Status alloc(uint64_t nblocks, uint64_t *off);
+
+    /** Release @p nblocks blocks starting at absolute offset @p off. */
+    Status free(uint64_t off, uint64_t nblocks);
+
+    /** True when the block containing @p off is currently allocated. */
+    bool isAllocated(uint64_t off) const;
+
+    uint64_t freeBlocks() const { return free_blocks_; }
+    uint64_t totalBlocks() const { return layout_.super.data_blocks; }
+    uint64_t blockSize() const { return layout_.super.block_size; }
+
+  private:
+    bool testBit(uint64_t block) const;
+    void setBits(uint64_t first, uint64_t count, bool value);
+
+    NvmDevice *nvm_;
+    Layout layout_;
+    NvmWriter writer_;
+    std::vector<uint64_t> bitmap_; //!< volatile shadow of the NVM bitmap
+    uint64_t rover_ = 0;           //!< next-fit scan position
+    uint64_t free_blocks_ = 0;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_BACKEND_ALLOCATOR_H_

@@ -1,0 +1,712 @@
+#include "backend/backend_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rdma/rpc.h"
+#include <cstring>
+#include <stdexcept>
+
+namespace asymnvm {
+
+namespace {
+
+/** Advance a monotonic ring position past the current ring lap. */
+uint64_t
+ringSkipToWrap(uint64_t pos, uint64_t ring_size)
+{
+    return (pos / ring_size + 1) * ring_size;
+}
+
+/** True when @p type uses the seqlock reader protocol (Section 6.3). */
+bool
+isLockBased(DsType type)
+{
+    switch (type) {
+      case DsType::MvBst:
+      case DsType::MvBpTree:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+BackendNode::BackendNode(NodeId id, const BackendConfig &cfg,
+                         const LatencyModel &lat)
+    : id_(id), cfg_(cfg), lat_(lat), layout_(Layout::compute(cfg)),
+      device_(std::make_shared<NvmDevice>(cfg.nvm_size)),
+      nic_(lat.nic_verb_service_ns)
+{
+    // Format: the fresh device is zero-filled, so only the superblock
+    // needs explicit initialization.
+    layout_.super.epoch = 1;
+    device_->write(0, &layout_.super, sizeof(SuperBlock));
+    device_->persist();
+    layoutEpoch_ = 1;
+
+    controls_.assign(cfg_.max_frontends, LogControl{});
+    slot_session_.assign(cfg_.max_frontends, 0);
+    names_.assign(cfg_.max_names, NamingEntry{});
+    op_window_.assign(cfg_.max_frontends, {});
+    // The allocator writes bitmap words through writeLocal so mirror
+    // replication sees every allocation-state change.
+    allocator_ = std::make_unique<BackendAllocator>(
+        device_.get(), layout_,
+        [this](uint64_t off, const void *src, size_t len) {
+            writeLocal(off, src, len);
+        });
+}
+
+BackendNode::BackendNode(NodeId id, const BackendConfig &cfg,
+                         std::shared_ptr<NvmDevice> device,
+                         const LatencyModel &lat)
+    : id_(id), cfg_(cfg), lat_(lat), layout_(Layout::compute(cfg)),
+      device_(std::move(device)), nic_(lat.nic_verb_service_ns)
+{
+    SuperBlock sb;
+    device_->read(0, &sb, sizeof(sb));
+    if (sb.magic != kSuperMagic)
+        throw std::runtime_error("BackendNode: device is not formatted");
+    if (sb.block_size != cfg.block_size ||
+        sb.max_frontends != cfg.max_frontends) {
+        throw std::runtime_error("BackendNode: config mismatch on open");
+    }
+    layout_.super = sb;
+    allocator_ = std::make_unique<BackendAllocator>(
+        device_.get(), layout_,
+        [this](uint64_t off, const void *src, size_t len) {
+            writeLocal(off, src, len);
+        });
+    loadVolatileState();
+    // Fence off the previous incarnation.
+    layoutEpoch_ = sb.epoch + 1;
+    layout_.super.epoch = layoutEpoch_;
+    writeLocal(0, &layout_.super, sizeof(SuperBlock));
+    rollTailsForward();
+}
+
+void
+BackendNode::addMirror(MirrorNode *mirror)
+{
+    std::lock_guard lock(mu_);
+    // Bring the mirror replica up to date with a full device image; from
+    // here on, incremental writes keep it in sync (pre-commit shipping).
+    std::vector<uint8_t> image(device_->size());
+    device_->read(0, image.data(), image.size());
+    mirror->applyWrite(0, image.data(), image.size());
+    mirrors_.push_back(mirror);
+}
+
+void
+BackendNode::removeMirror(MirrorNode *mirror)
+{
+    std::lock_guard lock(mu_);
+    std::erase(mirrors_, mirror);
+}
+
+void
+BackendNode::writeLocal(uint64_t off, const void *src, size_t len)
+{
+    device_->write(off, src, len);
+    device_->persist();
+    for (MirrorNode *m : mirrors_)
+        m->applyWrite(off, src, len);
+}
+
+void
+BackendNode::writeLocal64(uint64_t off, uint64_t v)
+{
+    device_->write64Atomic(off, v);
+    for (MirrorNode *m : mirrors_)
+        m->applyWrite(off, &v, sizeof(v));
+}
+
+void
+BackendNode::writeControl(uint32_t slot)
+{
+    // The lock-ahead word is written one-sided by the front-end (it must
+    // persist *before* the memory logs it covers, Section 6.1); refresh
+    // it from NVM so rewriting the block does not clobber it.
+    const uint64_t off = layout_.logControlOff(slot);
+    controls_[slot].lock_ahead =
+        device_->read64(off + offsetof(LogControl, lock_ahead));
+    writeLocal(off, &controls_[slot], sizeof(LogControl));
+}
+
+void
+BackendNode::loadVolatileState()
+{
+    controls_.assign(cfg_.max_frontends, LogControl{});
+    slot_session_.assign(cfg_.max_frontends, 0);
+    names_.assign(cfg_.max_names, NamingEntry{});
+    op_window_.assign(cfg_.max_frontends, {});
+
+    for (uint32_t i = 0; i < cfg_.max_names; ++i)
+        device_->read(layout_.namingEntryOff(i), &names_[i],
+                      sizeof(NamingEntry));
+
+    for (uint32_t s = 0; s < cfg_.max_frontends; ++s) {
+        device_->read(layout_.logControlOff(s), &controls_[s],
+                      sizeof(LogControl));
+        slot_session_[s] = controls_[s].session_epoch;
+
+        // Rebuild the uncovered op-log window by scanning the ring from
+        // the persisted tail to the head.
+        const LogControl &c = controls_[s];
+        const uint64_t ring = layout_.super.oplog_ring_size;
+        const uint64_t base = layout_.oplogRingOff(s);
+        uint64_t pos = c.oplog_tail;
+        while (pos < c.oplog_head) {
+            const uint64_t off_in_ring = pos % ring;
+            const uint64_t contiguous = ring - off_in_ring;
+            if (contiguous < sizeof(OpLogHeader) + sizeof(uint32_t)) {
+                pos = ringSkipToWrap(pos, ring);
+                continue;
+            }
+            uint32_t magic;
+            device_->read(base + off_in_ring, &magic, sizeof(magic));
+            if (magic == kSkipMagic) {
+                pos = ringSkipToWrap(pos, ring);
+                continue;
+            }
+            std::vector<uint8_t> buf(contiguous);
+            device_->read(base + off_in_ring, buf.data(), buf.size());
+            auto rec = decodeOpLog({buf.data(), buf.size()});
+            if (!rec.has_value())
+                break; // torn tail; handled by rollTailsForward
+            op_window_[s].push_back(
+                {rec->opn, pos, static_cast<uint32_t>(rec->wire_len)});
+            pos += rec->wire_len;
+        }
+    }
+    allocator_->recover();
+}
+
+void
+BackendNode::rollTailsForward()
+{
+    for (uint32_t s = 0; s < cfg_.max_frontends; ++s) {
+        if (slot_session_[s] == 0)
+            continue;
+        // Op-log tail first: a valid record beyond the recorded head means
+        // the append landed but the control update did not survive.
+        while (true) {
+            LogControl &c = controls_[s];
+            const uint64_t ring = layout_.super.oplog_ring_size;
+            const uint64_t base = layout_.oplogRingOff(s);
+            uint64_t pos = c.oplog_head;
+            uint64_t off_in_ring = pos % ring;
+            if (ring - off_in_ring < sizeof(OpLogHeader) + 4) {
+                pos = ringSkipToWrap(pos, ring);
+                off_in_ring = pos % ring;
+            }
+            std::vector<uint8_t> buf(ring - off_in_ring);
+            device_->read(base + off_in_ring, buf.data(), buf.size());
+            auto rec = decodeOpLog({buf.data(), buf.size()});
+            if (!rec.has_value() || rec->opn != c.opn)
+                break;
+            const bool was_empty = op_window_[s].empty();
+            op_window_[s].push_back(
+                {rec->opn, pos, static_cast<uint32_t>(rec->wire_len)});
+            if (was_empty)
+                c.oplog_tail = pos;
+            c.oplog_head = pos + rec->wire_len;
+            c.opn = rec->opn + 1;
+            writeControl(s);
+        }
+        // Memory-log tail: roll a fully persisted (checksummed) trailing
+        // transaction forward; a torn one is simply ignored — the front-
+        // end never received its ack and will re-flush (Case 3.b).
+        recoverTailTx(s);
+    }
+}
+
+TxValidation
+BackendNode::recoverTailTx(uint32_t slot)
+{
+    const TxValidation v = validateTail(slot);
+    if (v != TxValidation::Clean)
+        return v;
+    const LogControl &c = controls_[slot];
+    const uint64_t ring = layout_.super.memlog_ring_size;
+    const uint64_t base = layout_.memlogRingOff(slot);
+    uint64_t pos = c.memlog_head;
+    uint64_t off_in_ring = pos % ring;
+    if (ring - off_in_ring < sizeof(TxHeader) + sizeof(TxFooter)) {
+        pos = ringSkipToWrap(pos, ring);
+        off_in_ring = pos % ring;
+    } else {
+        uint32_t magic;
+        device_->read(base + off_in_ring, &magic, sizeof(magic));
+        if (magic == kSkipMagic) {
+            pos = ringSkipToWrap(pos, ring);
+            off_in_ring = pos % ring;
+        }
+    }
+    TxHeader hdr;
+    device_->read(base + off_in_ring, &hdr, sizeof(hdr));
+    const uint32_t len = static_cast<uint32_t>(
+        sizeof(TxHeader) + hdr.payload_len + sizeof(TxFooter));
+    onTxAppended(slot, pos, len, 0);
+    return v;
+}
+
+Status
+BackendNode::registerFrontend(uint64_t session_id, uint32_t *slot)
+{
+    std::lock_guard lock(mu_);
+    if (session_id == 0)
+        return Status::InvalidArgument;
+    for (uint32_t s = 0; s < cfg_.max_frontends; ++s) {
+        if (slot_session_[s] == session_id) {
+            *slot = s; // reconnect after a front-end crash
+            return Status::Ok;
+        }
+    }
+    for (uint32_t s = 0; s < cfg_.max_frontends; ++s) {
+        if (slot_session_[s] == 0) {
+            slot_session_[s] = session_id;
+            controls_[s] = LogControl{};
+            controls_[s].session_epoch = session_id;
+            writeControl(s);
+            *slot = s;
+            return Status::Ok;
+        }
+    }
+    return Status::Unavailable;
+}
+
+void
+BackendNode::unregisterFrontend(uint32_t slot)
+{
+    std::lock_guard lock(mu_);
+    if (slot >= cfg_.max_frontends)
+        return;
+    slot_session_[slot] = 0;
+    controls_[slot] = LogControl{};
+    writeControl(slot);
+    op_window_[slot].clear();
+}
+
+LogControl
+BackendNode::readControl(uint32_t slot) const
+{
+    std::lock_guard lock(mu_);
+    return controls_[slot];
+}
+
+uint64_t
+BackendNode::ringReadAbs(uint64_t ring_base, uint64_t ring_size,
+                         uint64_t pos) const
+{
+    return ring_base + pos % ring_size;
+}
+
+Status
+BackendNode::onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
+                             uint64_t now_ns)
+{
+    std::lock_guard lock(mu_);
+    if (slot >= cfg_.max_frontends || slot_session_[slot] == 0)
+        return Status::InvalidArgument;
+    LogControl &c = controls_[slot];
+    const uint64_t ring = layout_.super.oplog_ring_size;
+    const uint64_t abs = ringReadAbs(layout_.oplogRingOff(slot), ring, pos);
+
+    std::vector<uint8_t> buf(len);
+    device_->read(abs, buf.data(), len);
+    auto rec = decodeOpLog({buf.data(), buf.size()});
+    if (!rec.has_value())
+        return Status::Corruption;
+
+    // Replicate the raw log bytes to the mirrors before acknowledging.
+    for (MirrorNode *m : mirrors_)
+        m->applyWrite(abs, buf.data(), len);
+
+    if (op_window_[slot].empty())
+        c.oplog_tail = pos;
+    op_window_[slot].push_back({rec->opn, pos, len});
+    c.oplog_head = pos + len;
+    c.opn = rec->opn + 1;
+    writeControl(slot);
+
+    busy_ns_.add(lat_.cpu_op_overhead_ns + len / 8);
+    processGcLocked(now_ns, false);
+    return Status::Ok;
+}
+
+Status
+BackendNode::onTxAppended(uint32_t slot, uint64_t pos, uint32_t len,
+                          uint64_t now_ns)
+{
+    std::lock_guard lock(mu_);
+    if (slot >= cfg_.max_frontends || slot_session_[slot] == 0)
+        return Status::InvalidArgument;
+    LogControl &c = controls_[slot];
+    const uint64_t ring = layout_.super.memlog_ring_size;
+    const uint64_t abs = ringReadAbs(layout_.memlogRingOff(slot), ring, pos);
+
+    std::vector<uint8_t> buf(len);
+    device_->read(abs, buf.data(), len);
+    auto tx = TxParser::parse({buf.data(), buf.size()});
+    if (!tx.has_value())
+        return Status::Corruption;
+
+    for (MirrorNode *m : mirrors_)
+        m->applyWrite(abs, buf.data(), len);
+
+    c.memlog_head = pos + len;
+    c.last_tx_off = pos;
+    c.last_tx_len = len;
+    c.lpn = tx->header().lpn + 1;
+    c.covered_opn = std::max(c.covered_opn, tx->header().covered_opn);
+    auto &window = op_window_[slot];
+    while (!window.empty() && window.front().opn < c.covered_opn)
+        window.pop_front();
+    c.oplog_tail = window.empty() ? c.oplog_head : window.front().pos;
+    writeControl(slot);
+
+    replayTx(slot, *tx);
+    c.memlog_applied = c.memlog_head;
+    writeControl(slot);
+
+    replayed_txs_.add();
+    processGcLocked(now_ns, false);
+    return Status::Ok;
+}
+
+void
+BackendNode::replayTx(uint32_t slot, const TxParser &tx)
+{
+    const uint64_t ds = tx.header().ds_id;
+    const bool bump_sn =
+        ds < names_.size() &&
+        isLockBased(static_cast<DsType>(names_[ds].type));
+    const uint64_t sn_off = layout_.namingEntryOff(static_cast<DsId>(ds)) +
+                            naming_field::kSeqNum;
+    if (bump_sn) {
+        // Write_Begin (Algorithm 2): SN becomes odd while replaying.
+        names_[ds].seq_num += 1;
+        writeLocal64(sn_off, names_[ds].seq_num);
+    }
+    std::vector<uint8_t> tmp;
+    for (const ParsedMemLog &m : tx.entries()) {
+        assert(m.addr.backend == id_);
+        const uint8_t *src = m.inline_value;
+        if (m.flag == MemLogFlag::kOpRef) {
+            // Fetch the value bytes from the already persisted op log.
+            const uint64_t ring = layout_.super.oplog_ring_size;
+            const uint64_t abs =
+                ringReadAbs(layout_.oplogRingOff(slot), ring, m.oplog_off) +
+                sizeof(OpLogHeader) + m.val_off;
+            tmp.resize(m.len);
+            device_->read(abs, tmp.data(), m.len);
+            src = tmp.data();
+        }
+        writeLocal(m.addr.offset, src, m.len);
+        replayed_entries_.add();
+        busy_ns_.add(lat_.cpu_log_replay_ns + lat_.nvm_write_ns);
+    }
+    if (bump_sn) {
+        // Write_End: SN even again, readers revalidate.
+        names_[ds].seq_num += 1;
+        writeLocal64(sn_off, names_[ds].seq_num);
+    }
+}
+
+Status
+BackendNode::handleRpc(uint32_t slot)
+{
+    if (slot >= cfg_.max_frontends)
+        return Status::InvalidArgument;
+    const uint64_t req_off = layout_.rpcReqRingOff(slot);
+    RpcRequest req;
+    device_->read(req_off, &req, sizeof(req));
+    if (req.magic != kRpcReqMagic)
+        return Status::Corruption;
+    std::vector<uint8_t> payload(req.payload_len);
+    if (req.payload_len > 0)
+        device_->read(req_off + sizeof(req), payload.data(),
+                      req.payload_len);
+
+    RpcResponse resp{};
+    resp.magic = kRpcRespMagic;
+    resp.seq = req.seq;
+    Status st = Status::InvalidArgument;
+    switch (static_cast<RpcOp>(req.op)) {
+      case RpcOp::AllocBlocks:
+        st = rpcAllocBlocks(req.args[0], &resp.rets[0]);
+        break;
+      case RpcOp::FreeBlocks:
+        st = rpcFreeBlocks(req.args[0], req.args[1]);
+        break;
+      case RpcOp::CreateName: {
+        DsId id = 0;
+        st = rpcCreateName(req.args[0],
+                           static_cast<DsType>(req.args[1]), &id);
+        resp.rets[0] = id;
+        break;
+      }
+      case RpcOp::LookupName: {
+        DsId id = 0;
+        DsType type = DsType::None;
+        st = rpcLookupName(req.args[0], &id, &type);
+        resp.rets[0] = id;
+        resp.rets[1] = static_cast<uint64_t>(type);
+        break;
+      }
+      case RpcOp::Retire: {
+        const uint64_t count = req.args[1];
+        if (payload.size() != count * 2 * sizeof(uint64_t))
+            break;
+        std::vector<std::pair<uint64_t, uint64_t>> regions(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            std::memcpy(&regions[i].first,
+                        payload.data() + i * 16, 8);
+            std::memcpy(&regions[i].second,
+                        payload.data() + i * 16 + 8, 8);
+        }
+        st = rpcRetire(static_cast<DsId>(req.args[0]), regions,
+                       req.args[2]);
+        break;
+      }
+      case RpcOp::None:
+        break;
+    }
+    resp.status = static_cast<uint32_t>(st);
+    // Response rings are volatile scratch; no mirror replication needed.
+    device_->write(layout_.rpcRespRingOff(slot), &resp, sizeof(resp));
+    device_->persist();
+    return Status::Ok;
+}
+
+Status
+BackendNode::rpcAllocBlocks(uint64_t nblocks, uint64_t *off)
+{
+    std::lock_guard lock(mu_);
+    rpc_calls_.add();
+    busy_ns_.add(lat_.cpu_op_overhead_ns + lat_.nvm_write_ns);
+    return allocator_->alloc(nblocks, off);
+}
+
+Status
+BackendNode::rpcFreeBlocks(uint64_t off, uint64_t nblocks)
+{
+    std::lock_guard lock(mu_);
+    rpc_calls_.add();
+    busy_ns_.add(lat_.cpu_op_overhead_ns + lat_.nvm_write_ns);
+    return allocator_->free(off, nblocks);
+}
+
+Status
+BackendNode::rpcRetire(DsId ds,
+                       std::span<const std::pair<uint64_t, uint64_t>>
+                           regions,
+                       uint64_t now_ns)
+{
+    std::lock_guard lock(mu_);
+    rpc_calls_.add();
+    if (!regions.empty())
+        gc_queue_.push_back({now_ns + cfg_.gc_delay_ns, ds});
+    processGcLocked(now_ns, false);
+    return Status::Ok;
+}
+
+Status
+BackendNode::rpcCreateName(uint64_t name_hash, DsType type, DsId *id)
+{
+    std::lock_guard lock(mu_);
+    rpc_calls_.add();
+    if (name_hash == 0)
+        return Status::InvalidArgument;
+    for (uint32_t i = 0; i < cfg_.max_names; ++i) {
+        if (names_[i].name_hash == name_hash)
+            return Status::Exists;
+    }
+    for (uint32_t i = 0; i < cfg_.max_names; ++i) {
+        if (names_[i].name_hash == 0) {
+            NamingEntry e{};
+            e.name_hash = name_hash;
+            e.type = static_cast<uint32_t>(type);
+            names_[i] = e;
+            writeLocal(layout_.namingEntryOff(i), &e, sizeof(e));
+            *id = i;
+            return Status::Ok;
+        }
+    }
+    return Status::OutOfMemory;
+}
+
+Status
+BackendNode::rpcLookupName(uint64_t name_hash, DsId *id, DsType *type) const
+{
+    std::lock_guard lock(mu_);
+    for (uint32_t i = 0; i < cfg_.max_names; ++i) {
+        if (names_[i].name_hash == name_hash) {
+            *id = i;
+            if (type != nullptr)
+                *type = static_cast<DsType>(names_[i].type);
+            return Status::Ok;
+        }
+    }
+    return Status::NotFound;
+}
+
+TxValidation
+BackendNode::validateTail(uint32_t slot)
+{
+    std::lock_guard lock(mu_);
+    const LogControl &c = controls_[slot];
+    const uint64_t ring = layout_.super.memlog_ring_size;
+    const uint64_t base = layout_.memlogRingOff(slot);
+    uint64_t pos = c.memlog_head;
+    uint64_t off_in_ring = pos % ring;
+    if (ring - off_in_ring < sizeof(TxHeader) + sizeof(TxFooter)) {
+        pos = ringSkipToWrap(pos, ring);
+        off_in_ring = pos % ring;
+    }
+    TxHeader hdr;
+    device_->read(base + off_in_ring, &hdr, sizeof(hdr));
+    if (hdr.magic == kSkipMagic) {
+        pos = ringSkipToWrap(pos, ring);
+        off_in_ring = pos % ring;
+        device_->read(base + off_in_ring, &hdr, sizeof(hdr));
+    }
+    if (hdr.magic != kTxMagic || hdr.lpn != c.lpn)
+        return TxValidation::None; // nothing (or only stale bytes) there
+    const uint64_t max_len = ring - off_in_ring;
+    const uint64_t need =
+        sizeof(TxHeader) + hdr.payload_len + sizeof(TxFooter);
+    if (need > max_len)
+        return TxValidation::Torn;
+    std::vector<uint8_t> buf(need);
+    device_->read(base + off_in_ring, buf.data(), need);
+    return TxParser::parse({buf.data(), buf.size()}).has_value()
+               ? TxValidation::Clean
+               : TxValidation::Torn;
+}
+
+std::vector<ParsedOpLog>
+BackendNode::uncoveredOps(uint32_t slot) const
+{
+    std::lock_guard lock(mu_);
+    std::vector<ParsedOpLog> out;
+    const uint64_t ring = layout_.super.oplog_ring_size;
+    const uint64_t base = layout_.oplogRingOff(slot);
+    for (const OpWindowItem &item : op_window_[slot]) {
+        std::vector<uint8_t> buf(item.len);
+        device_->read(base + item.pos % ring, buf.data(), item.len);
+        auto rec = decodeOpLog({buf.data(), buf.size()});
+        if (rec.has_value())
+            out.push_back(std::move(*rec));
+    }
+    return out;
+}
+
+void
+BackendNode::releaseStaleLocks(uint32_t slot)
+{
+    std::lock_guard lock(mu_);
+    // The lock-ahead word is written one-sided by front-ends; NVM is the
+    // authoritative copy.
+    const uint64_t lock_ahead = device_->read64(
+        layout_.logControlOff(slot) + offsetof(LogControl, lock_ahead));
+    if (lock_ahead == 0)
+        return;
+    const DsId ds = static_cast<DsId>(lock_ahead - 1);
+    if (ds < names_.size()) {
+        const uint64_t lock_off =
+            layout_.namingEntryOff(ds) + naming_field::kWriterLock;
+        const uint64_t holder = device_->read64(lock_off);
+        if (holder == static_cast<uint64_t>(slot) + 1) {
+            names_[ds].writer_lock = 0;
+            writeLocal64(lock_off, 0);
+        }
+    }
+    controls_[slot].lock_ahead = 0;
+    writeLocal64(layout_.logControlOff(slot) +
+                     offsetof(LogControl, lock_ahead),
+                 0);
+}
+
+void
+BackendNode::processGc(uint64_t now_ns, bool force)
+{
+    std::lock_guard lock(mu_);
+    processGcLocked(now_ns, force);
+}
+
+void
+BackendNode::processGcLocked(uint64_t now_ns, bool force)
+{
+    bool bumped[64] = {};
+    bool any = false;
+    while (!gc_queue_.empty() &&
+           (force || gc_queue_.front().reclaim_at_ns <= now_ns)) {
+        const GcItem item = gc_queue_.front();
+        gc_queue_.pop_front();
+        if (item.ds < 64 && !bumped[item.ds]) {
+            bumped[item.ds] = true;
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+    // Reclaimed memory may now be reused: bump gc_epoch so that front-end
+    // caches holding nodes of the retired versions invalidate themselves.
+    for (DsId ds = 0; ds < 64 && ds < names_.size(); ++ds) {
+        if (!bumped[ds])
+            continue;
+        names_[ds].gc_epoch += 1;
+        writeLocal64(layout_.namingEntryOff(ds) + naming_field::kGcEpoch,
+                     names_[ds].gc_epoch);
+    }
+}
+
+NamingEntry
+BackendNode::namingEntry(DsId id) const
+{
+    // Read from NVM: fields like the writer lock are updated one-sided
+    // by front-ends, so the volatile shadow may be stale for them.
+    NamingEntry e;
+    device_->read(layout_.namingEntryOff(id), &e, sizeof(e));
+    return e;
+}
+
+DsType
+BackendNode::dsType(DsId id) const
+{
+    std::lock_guard lock(mu_);
+    return static_cast<DsType>(names_.at(id).type);
+}
+
+uint32_t
+BackendNode::nameCount() const
+{
+    std::lock_guard lock(mu_);
+    uint32_t n = 0;
+    for (const NamingEntry &e : names_)
+        n += e.name_hash != 0;
+    return n;
+}
+
+uint64_t
+BackendNode::gcPending() const
+{
+    std::lock_guard lock(mu_);
+    return gc_queue_.size();
+}
+
+void
+BackendNode::resetStats()
+{
+    busy_ns_.reset();
+    replayed_txs_.reset();
+    replayed_entries_.reset();
+    rpc_calls_.reset();
+    nic_.resetStats();
+}
+
+} // namespace asymnvm

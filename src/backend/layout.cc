@@ -1,0 +1,71 @@
+#include "backend/layout.h"
+
+#include <stdexcept>
+
+namespace asymnvm {
+
+namespace {
+
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+} // namespace
+
+Layout
+Layout::compute(const BackendConfig &cfg)
+{
+    Layout lay;
+    SuperBlock &sb = lay.super;
+    sb.magic = kSuperMagic;
+    sb.layout_version = 1;
+    sb.max_frontends = cfg.max_frontends;
+    sb.max_names = cfg.max_names;
+    sb.memlog_ring_size = cfg.memlog_ring_size;
+    sb.oplog_ring_size = cfg.oplog_ring_size;
+    sb.rpc_ring_size = cfg.rpc_ring_size;
+    sb.block_size = cfg.block_size;
+    sb.epoch = 0;
+
+    uint64_t off = alignUp(sizeof(SuperBlock), 256);
+    sb.naming_off = off;
+    off += static_cast<uint64_t>(cfg.max_names) * sizeof(NamingEntry);
+    off = alignUp(off, 256);
+
+    sb.felog_off = off;
+    sb.felog_stride = alignUp(sizeof(LogControl) + cfg.memlog_ring_size +
+                                  cfg.oplog_ring_size +
+                                  2 * cfg.rpc_ring_size,
+                              256);
+    off += static_cast<uint64_t>(cfg.max_frontends) * sb.felog_stride;
+    off = alignUp(off, 256);
+
+    // The bitmap covers the data area; solve for the block count that
+    // makes bitmap + data fit in the remaining space.
+    if (off + 4096 >= cfg.nvm_size)
+        throw std::invalid_argument("Layout: device too small for metadata");
+    const uint64_t remaining = cfg.nvm_size - off;
+    // blocks * block_size + blocks/8 <= remaining  (plus alignment slack)
+    uint64_t blocks = remaining / (cfg.block_size + 1);
+    while (true) {
+        const uint64_t bitmap_bytes = alignUp((blocks + 7) / 8, 256);
+        const uint64_t data_off = alignUp(off + bitmap_bytes, 256);
+        if (data_off + blocks * cfg.block_size <= cfg.nvm_size) {
+            sb.bitmap_off = off;
+            sb.bitmap_bytes = bitmap_bytes;
+            sb.data_off = data_off;
+            sb.data_blocks = blocks;
+            break;
+        }
+        if (blocks == 0)
+            throw std::invalid_argument("Layout: no room for data area");
+        --blocks;
+    }
+    if (sb.data_blocks < 8)
+        throw std::invalid_argument("Layout: data area too small");
+    return lay;
+}
+
+} // namespace asymnvm

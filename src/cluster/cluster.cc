@@ -1,0 +1,145 @@
+#include "cluster/cluster.h"
+
+namespace asymnvm {
+
+namespace {
+constexpr NodeId kMirrorIdBase = 100;
+} // namespace
+
+Cluster::Cluster(const ClusterConfig &cfg) : cfg_(cfg)
+{
+    for (uint32_t b = 0; b < cfg_.num_backends; ++b) {
+        const NodeId id = static_cast<NodeId>(b + 1);
+        backends_[id] = std::make_unique<BackendNode>(id, cfg_.backend,
+                                                      cfg_.latency);
+        keepalive_.join(id, NodeRole::BackEnd, 0);
+        auto &mirror_list = mirrors_[id];
+        for (uint32_t m = 0; m < cfg_.mirrors_per_backend; ++m) {
+            const NodeId mid = static_cast<NodeId>(
+                kMirrorIdBase + b * cfg_.mirrors_per_backend + m);
+            mirror_list.push_back(std::make_unique<MirrorNode>(
+                mid, cfg_.backend.nvm_size, /*has_nvm=*/true));
+            backends_[id]->addMirror(mirror_list.back().get());
+            keepalive_.join(mid, NodeRole::Mirror, 0, /*has_nvm=*/true,
+                            /*mirror_of=*/id);
+        }
+    }
+}
+
+std::vector<NodeId>
+Cluster::backendIds() const
+{
+    std::vector<NodeId> out;
+    for (const auto &[id, be] : backends_)
+        out.push_back(id);
+    return out;
+}
+
+BackendNode *
+Cluster::backend(NodeId id)
+{
+    auto it = backends_.find(id);
+    return it == backends_.end() ? nullptr : it->second.get();
+}
+
+std::vector<MirrorNode *>
+Cluster::mirrorsOf(NodeId backend_id)
+{
+    std::vector<MirrorNode *> out;
+    for (auto &m : mirrors_[backend_id])
+        out.push_back(m.get());
+    return out;
+}
+
+std::unique_ptr<FrontendSession>
+Cluster::makeSession(SessionConfig scfg)
+{
+    if (scfg.session_id == 1)
+        scfg.session_id = ++next_session_id_;
+    auto s = std::make_unique<FrontendSession>(scfg, cfg_.latency);
+    for (auto &[id, be] : backends_) {
+        if (!ok(s->connect(be.get())))
+            return nullptr;
+    }
+    return s;
+}
+
+void
+Cluster::crashBackendTransient(NodeId id)
+{
+    BackendNode *be = backend(id);
+    if (be == nullptr)
+        return;
+    // Power failure: volatile state is lost and staged (non-durable)
+    // media writes roll back; verbs start failing.
+    be->failure().armCrashAfterVerbs(0);
+    be->failure().onVerb(0);
+    be->nvm().crash();
+}
+
+Status
+Cluster::restartBackend(NodeId id)
+{
+    auto it = backends_.find(id);
+    if (it == backends_.end())
+        return Status::InvalidArgument;
+    auto device = it->second->device();
+    auto replacement = std::make_unique<BackendNode>(id, cfg_.backend,
+                                                     device, cfg_.latency);
+    // The reborn node resumes replication to the surviving mirrors.
+    for (auto &m : mirrors_[id])
+        replacement->addMirror(m.get());
+    it->second = std::move(replacement);
+    return Status::Ok;
+}
+
+Status
+Cluster::failBackendPermanently(NodeId id, uint64_t now_ns)
+{
+    auto it = backends_.find(id);
+    if (it == backends_.end())
+        return Status::InvalidArgument;
+    const auto winner = keepalive_.voteReplacement(id, now_ns);
+    if (!winner.has_value())
+        return Status::Unavailable;
+    // Find the voted mirror among this back-end's replicas.
+    MirrorNode *promoted = nullptr;
+    auto &mirror_list = mirrors_[id];
+    for (auto &m : mirror_list) {
+        if (m->id() == *winner) {
+            promoted = m.get();
+            break;
+        }
+    }
+    if (promoted == nullptr)
+        return Status::Unavailable;
+    // The replica device becomes the new back-end, under the dead
+    // node's id so persisted RemotePtrs remain valid.
+    auto replacement = std::make_unique<BackendNode>(
+        id, cfg_.backend, promoted->releaseDevice(), cfg_.latency);
+    keepalive_.leave(promoted->id());
+    // Remaining mirrors now replicate the new primary.
+    for (auto &m : mirror_list) {
+        if (m.get() != promoted)
+            replacement->addMirror(m.get());
+    }
+    it->second = std::move(replacement);
+    return Status::Ok;
+}
+
+void
+Cluster::crashMirror(NodeId backend_id, size_t mirror_index,
+                     uint64_t now_ns)
+{
+    (void)now_ns;
+    auto &mirror_list = mirrors_[backend_id];
+    if (mirror_index >= mirror_list.size())
+        return;
+    keepalive_.leave(mirror_list[mirror_index]->id());
+    if (BackendNode *be = backend(backend_id); be != nullptr)
+        be->removeMirror(mirror_list[mirror_index].get());
+    mirror_list.erase(mirror_list.begin() +
+                      static_cast<ptrdiff_t>(mirror_index));
+}
+
+} // namespace asymnvm

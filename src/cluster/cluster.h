@@ -1,0 +1,94 @@
+#ifndef ASYMNVM_CLUSTER_CLUSTER_H_
+#define ASYMNVM_CLUSTER_CLUSTER_H_
+
+/**
+ * @file
+ * Cluster harness: wires back-end nodes, their mirror nodes, and the
+ * keepAlive service into the deployment of Section 9.1 (front-ends +
+ * back-ends + mirrors), and orchestrates the failure scenarios of
+ * Section 7.2 — transient back-end restarts (Case 3, same device) and
+ * permanent failures with mirror promotion by vote (Case 4).
+ *
+ * RemotePtr stability across failover: a promoted replacement keeps the
+ * failed back-end's *node id*, the moral equivalent of the paper's
+ * "mmap the virtual memory address to the previous NVM mapped regions"
+ * — persisted pointers stay valid.
+ */
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "backend/backend_node.h"
+#include "cluster/keepalive.h"
+#include "cluster/mirror.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+
+/** Static description of a simulated cluster. */
+struct ClusterConfig
+{
+    uint32_t num_backends = 1;
+    uint32_t mirrors_per_backend = 2;
+    BackendConfig backend;
+    LatencyModel latency;
+};
+
+/** A simulated AsymNVM deployment. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &cfg);
+
+    /** Back-end node ids are 1..num_backends. */
+    std::vector<NodeId> backendIds() const;
+
+    /** Current serving node for a back-end id (tracks promotions). */
+    BackendNode *backend(NodeId id);
+
+    /** Mirrors attached to a back-end. */
+    std::vector<MirrorNode *> mirrorsOf(NodeId backend_id);
+
+    KeepAliveService &keepAlive() { return keepalive_; }
+    const ClusterConfig &config() const { return cfg_; }
+
+    /** Create a session connected to every back-end. */
+    std::unique_ptr<FrontendSession> makeSession(SessionConfig scfg);
+
+    // ------------------------------------------------------------------
+    // Failure orchestration (Section 7.2)
+    // ------------------------------------------------------------------
+
+    /**
+     * Case 3: transient back-end failure. The node stops serving (verbs
+     * fail) until restartBackend() reconstructs it from its own NVM.
+     */
+    void crashBackendTransient(NodeId id);
+
+    /** Restart after a transient failure (recovery constructor). */
+    Status restartBackend(NodeId id);
+
+    /**
+     * Case 4: permanent back-end failure at virtual time @p now_ns. The
+     * keepAlive service votes a live NVM mirror; its replica device is
+     * promoted to a new BackendNode under the dead node's id. Returns
+     * Unavailable when no promotable mirror survives.
+     */
+    Status failBackendPermanently(NodeId id, uint64_t now_ns);
+
+    /** Case 5: a mirror crashes; it simply leaves the group. */
+    void crashMirror(NodeId backend_id, size_t mirror_index,
+                     uint64_t now_ns);
+
+  private:
+    ClusterConfig cfg_;
+    KeepAliveService keepalive_;
+    std::map<NodeId, std::unique_ptr<BackendNode>> backends_;
+    std::map<NodeId, std::vector<std::unique_ptr<MirrorNode>>> mirrors_;
+    uint64_t next_session_id_ = 1000;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_CLUSTER_CLUSTER_H_

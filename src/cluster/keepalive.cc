@@ -1,0 +1,69 @@
+#include "cluster/keepalive.h"
+
+namespace asymnvm {
+
+void
+KeepAliveService::join(NodeId node, NodeRole role, uint64_t now_ns,
+                       bool has_nvm, NodeId mirror_of)
+{
+    members_[node] =
+        Member{role, has_nvm, mirror_of, now_ns + lease_ns_, false};
+}
+
+void
+KeepAliveService::leave(NodeId node)
+{
+    members_.erase(node);
+}
+
+bool
+KeepAliveService::renew(NodeId node, uint64_t now_ns)
+{
+    auto it = members_.find(node);
+    if (it == members_.end() || it->second.evicted)
+        return false;
+    if (now_ns > it->second.lease_until_ns) {
+        // The lease lapsed; the group already considers the node dead
+        // and a lapsed node must not resurrect silently.
+        it->second.evicted = true;
+        return false;
+    }
+    it->second.lease_until_ns = now_ns + lease_ns_;
+    return true;
+}
+
+bool
+KeepAliveService::isAlive(NodeId node, uint64_t now_ns) const
+{
+    auto it = members_.find(node);
+    return it != members_.end() && !it->second.evicted &&
+           now_ns <= it->second.lease_until_ns;
+}
+
+std::vector<NodeId>
+KeepAliveService::expired(uint64_t now_ns) const
+{
+    std::vector<NodeId> out;
+    for (const auto &[id, m] : members_) {
+        if (m.evicted || now_ns > m.lease_until_ns)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::optional<NodeId>
+KeepAliveService::voteReplacement(NodeId dead_backend,
+                                  uint64_t now_ns) const
+{
+    for (const auto &[id, m] : members_) {
+        if (id == dead_backend)
+            continue;
+        if (m.role == NodeRole::Mirror && m.has_nvm &&
+            m.mirror_of == dead_backend && isAlive(id, now_ns)) {
+            return id;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace asymnvm

@@ -1,0 +1,89 @@
+#ifndef ASYMNVM_CLUSTER_KEEPALIVE_H_
+#define ASYMNVM_CLUSTER_KEEPALIVE_H_
+
+/**
+ * @file
+ * Lease-based failure detection with consensus voting (Section 7.2).
+ *
+ * The paper uses a replicated ZooKeeper ensemble as "a consensus-based
+ * voting system to detect machine failures": every node holds a lease and
+ * renews it periodically; a node whose lease expires is considered
+ * crashed, and on a permanent back-end failure the service votes one of
+ * the NVM-equipped mirror nodes to become the new back-end. This module
+ * reproduces those semantics against virtual time.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace asymnvm {
+
+/** Roles a cluster node can take. */
+enum class NodeRole : uint8_t
+{
+    FrontEnd,
+    BackEnd,
+    Mirror,
+};
+
+/** The keepAlive coordination service (simulated ZooKeeper ensemble). */
+class KeepAliveService
+{
+  public:
+    /** @param lease_ns Lease duration in virtual nanoseconds. */
+    explicit KeepAliveService(uint64_t lease_ns = 10ull * 1000 * 1000)
+        : lease_ns_(lease_ns)
+    {}
+
+    /**
+     * Register a node; the lease starts at @p now_ns. Mirror nodes
+     * declare which back-end they replicate via @p mirror_of.
+     */
+    void join(NodeId node, NodeRole role, uint64_t now_ns,
+              bool has_nvm = true, NodeId mirror_of = kInvalidNode);
+
+    /** Remove a node from the group (Case 5 for mirrors). */
+    void leave(NodeId node);
+
+    /** Renew @p node's lease. Fails if the lease already expired. */
+    bool renew(NodeId node, uint64_t now_ns);
+
+    /** True while @p node's lease is current. */
+    bool isAlive(NodeId node, uint64_t now_ns) const;
+
+    /** Nodes whose leases have expired at @p now_ns. */
+    std::vector<NodeId> expired(uint64_t now_ns) const;
+
+    /**
+     * Case 4 vote: pick the successor for a dead back-end — the live,
+     * NVM-equipped mirror *of that back-end* with the lowest id
+     * (deterministic majority decision). std::nullopt when no candidate
+     * survives.
+     */
+    std::optional<NodeId> voteReplacement(NodeId dead_backend,
+                                          uint64_t now_ns) const;
+
+    uint64_t leaseNs() const { return lease_ns_; }
+    size_t memberCount() const { return members_.size(); }
+
+  private:
+    struct Member
+    {
+        NodeRole role;
+        bool has_nvm;
+        NodeId mirror_of;
+        uint64_t lease_until_ns;
+        bool evicted;
+    };
+
+    uint64_t lease_ns_;
+    std::map<NodeId, Member> members_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_CLUSTER_KEEPALIVE_H_

@@ -1,0 +1,39 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace asymnvm {
+
+namespace {
+
+/** Build the CRC32-C lookup table at static-init time. */
+std::array<uint32_t, 256>
+makeTable()
+{
+    // Castagnoli polynomial, reflected form.
+    constexpr uint32_t poly = 0x82f63b78u;
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> crcTable = makeTable();
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len, uint32_t seed)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ crcTable[(crc ^ p[i]) & 0xff];
+    return ~crc;
+}
+
+} // namespace asymnvm

@@ -1,0 +1,41 @@
+#ifndef ASYMNVM_COMMON_HASH_H_
+#define ASYMNVM_COMMON_HASH_H_
+
+/**
+ * @file
+ * Deterministic 64-bit hashing for names (global naming space keys) and
+ * keys (hash-table bucket selection, partition routing). FNV-1a keeps the
+ * values stable across runs and platforms, which matters because name
+ * hashes are persisted in NVM and must match after recovery.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace asymnvm {
+
+/** FNV-1a over a byte string. Never returns 0 (0 marks free slots). */
+inline uint64_t
+fnv1a64(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h == 0 ? 1 : h;
+}
+
+/** Mix a 64-bit integer (splitmix64 finalizer). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_COMMON_HASH_H_

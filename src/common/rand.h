@@ -1,0 +1,53 @@
+#ifndef ASYMNVM_COMMON_RAND_H_
+#define ASYMNVM_COMMON_RAND_H_
+
+/**
+ * @file
+ * A small, fast, deterministic PRNG used by workload generators, cache
+ * sampling (the hybrid LRU+RR policy of Section 4.4 samples random cache
+ * entries), and skiplist level selection. xoshiro/xorshift-class generators
+ * keep benchmark runs reproducible across platforms, unlike std::rand.
+ */
+
+#include <cstdint>
+
+namespace asymnvm {
+
+/** xorshift64* generator: tiny state, good quality for simulation use. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t nextBounded(uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p = 0.5) { return nextDouble() < p; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_COMMON_RAND_H_

@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace asymnvm {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    sum_ += other.sum_;
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    const auto target = static_cast<uint64_t>(p / 100.0 * count_);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            // Bucket upper bound, clamped to the true maximum.
+            const uint64_t bound = i == 0 ? 0 : (1ULL << i) - 1;
+            return std::min(bound, max_);
+        }
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(percentile(50)),
+                  static_cast<unsigned long long>(percentile(99)),
+                  static_cast<unsigned long long>(max_));
+    return buf;
+}
+
+} // namespace asymnvm

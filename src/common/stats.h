@@ -1,0 +1,97 @@
+#ifndef ASYMNVM_COMMON_STATS_H_
+#define ASYMNVM_COMMON_STATS_H_
+
+/**
+ * @file
+ * Lightweight statistics helpers used by benchmarks and by the node
+ * busy-time accounting behind Figure 11 (CPU utilization).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asymnvm {
+
+/** A monotonically increasing, thread-safe event counter. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket log-scale latency histogram (nanoseconds). Not thread-safe;
+ * each benchmark thread keeps its own and merges at the end.
+ */
+class Histogram
+{
+  public:
+    Histogram() : buckets_(64, 0) {}
+
+    /** Record one sample. */
+    void record(uint64_t ns)
+    {
+        int b = ns == 0 ? 0 : 64 - __builtin_clzll(ns);
+        if (b >= 64)
+            b = 63;
+        ++buckets_[b];
+        sum_ += ns;
+        ++count_;
+        max_ = std::max(max_, ns);
+    }
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    uint64_t count() const { return count_; }
+    uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0;
+    }
+
+    /** Approximate percentile (0..100) from the log-scale buckets. */
+    uint64_t percentile(double p) const;
+
+    /** Render a short human-readable summary line. */
+    std::string summary() const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t sum_ = 0;
+    uint64_t count_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * Throughput computed against *virtual* time: the simulator measures
+ * operations against the per-session SimClock rather than wall time, so
+ * results reproduce the paper's shape deterministically.
+ */
+struct Throughput
+{
+    uint64_t ops = 0;
+    uint64_t virtual_ns = 0;
+
+    /** Thousand operations per second of virtual time. */
+    double kops() const
+    {
+        return virtual_ns == 0 ? 0
+                               : static_cast<double>(ops) * 1e6 / virtual_ns;
+    }
+
+    /** Million operations per second of virtual time. */
+    double mops() const { return kops() / 1000.0; }
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_COMMON_STATS_H_

@@ -1,0 +1,22 @@
+#include "common/types.h"
+
+namespace asymnvm {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok: return "Ok";
+      case Status::NotFound: return "NotFound";
+      case Status::Exists: return "Exists";
+      case Status::OutOfMemory: return "OutOfMemory";
+      case Status::Corruption: return "Corruption";
+      case Status::BackendCrashed: return "BackendCrashed";
+      case Status::Conflict: return "Conflict";
+      case Status::InvalidArgument: return "InvalidArgument";
+      case Status::Unavailable: return "Unavailable";
+    }
+    return "Unknown";
+}
+
+} // namespace asymnvm

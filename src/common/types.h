@@ -1,0 +1,175 @@
+#ifndef ASYMNVM_COMMON_TYPES_H_
+#define ASYMNVM_COMMON_TYPES_H_
+
+/**
+ * @file
+ * Fundamental value types shared by every AsymNVM module: remote pointers
+ * into back-end NVM, the fixed-size key/value payloads used by the paper's
+ * evaluation (8-byte keys, 64-byte values), and the status codes surfaced
+ * by the framework API.
+ */
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace asymnvm {
+
+/** Identifier of a node (front-end, back-end, or mirror) in the cluster. */
+using NodeId = uint16_t;
+
+/** Identifier of a registered data structure in the global naming space. */
+using DsId = uint32_t;
+
+/** 8-byte key type used throughout the evaluation (Section 9.2). */
+using Key = uint64_t;
+
+constexpr NodeId kInvalidNode = 0xffff;
+
+/**
+ * A pointer into the NVM address space of one back-end node.
+ *
+ * Encoded into a single 64-bit word so that in-NVM pointers stay 8 bytes
+ * and can be swapped with a single RDMA compare-and-swap: the top 16 bits
+ * hold the back-end id and the low 48 bits the byte offset. Offset zero is
+ * reserved and acts as the null pointer on every back-end.
+ */
+struct RemotePtr
+{
+    NodeId backend = 0;
+    uint64_t offset = 0;
+
+    constexpr RemotePtr() = default;
+    constexpr RemotePtr(NodeId b, uint64_t off) : backend(b), offset(off) {}
+
+    /** True when this pointer refers to no object. */
+    constexpr bool isNull() const { return offset == 0; }
+
+    /** Pack into the 8-byte on-NVM representation. */
+    constexpr uint64_t raw() const
+    {
+        return (static_cast<uint64_t>(backend) << 48) |
+               (offset & 0xffffffffffffULL);
+    }
+
+    /** Unpack from the 8-byte on-NVM representation. */
+    static constexpr RemotePtr fromRaw(uint64_t raw)
+    {
+        return RemotePtr(static_cast<NodeId>(raw >> 48),
+                         raw & 0xffffffffffffULL);
+    }
+
+    constexpr RemotePtr operator+(uint64_t delta) const
+    {
+        return RemotePtr(backend, offset + delta);
+    }
+
+    friend constexpr bool operator==(const RemotePtr &a, const RemotePtr &b)
+    {
+        return a.backend == b.backend && a.offset == b.offset;
+    }
+    friend constexpr bool operator!=(const RemotePtr &a, const RemotePtr &b)
+    {
+        return !(a == b);
+    }
+};
+
+/** The canonical null remote pointer. */
+constexpr RemotePtr kNullPtr{};
+
+/**
+ * Fixed 64-byte value payload (Section 9.2 uses 64-byte values).
+ *
+ * Kept a trivially-copyable POD so that values can be memcpy'd in and out
+ * of simulated NVM and carried inside log entries without serialization.
+ */
+struct Value
+{
+    static constexpr size_t kSize = 64;
+
+    std::array<uint8_t, kSize> bytes{};
+
+    Value() = default;
+
+    /** Build a value whose first 8 bytes hold @p v (rest zero). */
+    static Value ofU64(uint64_t v)
+    {
+        Value val;
+        std::memcpy(val.bytes.data(), &v, sizeof(v));
+        return val;
+    }
+
+    /** Build a value from a string, truncated/zero-padded to 64 bytes. */
+    static Value ofString(std::string_view s)
+    {
+        Value val;
+        std::memcpy(val.bytes.data(), s.data(),
+                    std::min(s.size(), kSize));
+        return val;
+    }
+
+    /** Read back the first 8 bytes as an integer. */
+    uint64_t asU64() const
+    {
+        uint64_t v;
+        std::memcpy(&v, bytes.data(), sizeof(v));
+        return v;
+    }
+
+    /** Read back the bytes as a string up to the first NUL. */
+    std::string asString() const
+    {
+        const char *p = reinterpret_cast<const char *>(bytes.data());
+        size_t n = 0;
+        while (n < kSize && p[n] != '\0')
+            ++n;
+        return std::string(p, n);
+    }
+
+    friend bool operator==(const Value &a, const Value &b)
+    {
+        return a.bytes == b.bytes;
+    }
+    friend bool operator!=(const Value &a, const Value &b)
+    {
+        return !(a == b);
+    }
+};
+
+static_assert(sizeof(Value) == Value::kSize, "Value must stay a 64B POD");
+
+/** Result codes surfaced by the framework API. */
+enum class Status : uint8_t
+{
+    Ok = 0,
+    NotFound,        //!< lookup key absent
+    Exists,          //!< insert of a duplicate key
+    OutOfMemory,     //!< back-end NVM exhausted
+    Corruption,      //!< checksum mismatch in a persisted log
+    BackendCrashed,  //!< the back-end failed mid-operation
+    Conflict,        //!< optimistic read raced a writer and retries expired
+    InvalidArgument,
+    Unavailable,     //!< no live back-end serves the request
+};
+
+/** Human-readable name of a status code (for logs and test output). */
+const char *statusName(Status s);
+
+/** True when the status represents success. */
+inline bool ok(Status s) { return s == Status::Ok; }
+
+} // namespace asymnvm
+
+template <>
+struct std::hash<asymnvm::RemotePtr>
+{
+    size_t operator()(const asymnvm::RemotePtr &p) const noexcept
+    {
+        return std::hash<uint64_t>{}(p.raw());
+    }
+};
+
+#endif // ASYMNVM_COMMON_TYPES_H_

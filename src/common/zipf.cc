@@ -1,0 +1,41 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace asymnvm {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    zetan_ = zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfGenerator::zeta(uint64_t n, double theta)
+{
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+uint64_t
+ZipfGenerator::next()
+{
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+} // namespace asymnvm

@@ -1,0 +1,52 @@
+#ifndef ASYMNVM_COMMON_ZIPF_H_
+#define ASYMNVM_COMMON_ZIPF_H_
+
+/**
+ * @file
+ * Zipf-distributed key sampler, matching the YCSB generator used in
+ * Section 9.6 (Figure 12 evaluates skew parameters 0.5, 0.9 and 0.99) and
+ * standing in for the power-law industry traces of Figure 13.
+ */
+
+#include <cstdint>
+
+#include "common/rand.h"
+
+namespace asymnvm {
+
+/**
+ * Samples ranks in [0, n) following a Zipfian distribution with exponent
+ * theta, using the rejection-inversion style closed form from Gray et al.
+ * ("Quickly generating billion-record synthetic databases") that YCSB's
+ * ZipfianGenerator implements.
+ */
+class ZipfGenerator
+{
+  public:
+    /**
+     * @param n     Number of distinct items.
+     * @param theta Skew (0 = uniform-ish; 0.99 = heavily skewed).
+     * @param seed  PRNG seed for reproducibility.
+     */
+    ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+    /** Next sampled rank in [0, n); rank 0 is the hottest item. */
+    uint64_t next();
+
+    uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(uint64_t n, double theta);
+
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_COMMON_ZIPF_H_

@@ -1,0 +1,140 @@
+#include "ds/blob_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace asymnvm {
+
+Status
+BlobStore::create(FrontendSession &s, NodeId backend,
+                  std::string_view name, uint64_t nbuckets, BlobStore *out,
+                  const DsOptions &opt)
+{
+    return HashTable::create(s, backend,
+                             std::string(name) + "/blobindex", nbuckets,
+                             &out->index_, opt);
+}
+
+Status
+BlobStore::open(FrontendSession &s, NodeId backend, std::string_view name,
+                BlobStore *out, const DsOptions &opt)
+{
+    return HashTable::open(s, backend, std::string(name) + "/blobindex",
+                           &out->index_, opt);
+}
+
+Status
+BlobStore::put(Key key, const void *data, uint32_t len)
+{
+    if (len > kMaxBlobSize)
+        return Status::InvalidArgument;
+    FrontendSession &s = index_.session();
+    const NodeId backend = index_.backend();
+
+    // Free the previous payload (if any and out-of-line).
+    Value old;
+    if (index_.get(key, &old) == Status::Ok) {
+        Descriptor d;
+        std::memcpy(&d, old.bytes.data(), sizeof(d));
+        if (d.payload_raw != 0) {
+            const Status st = s.free(RemotePtr::fromRaw(d.payload_raw),
+                                     d.len);
+            if (!ok(st))
+                return st;
+        }
+    }
+
+    Descriptor desc{};
+    desc.len = len;
+    desc.crc = crc32c(data, len);
+    if (len <= kInlineCapacity) {
+        // Small blobs ride inside the descriptor: one index put, full
+        // op-log recovery.
+        std::memcpy(desc.inline_data, data, len);
+        Value v;
+        std::memcpy(v.bytes.data(), &desc, sizeof(desc));
+        return index_.put(key, v);
+    }
+
+    RemotePtr payload;
+    Status st = s.alloc(backend, len, &payload);
+    if (!ok(st))
+        return st;
+    desc.payload_raw = payload.raw();
+    // Payload streams through the memory-log pipeline in chunks so one
+    // blob cannot blow the log buffer.
+    const auto *p = static_cast<const uint8_t *>(data);
+    constexpr uint32_t kChunk = 8 << 10;
+    for (uint32_t off = 0; off < len; off += kChunk) {
+        const uint32_t n = std::min(kChunk, len - off);
+        st = s.logWrite(index_.id(), payload + off, p + off, n);
+        if (!ok(st))
+            return st;
+    }
+    Value v;
+    std::memcpy(v.bytes.data(), &desc, sizeof(desc));
+    return index_.put(key, v);
+}
+
+Status
+BlobStore::get(Key key, std::vector<uint8_t> *out)
+{
+    Value v;
+    Status st = index_.get(key, &v);
+    if (!ok(st))
+        return st;
+    Descriptor d;
+    std::memcpy(&d, v.bytes.data(), sizeof(d));
+    out->resize(d.len);
+    if (d.payload_raw == 0) {
+        std::memcpy(out->data(), d.inline_data, d.len);
+    } else {
+        ReadHint hint;
+        hint.ds = index_.id();
+        hint.cacheable = d.len <= 1024; // keep big payloads out of the cache
+        st = index_.session().read(RemotePtr::fromRaw(d.payload_raw),
+                                   out->data(), d.len, hint);
+        if (!ok(st))
+            return st;
+    }
+    // End-to-end integrity: a large blob whose payload write raced a
+    // crash fails here and the caller re-uploads.
+    if (crc32c(out->data(), d.len) != d.crc)
+        return Status::Corruption;
+    return Status::Ok;
+}
+
+Status
+BlobStore::erase(Key key)
+{
+    Value v;
+    Status st = index_.get(key, &v);
+    if (!ok(st))
+        return st;
+    Descriptor d;
+    std::memcpy(&d, v.bytes.data(), sizeof(d));
+    if (d.payload_raw != 0) {
+        st = index_.session().free(RemotePtr::fromRaw(d.payload_raw),
+                                   d.len);
+        if (!ok(st))
+            return st;
+    }
+    return index_.erase(key);
+}
+
+Status
+BlobStore::length(Key key, uint32_t *len)
+{
+    Value v;
+    const Status st = index_.get(key, &v);
+    if (!ok(st))
+        return st;
+    Descriptor d;
+    std::memcpy(&d, v.bytes.data(), sizeof(d));
+    *len = d.len;
+    return Status::Ok;
+}
+
+} // namespace asymnvm

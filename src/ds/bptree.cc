@@ -1,0 +1,516 @@
+#include "ds/bptree.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+namespace {
+constexpr uint32_t kMaxHeight = 64;
+} // namespace
+
+Status
+BpTree::create(FrontendSession &s, NodeId backend, std::string_view name,
+               BpTree *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    const Status st = s.createDs(backend, name, DsType::BpTree, &id);
+    if (!ok(st))
+        return st;
+    *out = BpTree(s, backend, std::string(name), id, opt);
+    out->install();
+    return Status::Ok;
+}
+
+Status
+BpTree::open(FrontendSession &s, NodeId backend, std::string_view name,
+             BpTree *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::BpTree)
+        return Status::InvalidArgument;
+    *out = BpTree(s, backend, std::string(name), id, opt);
+    st = s.readAux(id, backend, 1, &out->count_);
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+BpTree::install()
+{
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        Value v;
+        if (!op.value.empty())
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+        switch (op.op) {
+          case OpType::Insert:
+          case OpType::Update:
+            return insert(op.key, v);
+          case OpType::Erase: {
+            const Status st = erase(op.key);
+            return st == Status::NotFound ? Status::Ok : st;
+          }
+          default:
+            return Status::InvalidArgument;
+        }
+    });
+}
+
+Status
+BpTree::readRoot(uint64_t *root_raw, bool pin)
+{
+    ReadHint hint;
+    hint.ds = id_;
+    hint.cacheable = true;
+    hint.level = 0;
+    hint.pin = pin;
+    return s_->read(s_->namingField(id_, backend_, naming_field::kRoot),
+                    root_raw, 8, hint);
+}
+
+Status
+BpTree::writeRoot(uint64_t root_raw)
+{
+    return s_->logWrite(id_,
+                        s_->namingField(id_, backend_, naming_field::kRoot),
+                        &root_raw, 8);
+}
+
+uint32_t
+BpTree::routeIndex(const Node &n, Key key)
+{
+    // Largest i with keys[i] <= key; index 0 catches everything smaller.
+    uint32_t lo = 0;
+    for (uint32_t i = 1; i < n.count; ++i) {
+        if (n.keys[i] <= key)
+            lo = i;
+        else
+            break;
+    }
+    return lo;
+}
+
+Status
+BpTree::insertRecurse(uint64_t node_raw, uint32_t depth, Key key,
+                      const Value &v, bool pin, Split *split, bool *added)
+{
+    if (depth > kMaxHeight)
+        return Status::Conflict;
+    const RemotePtr node_ptr = RemotePtr::fromRaw(node_raw);
+    Node node;
+    Status st = readNode(node_ptr, &node, depth, true, pin);
+    if (!ok(st))
+        return st;
+    if (node.count > kFanout)
+        return Status::Corruption;
+
+    if (node.is_leaf) {
+        // Existing key: overwrite the value cell in place.
+        for (uint32_t i = 0; i < node.count; ++i) {
+            if (node.keys[i] == key) {
+                return s_->logWriteFromOp(
+                    id_, RemotePtr::fromRaw(node.children[i]),
+                    v.bytes.data(), Value::kSize);
+            }
+        }
+        // New value cell.
+        RemotePtr cell;
+        st = s_->alloc(backend_, Value::kSize, &cell);
+        if (!ok(st))
+            return st;
+        st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+        if (!ok(st))
+            return st;
+        *added = true;
+
+        if (node.count == kFanout) {
+            // Split the leaf, then place the key in the proper half.
+            Node right{};
+            right.is_leaf = 1;
+            right.count = kFanout / 2;
+            for (uint32_t i = 0; i < kFanout / 2; ++i) {
+                right.keys[i] = node.keys[kFanout / 2 + i];
+                right.children[i] = node.children[kFanout / 2 + i];
+            }
+            right.next_raw = node.next_raw;
+            RemotePtr right_ptr;
+            st = s_->alloc(backend_, sizeof(Node), &right_ptr);
+            if (!ok(st))
+                return st;
+            node.count = kFanout / 2;
+            node.next_raw = right_ptr.raw();
+
+            Node *target = key >= right.keys[0] ? &right : &node;
+            uint32_t pos = 0;
+            while (pos < target->count && target->keys[pos] < key)
+                ++pos;
+            for (uint32_t i = target->count; i > pos; --i) {
+                target->keys[i] = target->keys[i - 1];
+                target->children[i] = target->children[i - 1];
+            }
+            target->keys[pos] = key;
+            target->children[pos] = cell.raw();
+            ++target->count;
+
+            st = writeNode(right_ptr, right);
+            if (!ok(st))
+                return st;
+            st = writeNode(node_ptr, node);
+            if (!ok(st))
+                return st;
+            split->happened = true;
+            split->sep_key = right.keys[0];
+            split->right_raw = right_ptr.raw();
+            return Status::Ok;
+        }
+        uint32_t pos = 0;
+        while (pos < node.count && node.keys[pos] < key)
+            ++pos;
+        for (uint32_t i = node.count; i > pos; --i) {
+            node.keys[i] = node.keys[i - 1];
+            node.children[i] = node.children[i - 1];
+        }
+        node.keys[pos] = key;
+        node.children[pos] = cell.raw();
+        ++node.count;
+        return writeNode(node_ptr, node);
+    }
+
+    // Internal node: descend, then absorb a child split if any.
+    const uint32_t idx = routeIndex(node, key);
+    Split child_split;
+    st = insertRecurse(node.children[idx], depth + 1, key, v, pin,
+                       &child_split, added);
+    if (!ok(st))
+        return st;
+    if (!child_split.happened)
+        return Status::Ok;
+
+    if (node.count == kFanout) {
+        // Split this internal node first.
+        Node right{};
+        right.is_leaf = 0;
+        right.count = kFanout / 2;
+        for (uint32_t i = 0; i < kFanout / 2; ++i) {
+            right.keys[i] = node.keys[kFanout / 2 + i];
+            right.children[i] = node.children[kFanout / 2 + i];
+        }
+        RemotePtr right_ptr;
+        st = s_->alloc(backend_, sizeof(Node), &right_ptr);
+        if (!ok(st))
+            return st;
+        node.count = kFanout / 2;
+
+        Node *target =
+            child_split.sep_key >= right.keys[0] ? &right : &node;
+        uint32_t pos = 0;
+        while (pos < target->count &&
+               target->keys[pos] < child_split.sep_key)
+            ++pos;
+        for (uint32_t i = target->count; i > pos; --i) {
+            target->keys[i] = target->keys[i - 1];
+            target->children[i] = target->children[i - 1];
+        }
+        target->keys[pos] = child_split.sep_key;
+        target->children[pos] = child_split.right_raw;
+        ++target->count;
+
+        st = writeNode(right_ptr, right);
+        if (!ok(st))
+            return st;
+        st = writeNode(node_ptr, node);
+        if (!ok(st))
+            return st;
+        split->happened = true;
+        split->sep_key = right.keys[0];
+        split->right_raw = right_ptr.raw();
+        return Status::Ok;
+    }
+    uint32_t pos = 0;
+    while (pos < node.count && node.keys[pos] < child_split.sep_key)
+        ++pos;
+    for (uint32_t i = node.count; i > pos; --i) {
+        node.keys[i] = node.keys[i - 1];
+        node.children[i] = node.children[i - 1];
+    }
+    node.keys[pos] = child_split.sep_key;
+    node.children[pos] = child_split.right_raw;
+    ++node.count;
+    return writeNode(node_ptr, node);
+}
+
+Status
+BpTree::insertOne(Key key, const Value &v, bool pin)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Insert, key,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    uint64_t root_raw = 0;
+    st = readRoot(&root_raw, pin);
+    if (!ok(st))
+        return st;
+
+    bool added = false;
+    if (root_raw == 0) {
+        RemotePtr cell;
+        st = s_->alloc(backend_, Value::kSize, &cell);
+        if (!ok(st))
+            return st;
+        st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+        if (!ok(st))
+            return st;
+        Node leaf{};
+        leaf.is_leaf = 1;
+        leaf.count = 1;
+        leaf.keys[0] = key;
+        leaf.children[0] = cell.raw();
+        RemotePtr leaf_ptr;
+        st = allocNode(leaf, &leaf_ptr);
+        if (!ok(st))
+            return st;
+        st = writeRoot(leaf_ptr.raw());
+        if (!ok(st))
+            return st;
+        added = true;
+    } else {
+        Split split;
+        st = insertRecurse(root_raw, 0, key, v, pin, &split, &added);
+        if (!ok(st))
+            return st;
+        if (split.happened) {
+            // Grow the tree: a new root with two entries. Entry 0's key
+            // is a low sentinel (never compared at index 0).
+            Node new_root{};
+            new_root.is_leaf = 0;
+            new_root.count = 2;
+            new_root.keys[0] = 0;
+            new_root.children[0] = root_raw;
+            new_root.keys[1] = split.sep_key;
+            new_root.children[1] = split.right_raw;
+            RemotePtr root_ptr;
+            st = allocNode(new_root, &root_ptr);
+            if (!ok(st))
+                return st;
+            st = writeRoot(root_ptr.raw());
+            if (!ok(st))
+                return st;
+        }
+    }
+    if (added) {
+        ++count_;
+        st = s_->writeAux(id_, backend_, 1, count_);
+        if (!ok(st))
+            return st;
+    }
+    return s_->opEnd();
+}
+
+Status
+BpTree::insert(Key key, const Value &v)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            return st;
+    }
+    return insertOne(key, v, /*pin=*/false);
+}
+
+Status
+BpTree::insertBatch(std::span<const std::pair<Key, Value>> kvs)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    std::vector<std::pair<Key, Value>> sorted(kvs.begin(), kvs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[key, value] : sorted) {
+        st = insertOne(key, value, /*pin=*/true);
+        if (!ok(st))
+            return st;
+    }
+    return Status::Ok;
+}
+
+Status
+BpTree::findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
+                 uint32_t *depth)
+{
+    uint64_t cur_raw = 0;
+    Status st = readRoot(&cur_raw, pin);
+    if (!ok(st))
+        return st;
+    if (cur_raw == 0)
+        return Status::NotFound;
+    uint32_t d = 0;
+    while (true) {
+        if (d > kMaxHeight)
+            return Status::Conflict;
+        Node node;
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, d, true, pin);
+        if (!ok(st))
+            return st;
+        if (node.count > kFanout)
+            return Status::Conflict; // torn view
+        if (node.is_leaf) {
+            *leaf_raw = cur_raw;
+            *leaf = node;
+            *depth = d;
+            return Status::Ok;
+        }
+        if (node.count == 0)
+            return Status::Conflict;
+        cur_raw = node.children[routeIndex(node, key)];
+        ++d;
+    }
+}
+
+Status
+BpTree::findLocked(Key key, Value *out, bool pin)
+{
+    uint64_t leaf_raw = 0;
+    Node leaf;
+    uint32_t depth = 0;
+    Status st = findLeaf(key, pin, &leaf_raw, &leaf, &depth);
+    if (!ok(st))
+        return st;
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+        if (leaf.keys[i] == key) {
+            ReadHint hint;
+            hint.ds = id_;
+            hint.cacheable = true;
+            hint.level = depth + 1;
+            hint.admission = &admission_;
+            hint.pin = pin;
+            return s_->read(RemotePtr::fromRaw(leaf.children[i]), out,
+                            Value::kSize, hint);
+        }
+    }
+    return Status::NotFound;
+}
+
+Status
+BpTree::find(Key key, Value *out)
+{
+    return optimisticRead([&] { return findLocked(key, out, false); });
+}
+
+Status
+BpTree::scan(Key from, uint32_t limit,
+             std::vector<std::pair<Key, Value>> *out)
+{
+    return optimisticRead([&]() -> Status {
+        out->clear();
+        uint64_t leaf_raw = 0;
+        Node leaf;
+        uint32_t depth = 0;
+        Status st = findLeaf(from, false, &leaf_raw, &leaf, &depth);
+        if (st == Status::NotFound)
+            return Status::Ok; // empty tree
+        if (!ok(st))
+            return st;
+        uint32_t laps = 0;
+        while (out->size() < limit) {
+            for (uint32_t i = 0; i < leaf.count && out->size() < limit;
+                 ++i) {
+                if (leaf.keys[i] < from)
+                    continue;
+                Value v;
+                ReadHint hint;
+                hint.ds = id_;
+                hint.cacheable = true;
+                hint.level = depth + 1;
+                st = s_->read(RemotePtr::fromRaw(leaf.children[i]), &v,
+                              Value::kSize, hint);
+                if (!ok(st))
+                    return st;
+                out->emplace_back(leaf.keys[i], v);
+            }
+            if (leaf.next_raw == 0)
+                break;
+            if (++laps > (1u << 20))
+                return Status::Conflict;
+            st = readNode(RemotePtr::fromRaw(leaf.next_raw), &leaf,
+                          depth);
+            if (!ok(st))
+                return st;
+        }
+        return Status::Ok;
+    });
+}
+
+bool
+BpTree::contains(Key key)
+{
+    Value v;
+    return find(key, &v) == Status::Ok;
+}
+
+Status
+BpTree::erase(Key key)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            return st;
+    }
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        return st;
+    uint64_t leaf_raw = 0;
+    Node leaf;
+    uint32_t depth = 0;
+    st = findLeaf(key, false, &leaf_raw, &leaf, &depth);
+    if (st == Status::NotFound) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+    if (!ok(st))
+        return st;
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+        if (leaf.keys[i] != key)
+            continue;
+        const RemotePtr cell = RemotePtr::fromRaw(leaf.children[i]);
+        // Lazy deletion: compact the leaf, never merge (documented).
+        for (uint32_t j = i + 1; j < leaf.count; ++j) {
+            leaf.keys[j - 1] = leaf.keys[j];
+            leaf.children[j - 1] = leaf.children[j];
+        }
+        --leaf.count;
+        st = writeNode(RemotePtr::fromRaw(leaf_raw), leaf);
+        if (!ok(st))
+            return st;
+        if (opt_.shared)
+            s_->retire(id_, cell, Value::kSize);
+        else {
+            st = s_->free(cell, Value::kSize);
+            if (!ok(st))
+                return st;
+        }
+        --count_;
+        st = s_->writeAux(id_, backend_, 1, count_);
+        if (!ok(st))
+            return st;
+        return s_->opEnd();
+    }
+    st = s_->opEnd();
+    return ok(st) ? Status::NotFound : st;
+}
+
+} // namespace asymnvm

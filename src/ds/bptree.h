@@ -1,0 +1,100 @@
+#ifndef ASYMNVM_DS_BPTREE_H_
+#define ASYMNVM_DS_BPTREE_H_
+
+/**
+ * @file
+ * Persistent B+tree with fan-out 32 (Sections 8.3 and 9.2).
+ *
+ * Internal nodes route by separator keys; leaves hold pointers to 64-byte
+ * value cells and are chained for range scans. Upper levels are cached
+ * with the adaptive level threshold; leaves and value cells mostly read
+ * remote. Deletion is by lazy leaf compaction (no merges), a common
+ * simplification for NVM trees.
+ */
+
+#include <span>
+#include <vector>
+
+#include "ds/ds_common.h"
+
+namespace asymnvm {
+
+/** A persistent ordered map implemented as a B+tree. */
+class BpTree : public DsBase
+{
+  public:
+    static constexpr uint32_t kFanout = 32;
+
+    BpTree() = default; //!< unbound; use create()/open()
+
+    static Status create(FrontendSession &s, NodeId backend,
+                         std::string_view name, BpTree *out,
+                         const DsOptions &opt = {});
+    static Status open(FrontendSession &s, NodeId backend,
+                       std::string_view name, BpTree *out,
+                       const DsOptions &opt = {});
+
+    /** Insert or update. */
+    Status insert(Key key, const Value &v);
+
+    /** Vector insertion (Algorithm 3; sorted, path-sharing). */
+    Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
+
+    /** Point lookup. */
+    Status find(Key key, Value *out);
+
+    /** Range scan: up to @p limit pairs with key >= @p from. */
+    Status scan(Key from, uint32_t limit,
+                std::vector<std::pair<Key, Value>> *out);
+
+    /** Remove; NotFound when absent. */
+    Status erase(Key key);
+
+    bool contains(Key key);
+    uint64_t size() const { return count_; }
+
+  private:
+    BpTree(FrontendSession &s, NodeId backend, std::string name, DsId id,
+           const DsOptions &opt)
+        : DsBase(s, backend, std::move(name), id, opt)
+    {}
+
+    struct Node
+    {
+        uint16_t is_leaf;
+        uint16_t count;
+        uint32_t pad;
+        uint64_t next_raw; //!< leaf chain
+        Key keys[kFanout];
+        uint64_t children[kFanout];
+    };
+    static_assert(sizeof(Node) == 16 + 16 * kFanout);
+
+    /** Result of a recursive insert: a split to propagate upward. */
+    struct Split
+    {
+        bool happened = false;
+        Key sep_key = 0;
+        uint64_t right_raw = 0;
+    };
+
+    void install();
+    Status readRoot(uint64_t *root_raw, bool pin);
+    Status writeRoot(uint64_t root_raw);
+    Status insertOne(Key key, const Value &v, bool pin);
+    Status insertRecurse(uint64_t node_raw, uint32_t depth, Key key,
+                         const Value &v, bool pin, Split *split,
+                         bool *added);
+    Status findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
+                    uint32_t *depth);
+    Status findLocked(Key key, Value *out, bool pin);
+
+    /** Index of the child to descend into (internal nodes). */
+    static uint32_t routeIndex(const Node &n, Key key);
+
+    uint64_t count_ = 0; //!< aux1
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_BPTREE_H_

@@ -1,0 +1,342 @@
+#include "ds/bst.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+namespace {
+constexpr uint32_t kMaxDepth = 1u << 16;
+} // namespace
+
+Status
+Bst::create(FrontendSession &s, NodeId backend, std::string_view name,
+            Bst *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    const Status st = s.createDs(backend, name, DsType::Bst, &id);
+    if (!ok(st))
+        return st;
+    *out = Bst(s, backend, std::string(name), id, opt);
+    out->install();
+    return Status::Ok;
+}
+
+Status
+Bst::open(FrontendSession &s, NodeId backend, std::string_view name,
+          Bst *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::Bst)
+        return Status::InvalidArgument;
+    *out = Bst(s, backend, std::string(name), id, opt);
+    st = s.readAux(id, backend, 1, &out->count_);
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+Bst::install()
+{
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        Value v;
+        if (!op.value.empty())
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+        switch (op.op) {
+          case OpType::Insert:
+          case OpType::Update:
+            return insert(op.key, v);
+          case OpType::Erase: {
+            const Status st = erase(op.key);
+            return st == Status::NotFound ? Status::Ok : st;
+          }
+          default:
+            return Status::InvalidArgument;
+        }
+    });
+}
+
+Status
+Bst::readRoot(uint64_t *root_raw, bool pin)
+{
+    ReadHint hint;
+    hint.ds = id_;
+    hint.cacheable = true;
+    hint.level = 0;
+    hint.pin = pin;
+    return s_->read(s_->namingField(id_, backend_, naming_field::kRoot),
+                    root_raw, 8, hint);
+}
+
+Status
+Bst::writeRoot(uint64_t root_raw)
+{
+    return s_->logWrite(id_,
+                        s_->namingField(id_, backend_, naming_field::kRoot),
+                        &root_raw, 8);
+}
+
+Status
+Bst::insertOne(Key key, const Value &v, bool pin)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Insert, key,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    uint64_t root_raw = 0;
+    st = readRoot(&root_raw, pin);
+    if (!ok(st))
+        return st;
+
+    uint64_t cur_raw = root_raw;
+    uint64_t parent_raw = 0;
+    Node parent{};
+    bool go_left = false;
+    uint32_t depth = 0;
+    while (cur_raw != 0) {
+        if (++depth > kMaxDepth)
+            return Status::Conflict;
+        const RemotePtr cur = RemotePtr::fromRaw(cur_raw);
+        Node node;
+        st = readNode(cur, &node, depth - 1, /*use_admission=*/true, pin);
+        if (!ok(st))
+            return st;
+        if (node.key == key) {
+            node.value = v;
+            st = writeNode(cur, node);
+            if (!ok(st))
+                return st;
+            return s_->opEnd();
+        }
+        parent_raw = cur_raw;
+        parent = node;
+        go_left = key < node.key;
+        cur_raw = go_left ? node.left_raw : node.right_raw;
+    }
+
+    Node fresh{};
+    fresh.key = key;
+    fresh.value = v;
+    RemotePtr p;
+    st = allocNode(fresh, &p);
+    if (!ok(st))
+        return st;
+    if (parent_raw == 0) {
+        st = writeRoot(p.raw());
+    } else {
+        if (go_left)
+            parent.left_raw = p.raw();
+        else
+            parent.right_raw = p.raw();
+        st = writeNode(RemotePtr::fromRaw(parent_raw), parent);
+    }
+    if (!ok(st))
+        return st;
+    ++count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+Status
+Bst::insert(Key key, const Value &v)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            return st;
+    }
+    return insertOne(key, v, /*pin=*/false);
+}
+
+Status
+Bst::insertBatch(std::span<const std::pair<Key, Value>> kvs)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    // Algorithm 3: sorting lets consecutive inserts share path prefixes;
+    // pinning serves the repeated path reads from DRAM.
+    std::vector<std::pair<Key, Value>> sorted(kvs.begin(), kvs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[key, value] : sorted) {
+        st = insertOne(key, value, /*pin=*/true);
+        if (!ok(st))
+            return st;
+    }
+    return Status::Ok;
+}
+
+Status
+Bst::findLocked(Key key, Value *out, bool pin)
+{
+    uint64_t cur_raw = 0;
+    Status st = readRoot(&cur_raw, pin);
+    if (!ok(st))
+        return st;
+    uint32_t depth = 0;
+    while (cur_raw != 0) {
+        if (++depth > kMaxDepth)
+            return Status::Conflict;
+        Node node;
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, depth - 1,
+                      true, pin);
+        if (!ok(st))
+            return st;
+        if (node.key == key) {
+            *out = node.value;
+            return Status::Ok;
+        }
+        cur_raw = key < node.key ? node.left_raw : node.right_raw;
+    }
+    return Status::NotFound;
+}
+
+Status
+Bst::find(Key key, Value *out)
+{
+    return optimisticRead([&] { return findLocked(key, out, false); });
+}
+
+bool
+Bst::contains(Key key)
+{
+    Value v;
+    return find(key, &v) == Status::Ok;
+}
+
+Status
+Bst::eraseLocked(Key key)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        return st;
+    uint64_t root_raw = 0;
+    st = readRoot(&root_raw, false);
+    if (!ok(st))
+        return st;
+
+    // Find the victim and its parent.
+    uint64_t cur_raw = root_raw;
+    uint64_t parent_raw = 0;
+    Node parent{}, cur{};
+    bool go_left = false;
+    uint32_t depth = 0;
+    while (cur_raw != 0) {
+        if (++depth > kMaxDepth)
+            return Status::Conflict;
+        st = readNode(RemotePtr::fromRaw(cur_raw), &cur, depth - 1);
+        if (!ok(st))
+            return st;
+        if (cur.key == key)
+            break;
+        parent_raw = cur_raw;
+        parent = cur;
+        go_left = key < cur.key;
+        cur_raw = go_left ? cur.left_raw : cur.right_raw;
+    }
+    if (cur_raw == 0) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+
+    auto replace_child = [&](uint64_t child_raw) -> Status {
+        if (parent_raw == 0)
+            return writeRoot(child_raw);
+        if (go_left)
+            parent.left_raw = child_raw;
+        else
+            parent.right_raw = child_raw;
+        return writeNode(RemotePtr::fromRaw(parent_raw), parent);
+    };
+
+    if (cur.left_raw != 0 && cur.right_raw != 0) {
+        // Two children: splice the successor (leftmost of the right
+        // subtree) into the victim's position.
+        uint64_t succ_parent_raw = cur_raw;
+        Node succ_parent = cur;
+        uint64_t succ_raw = cur.right_raw;
+        Node succ;
+        st = readNode(RemotePtr::fromRaw(succ_raw), &succ, depth);
+        if (!ok(st))
+            return st;
+        uint32_t hops = 0;
+        while (succ.left_raw != 0) {
+            if (++hops > kMaxDepth)
+                return Status::Conflict;
+            succ_parent_raw = succ_raw;
+            succ_parent = succ;
+            succ_raw = succ.left_raw;
+            st = readNode(RemotePtr::fromRaw(succ_raw), &succ, depth);
+            if (!ok(st))
+                return st;
+        }
+        // Move the successor's payload into the victim node.
+        cur.key = succ.key;
+        cur.value = succ.value;
+        st = writeNode(RemotePtr::fromRaw(cur_raw), cur);
+        if (!ok(st))
+            return st;
+        // Unlink the successor (it has no left child).
+        if (succ_parent_raw == cur_raw) {
+            cur.right_raw = succ.right_raw;
+            st = writeNode(RemotePtr::fromRaw(cur_raw), cur);
+        } else {
+            succ_parent.left_raw = succ.right_raw;
+            st = writeNode(RemotePtr::fromRaw(succ_parent_raw),
+                           succ_parent);
+        }
+        if (!ok(st))
+            return st;
+        cur_raw = succ_raw; // the physically removed node
+    } else {
+        const uint64_t child =
+            cur.left_raw != 0 ? cur.left_raw : cur.right_raw;
+        st = replace_child(child);
+        if (!ok(st))
+            return st;
+    }
+
+    const RemotePtr victim = RemotePtr::fromRaw(cur_raw);
+    if (opt_.shared)
+        s_->retire(id_, victim, sizeof(Node));
+    else {
+        st = s_->free(victim, sizeof(Node));
+        if (!ok(st))
+            return st;
+    }
+    --count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+Status
+Bst::erase(Key key)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            return st;
+    }
+    return eraseLocked(key);
+}
+
+} // namespace asymnvm

@@ -1,0 +1,164 @@
+#ifndef ASYMNVM_DS_DS_COMMON_H_
+#define ASYMNVM_DS_DS_COMMON_H_
+
+/**
+ * @file
+ * Shared base for the persistent data structures of Section 8.
+ *
+ * Every structure is written purely against the FrontendSession API
+ * (Table 1): reads through rnvm_read with caching hints, writes through
+ * the op-log + memory-log pipeline, allocation through the two-tier
+ * allocator, and (when shared) the writer lock / seqlock protocols.
+ *
+ * A structure instance is a *handle* bound to one session. The SWMR model
+ * means at most one writer session operates on a structure at a time
+ * (enforced by the writer lock when `shared` is set); any number of
+ * sessions may hold read-only handles concurrently.
+ */
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "backend/layout.h"
+#include "common/types.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+
+/** Per-instance options for a data structure handle. */
+struct DsOptions
+{
+    /**
+     * True when multiple sessions access the structure concurrently:
+     * write operations take the exclusive writer lock (Section 6.1) and
+     * reads run under the retry-based reader lock (Section 6.3). The
+     * paper's one-to-one benchmarks run unshared, where SWMR holds
+     * trivially and the protocols are skipped.
+     */
+    bool shared = false;
+
+    /** Retries of an optimistic read before giving up with Conflict. */
+    uint32_t max_read_retries = 64;
+};
+
+/** Base class wiring a structure handle to its session and naming entry. */
+class DsBase
+{
+  public:
+    DsId id() const { return id_; }
+    NodeId backend() const { return backend_; }
+    const std::string &name() const { return name_; }
+    FrontendSession &session() { return *s_; }
+
+  protected:
+    /**
+     * Unbound handle; factories assign a bound one over it. NOTE: once a
+     * structure installs its session hooks (create/open), the handle must
+     * stay at a fixed address — the hooks capture `this`.
+     */
+    DsBase() = default;
+
+    DsBase(FrontendSession &s, NodeId backend, std::string name, DsId id,
+           const DsOptions &opt)
+        : s_(&s), backend_(backend), name_(std::move(name)), id_(id),
+          opt_(opt)
+    {}
+
+    /** Typed node read through the gather path. */
+    template <typename Node>
+    Status readNode(RemotePtr p, Node *out, uint32_t level,
+                    bool use_admission = true, bool pin = false)
+    {
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true;
+        hint.level = level;
+        hint.admission = use_admission ? &admission_ : nullptr;
+        hint.pin = pin;
+        return s_->read(p, out, sizeof(Node), hint);
+    }
+
+    /** Typed whole-node write through the log pipeline. */
+    template <typename Node>
+    Status writeNode(RemotePtr p, const Node &node)
+    {
+        return s_->logWrite(id_, p, &node, sizeof(Node));
+    }
+
+    /** Allocate + write a fresh node; returns its address. */
+    template <typename Node>
+    Status allocNode(const Node &node, RemotePtr *p)
+    {
+        const Status st = s_->alloc(backend_, sizeof(Node), p);
+        if (!ok(st))
+            return st;
+        return writeNode(*p, node);
+    }
+
+    /** Acquire the writer lock when the structure is shared. */
+    Status lockForWrite()
+    {
+        if (!opt_.shared)
+            return Status::Ok;
+        return s_->writerLock(id_, backend_);
+    }
+
+    /**
+     * Run @p body under the optimistic reader protocol: retried until
+     * the sequence number validates, up to the configured retry limit.
+     * Unshared handles (or the lock-holding writer itself) run the body
+     * once without the protocol.
+     */
+    template <typename Fn>
+    Status optimisticRead(Fn &&body)
+    {
+        if (!opt_.shared || s_->holdsWriterLock(id_, backend_))
+            return body();
+        for (uint32_t attempt = 0; attempt < opt_.max_read_retries;
+             ++attempt) {
+            uint64_t sn = 0;
+            Status st = s_->readerLock(id_, backend_, &sn);
+            if (!ok(st))
+                return st;
+            // Give concurrent writers a chance to interleave with the
+            // critical section (single-core hosts would otherwise never
+            // preempt a reader mid-read).
+            std::this_thread::yield();
+            st = body();
+            if (st == Status::BackendCrashed || st == Status::Unavailable)
+                return st;
+            const bool consistent = s_->readerValidate(id_, backend_, sn);
+            ++read_attempts_;
+            if (consistent)
+                return st;
+            ++read_retries_; // Section 6.3: inconsistent view, refetch
+        }
+        return Status::Conflict;
+    }
+
+    FrontendSession *s_ = nullptr;
+    NodeId backend_ = kInvalidNode;
+    std::string name_;
+    DsId id_ = 0;
+    DsOptions opt_;
+    LevelAdmission admission_;
+    uint64_t read_attempts_ = 0;
+    uint64_t read_retries_ = 0;
+
+  public:
+    /** Observed optimistic-read statistics (failed-read ratio, §6.3). */
+    uint64_t readAttempts() const { return read_attempts_; }
+    uint64_t readRetries() const { return read_retries_; }
+    double readFailRatio() const
+    {
+        return read_attempts_ == 0
+                   ? 0.0
+                   : static_cast<double>(read_retries_) / read_attempts_;
+    }
+    const LevelAdmission &admission() const { return admission_; }
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_DS_COMMON_H_

@@ -1,0 +1,294 @@
+#include "ds/hash_table.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace asymnvm {
+
+namespace {
+
+uint64_t
+roundPow2(uint64_t v)
+{
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+constexpr uint32_t kMaxChainHops = 4096;
+
+} // namespace
+
+Status
+HashTable::create(FrontendSession &s, NodeId backend,
+                  std::string_view name, uint64_t nbuckets, HashTable *out,
+                  const DsOptions &opt)
+{
+    if (nbuckets == 0)
+        return Status::InvalidArgument;
+    DsId id = 0;
+    Status st = s.createDs(backend, name, DsType::HashTable, &id);
+    if (!ok(st))
+        return st;
+    *out = HashTable(s, backend, std::string(name), id, opt);
+    out->nbuckets_ = roundPow2(nbuckets);
+
+    RemotePtr array;
+    st = s.alloc(backend, out->nbuckets_ * 8, &array);
+    if (!ok(st))
+        return st;
+    out->array_off_ = array.offset;
+
+    // Blocks can be recycled: zero the bucket array explicitly.
+    std::vector<uint8_t> zeros(4096, 0);
+    for (uint64_t off = 0; off < out->nbuckets_ * 8; off += zeros.size()) {
+        const uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(zeros.size(), out->nbuckets_ * 8 - off));
+        st = s.logWrite(id, array + off, zeros.data(), n);
+        if (!ok(st))
+            return st;
+    }
+    st = s.writeAux(id, backend, 0, out->array_off_);
+    if (!ok(st))
+        return st;
+    st = s.writeAux(id, backend, 1, out->nbuckets_);
+    if (!ok(st))
+        return st;
+    st = s.writeAux(id, backend, 2, 0);
+    if (!ok(st))
+        return st;
+    st = s.flushAll();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+Status
+HashTable::open(FrontendSession &s, NodeId backend, std::string_view name,
+                HashTable *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::HashTable)
+        return Status::InvalidArgument;
+    *out = HashTable(s, backend, std::string(name), id, opt);
+    st = out->loadShadows();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+HashTable::install()
+{
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        Value v;
+        if (!op.value.empty())
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+        switch (op.op) {
+          case OpType::Insert:
+          case OpType::Update:
+            return put(op.key, v);
+          case OpType::Erase: {
+            const Status st = erase(op.key);
+            return st == Status::NotFound ? Status::Ok : st;
+          }
+          default:
+            return Status::InvalidArgument;
+        }
+    });
+}
+
+Status
+HashTable::loadShadows()
+{
+    Status st = s_->readAux(id_, backend_, 0, &array_off_);
+    if (!ok(st))
+        return st;
+    st = s_->readAux(id_, backend_, 1, &nbuckets_);
+    if (!ok(st))
+        return st;
+    return s_->readAux(id_, backend_, 2, &count_);
+}
+
+RemotePtr
+HashTable::bucketPtr(Key key) const
+{
+    const uint64_t idx = mix64(key) & (nbuckets_ - 1);
+    return RemotePtr(backend_, array_off_ + idx * 8);
+}
+
+Status
+HashTable::readBucketHead(Key key, uint64_t *head_raw)
+{
+    ReadHint hint;
+    hint.ds = id_;
+    hint.cacheable = true; // hot buckets stay in front-end DRAM
+    return s_->read(bucketPtr(key), head_raw, 8, hint);
+}
+
+Status
+HashTable::put(Key key, const Value &v)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        // Another writer may have run since we last held the lock.
+        st = s_->readAux(id_, backend_, 2, &count_);
+        if (!ok(st))
+            return st;
+    }
+    st = s_->opBegin(id_, backend_, OpType::Insert, key, v.bytes.data(),
+                     Value::kSize);
+    if (!ok(st))
+        return st;
+
+    uint64_t head_raw = 0;
+    st = readBucketHead(key, &head_raw);
+    if (!ok(st))
+        return st;
+    uint64_t cur_raw = head_raw;
+    uint32_t hops = 0;
+    while (cur_raw != 0 && hops++ < kMaxChainHops) {
+        const RemotePtr cur = RemotePtr::fromRaw(cur_raw);
+        Node node;
+        st = readNode(cur, &node, 0, false);
+        if (!ok(st))
+            return st;
+        if (node.key == key) {
+            node.value = v; // update in place (whole-node rewrite)
+            st = writeNode(cur, node);
+            if (!ok(st))
+                return st;
+            return s_->opEnd();
+        }
+        cur_raw = node.next_raw;
+    }
+    Node fresh{};
+    fresh.key = key;
+    fresh.next_raw = head_raw;
+    fresh.value = v;
+    RemotePtr p;
+    st = allocNode(fresh, &p);
+    if (!ok(st))
+        return st;
+    const uint64_t new_head = p.raw();
+    st = s_->logWrite(id_, bucketPtr(key), &new_head, 8);
+    if (!ok(st))
+        return st;
+    ++count_;
+    st = s_->writeAux(id_, backend_, 2, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+Status
+HashTable::getLocked(Key key, Value *out)
+{
+    uint64_t cur_raw = 0;
+    Status st = readBucketHead(key, &cur_raw);
+    if (!ok(st))
+        return st;
+    uint32_t hops = 0;
+    while (cur_raw != 0 && hops++ < kMaxChainHops) {
+        Node node;
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, 0, false);
+        if (!ok(st))
+            return st;
+        if (node.key == key) {
+            *out = node.value;
+            return Status::Ok;
+        }
+        cur_raw = node.next_raw;
+    }
+    return hops >= kMaxChainHops ? Status::Conflict : Status::NotFound;
+}
+
+Status
+HashTable::get(Key key, Value *out)
+{
+    return optimisticRead([&] { return getLocked(key, out); });
+}
+
+bool
+HashTable::contains(Key key)
+{
+    Value v;
+    return get(key, &v) == Status::Ok;
+}
+
+Status
+HashTable::erase(Key key)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 2, &count_);
+        if (!ok(st))
+            return st;
+    }
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        return st;
+
+    uint64_t head_raw = 0;
+    st = readBucketHead(key, &head_raw);
+    if (!ok(st))
+        return st;
+    uint64_t prev_raw = 0;
+    Node prev{};
+    uint64_t cur_raw = head_raw;
+    uint32_t hops = 0;
+    while (cur_raw != 0 && hops++ < kMaxChainHops) {
+        const RemotePtr cur = RemotePtr::fromRaw(cur_raw);
+        Node node;
+        st = readNode(cur, &node, 0, false);
+        if (!ok(st))
+            return st;
+        if (node.key == key) {
+            if (prev_raw == 0) {
+                st = s_->logWrite(id_, bucketPtr(key), &node.next_raw, 8);
+            } else {
+                prev.next_raw = node.next_raw;
+                st = writeNode(RemotePtr::fromRaw(prev_raw), prev);
+            }
+            if (!ok(st))
+                return st;
+            if (opt_.shared) {
+                // Readers may still traverse the node: defer the reuse
+                // past the lazy-GC window (Section 6.2).
+                s_->retire(id_, cur, sizeof(Node));
+            } else {
+                st = s_->free(cur, sizeof(Node));
+                if (!ok(st))
+                    return st;
+            }
+            --count_;
+            st = s_->writeAux(id_, backend_, 2, count_);
+            if (!ok(st))
+                return st;
+            return s_->opEnd();
+        }
+        prev_raw = cur_raw;
+        prev = node;
+        cur_raw = node.next_raw;
+    }
+    st = s_->opEnd();
+    return ok(st) ? Status::NotFound : st;
+}
+
+} // namespace asymnvm

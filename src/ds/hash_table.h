@@ -1,0 +1,80 @@
+#ifndef ASYMNVM_DS_HASH_TABLE_H_
+#define ASYMNVM_DS_HASH_TABLE_H_
+
+/**
+ * @file
+ * Persistent chained hash table (Section 8.2).
+ *
+ * A fixed bucket array in the back-end data area (its address and size in
+ * the naming entry's auxiliary words) with per-bucket chains of key/value
+ * nodes. Caching is item-granularity: bucket head words and chain nodes
+ * are cached individually, favoring hot keys. Batching brings no benefit
+ * to an O(1) structure (Table 3 leaves the RCB cell empty), but the hash
+ * table still participates in the op-log/memory-log pipeline.
+ */
+
+#include "ds/ds_common.h"
+
+namespace asymnvm {
+
+/** A persistent hash map from 64-bit keys to 64-byte values. */
+class HashTable : public DsBase
+{
+  public:
+    HashTable() = default; //!< unbound; use create()/open()
+
+    /**
+     * Create a table with @p nbuckets chains (rounded up to a power of
+     * two). The bucket array is allocated eagerly.
+     */
+    static Status create(FrontendSession &s, NodeId backend,
+                         std::string_view name, uint64_t nbuckets,
+                         HashTable *out, const DsOptions &opt = {});
+
+    static Status open(FrontendSession &s, NodeId backend,
+                       std::string_view name, HashTable *out,
+                       const DsOptions &opt = {});
+
+    /** Insert or update. */
+    Status put(Key key, const Value &v);
+
+    /** Point lookup. */
+    Status get(Key key, Value *out);
+
+    /** Remove; NotFound when absent. */
+    Status erase(Key key);
+
+    /** True when the key is present. */
+    bool contains(Key key);
+
+    uint64_t size() const { return count_; }
+    uint64_t buckets() const { return nbuckets_; }
+
+  private:
+    HashTable(FrontendSession &s, NodeId backend, std::string name,
+              DsId id, const DsOptions &opt)
+        : DsBase(s, backend, std::move(name), id, opt)
+    {}
+
+    struct Node
+    {
+        Key key;
+        uint64_t next_raw;
+        Value value;
+    };
+    static_assert(sizeof(Node) == 80);
+
+    void install();
+    Status loadShadows();
+    RemotePtr bucketPtr(Key key) const;
+    Status readBucketHead(Key key, uint64_t *head_raw);
+    Status getLocked(Key key, Value *out);
+
+    uint64_t array_off_ = 0; //!< aux0: bucket array NVM offset
+    uint64_t nbuckets_ = 0;  //!< aux1
+    uint64_t count_ = 0;     //!< aux2 (maintained by the writer)
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_HASH_TABLE_H_

@@ -1,0 +1,467 @@
+#include "ds/mv_bptree.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+namespace {
+constexpr uint32_t kMaxHeight = 64;
+} // namespace
+
+Status
+MvBpTree::create(FrontendSession &s, NodeId backend, std::string_view name,
+                 MvBpTree *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    const Status st = s.createDs(backend, name, DsType::MvBpTree, &id);
+    if (!ok(st))
+        return st;
+    *out = MvBpTree(s, backend, std::string(name), id, opt);
+    out->install();
+    return Status::Ok;
+}
+
+Status
+MvBpTree::open(FrontendSession &s, NodeId backend, std::string_view name,
+               MvBpTree *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::MvBpTree)
+        return Status::InvalidArgument;
+    *out = MvBpTree(s, backend, std::string(name), id, opt);
+    st = out->loadRoot();
+    if (!ok(st))
+        return st;
+    st = s.readAux(id, backend, 1, &out->count_);
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+MvBpTree::install()
+{
+    installMv();
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        Value v;
+        if (!op.value.empty())
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+        switch (op.op) {
+          case OpType::Insert:
+          case OpType::Update:
+            return insert(op.key, v);
+          case OpType::Erase: {
+            const Status st = erase(op.key);
+            return st == Status::NotFound ? Status::Ok : st;
+          }
+          default:
+            return Status::InvalidArgument;
+        }
+    });
+}
+
+uint32_t
+MvBpTree::routeIndex(const Node &n, Key key)
+{
+    uint32_t lo = 0;
+    for (uint32_t i = 1; i < n.count; ++i) {
+        if (n.keys[i] <= key)
+            lo = i;
+        else
+            break;
+    }
+    return lo;
+}
+
+Status
+MvBpTree::insertRec(uint64_t node_raw, uint32_t depth, Key key,
+                    const Value &v, bool pin, uint64_t *new_raw,
+                    Split *split, bool *added)
+{
+    if (depth > kMaxHeight)
+        return Status::Corruption;
+    Node node;
+    Status st = readNode(RemotePtr::fromRaw(node_raw), &node, depth,
+                         true, pin);
+    if (!ok(st))
+        return st;
+    if (node.count > kFanout)
+        return Status::Corruption;
+    // Every version change supersedes this node.
+    s_->retire(id_, RemotePtr::fromRaw(node_raw), sizeof(Node));
+
+    if (node.is_leaf) {
+        for (uint32_t i = 0; i < node.count; ++i) {
+            if (node.keys[i] == key) {
+                // Immutable cells: new cell, new leaf copy.
+                RemotePtr cell;
+                st = s_->alloc(backend_, Value::kSize, &cell);
+                if (!ok(st))
+                    return st;
+                st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+                if (!ok(st))
+                    return st;
+                s_->retire(id_, RemotePtr::fromRaw(node.children[i]),
+                           Value::kSize);
+                node.children[i] = cell.raw();
+                RemotePtr p;
+                st = allocNode(node, &p);
+                if (!ok(st))
+                    return st;
+                *new_raw = p.raw();
+                return Status::Ok;
+            }
+        }
+        RemotePtr cell;
+        st = s_->alloc(backend_, Value::kSize, &cell);
+        if (!ok(st))
+            return st;
+        st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+        if (!ok(st))
+            return st;
+        *added = true;
+
+        if (node.count == kFanout) {
+            Node right{};
+            right.is_leaf = 1;
+            right.count = kFanout / 2;
+            for (uint32_t i = 0; i < kFanout / 2; ++i) {
+                right.keys[i] = node.keys[kFanout / 2 + i];
+                right.children[i] = node.children[kFanout / 2 + i];
+            }
+            node.count = kFanout / 2;
+            Node *target = key >= right.keys[0] ? &right : &node;
+            uint32_t pos = 0;
+            while (pos < target->count && target->keys[pos] < key)
+                ++pos;
+            for (uint32_t i = target->count; i > pos; --i) {
+                target->keys[i] = target->keys[i - 1];
+                target->children[i] = target->children[i - 1];
+            }
+            target->keys[pos] = key;
+            target->children[pos] = cell.raw();
+            ++target->count;
+
+            RemotePtr left_ptr, right_ptr;
+            st = allocNode(node, &left_ptr);
+            if (!ok(st))
+                return st;
+            st = allocNode(right, &right_ptr);
+            if (!ok(st))
+                return st;
+            *new_raw = left_ptr.raw();
+            split->happened = true;
+            split->sep_key = right.keys[0];
+            split->right_raw = right_ptr.raw();
+            return Status::Ok;
+        }
+        uint32_t pos = 0;
+        while (pos < node.count && node.keys[pos] < key)
+            ++pos;
+        for (uint32_t i = node.count; i > pos; --i) {
+            node.keys[i] = node.keys[i - 1];
+            node.children[i] = node.children[i - 1];
+        }
+        node.keys[pos] = key;
+        node.children[pos] = cell.raw();
+        ++node.count;
+        RemotePtr p;
+        st = allocNode(node, &p);
+        if (!ok(st))
+            return st;
+        *new_raw = p.raw();
+        return Status::Ok;
+    }
+
+    const uint32_t idx = routeIndex(node, key);
+    uint64_t new_child_raw = 0;
+    Split child_split;
+    st = insertRec(node.children[idx], depth + 1, key, v, pin,
+                   &new_child_raw, &child_split, added);
+    if (!ok(st))
+        return st;
+    node.children[idx] = new_child_raw;
+
+    if (child_split.happened) {
+        if (node.count == kFanout) {
+            Node right{};
+            right.is_leaf = 0;
+            right.count = kFanout / 2;
+            for (uint32_t i = 0; i < kFanout / 2; ++i) {
+                right.keys[i] = node.keys[kFanout / 2 + i];
+                right.children[i] = node.children[kFanout / 2 + i];
+            }
+            node.count = kFanout / 2;
+            Node *target =
+                child_split.sep_key >= right.keys[0] ? &right : &node;
+            uint32_t pos = 0;
+            while (pos < target->count &&
+                   target->keys[pos] < child_split.sep_key)
+                ++pos;
+            for (uint32_t i = target->count; i > pos; --i) {
+                target->keys[i] = target->keys[i - 1];
+                target->children[i] = target->children[i - 1];
+            }
+            target->keys[pos] = child_split.sep_key;
+            target->children[pos] = child_split.right_raw;
+            ++target->count;
+
+            RemotePtr left_ptr, right_ptr;
+            st = allocNode(node, &left_ptr);
+            if (!ok(st))
+                return st;
+            st = allocNode(right, &right_ptr);
+            if (!ok(st))
+                return st;
+            *new_raw = left_ptr.raw();
+            split->happened = true;
+            split->sep_key = right.keys[0];
+            split->right_raw = right_ptr.raw();
+            return Status::Ok;
+        }
+        uint32_t pos = 0;
+        while (pos < node.count && node.keys[pos] < child_split.sep_key)
+            ++pos;
+        for (uint32_t i = node.count; i > pos; --i) {
+            node.keys[i] = node.keys[i - 1];
+            node.children[i] = node.children[i - 1];
+        }
+        node.keys[pos] = child_split.sep_key;
+        node.children[pos] = child_split.right_raw;
+        ++node.count;
+    }
+    RemotePtr p;
+    st = allocNode(node, &p);
+    if (!ok(st))
+        return st;
+    *new_raw = p.raw();
+    return Status::Ok;
+}
+
+Status
+MvBpTree::insertOne(Key key, const Value &v, bool pin)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Insert, key,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    const uint64_t root_raw = workingRoot();
+    bool added = false;
+    uint64_t new_root_raw = 0;
+    if (root_raw == 0) {
+        RemotePtr cell;
+        st = s_->alloc(backend_, Value::kSize, &cell);
+        if (!ok(st))
+            return st;
+        st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+        if (!ok(st))
+            return st;
+        Node leaf{};
+        leaf.is_leaf = 1;
+        leaf.count = 1;
+        leaf.keys[0] = key;
+        leaf.children[0] = cell.raw();
+        RemotePtr p;
+        st = allocNode(leaf, &p);
+        if (!ok(st))
+            return st;
+        new_root_raw = p.raw();
+        added = true;
+    } else {
+        Split split;
+        st = insertRec(root_raw, 0, key, v, pin, &new_root_raw, &split,
+                       &added);
+        if (!ok(st))
+            return st;
+        if (split.happened) {
+            Node new_root{};
+            new_root.is_leaf = 0;
+            new_root.count = 2;
+            new_root.keys[0] = 0;
+            new_root.children[0] = new_root_raw;
+            new_root.keys[1] = split.sep_key;
+            new_root.children[1] = split.right_raw;
+            RemotePtr p;
+            st = allocNode(new_root, &p);
+            if (!ok(st))
+                return st;
+            new_root_raw = p.raw();
+        }
+    }
+    stageRoot(new_root_raw);
+    if (added) {
+        ++count_;
+        st = s_->writeAux(id_, backend_, 1, count_);
+        if (!ok(st))
+            return st;
+    }
+    return s_->opEnd();
+}
+
+Status
+MvBpTree::insert(Key key, const Value &v)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    return insertOne(key, v, /*pin=*/false);
+}
+
+Status
+MvBpTree::insertBatch(std::span<const std::pair<Key, Value>> kvs)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    std::vector<std::pair<Key, Value>> sorted(kvs.begin(), kvs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[key, value] : sorted) {
+        st = insertOne(key, value, /*pin=*/true);
+        if (!ok(st))
+            return st;
+    }
+    return Status::Ok;
+}
+
+Status
+MvBpTree::find(Key key, Value *out)
+{
+    uint64_t cur_raw = 0;
+    Status st = readerRoot(&cur_raw);
+    if (!ok(st))
+        return st;
+    if (cur_raw == 0)
+        return Status::NotFound;
+    uint32_t depth = 0;
+    while (true) {
+        if (depth > kMaxHeight)
+            return Status::Corruption;
+        Node node;
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, depth);
+        if (!ok(st))
+            return st;
+        if (node.count > kFanout)
+            return Status::Corruption;
+        if (node.is_leaf) {
+            for (uint32_t i = 0; i < node.count; ++i) {
+                if (node.keys[i] == key) {
+                    ReadHint hint;
+                    hint.ds = id_;
+                    hint.cacheable = true;
+                    hint.level = depth + 1;
+                    hint.admission = &admission_;
+                    return s_->read(RemotePtr::fromRaw(node.children[i]),
+                                    out, Value::kSize, hint);
+                }
+            }
+            return Status::NotFound;
+        }
+        if (node.count == 0)
+            return Status::Corruption;
+        cur_raw = node.children[routeIndex(node, key)];
+        ++depth;
+    }
+}
+
+bool
+MvBpTree::contains(Key key)
+{
+    Value v;
+    return find(key, &v) == Status::Ok;
+}
+
+Status
+MvBpTree::eraseRec(uint64_t node_raw, uint32_t depth, Key key,
+                   uint64_t *new_raw, bool *removed)
+{
+    if (depth > kMaxHeight)
+        return Status::Corruption;
+    Node node;
+    Status st = readNode(RemotePtr::fromRaw(node_raw), &node, depth);
+    if (!ok(st))
+        return st;
+    if (node.is_leaf) {
+        for (uint32_t i = 0; i < node.count; ++i) {
+            if (node.keys[i] != key)
+                continue;
+            s_->retire(id_, RemotePtr::fromRaw(node.children[i]),
+                       Value::kSize);
+            for (uint32_t j = i + 1; j < node.count; ++j) {
+                node.keys[j - 1] = node.keys[j];
+                node.children[j - 1] = node.children[j];
+            }
+            --node.count;
+            *removed = true;
+            break;
+        }
+        if (!*removed) {
+            *new_raw = node_raw; // untouched version
+            return Status::Ok;
+        }
+        s_->retire(id_, RemotePtr::fromRaw(node_raw), sizeof(Node));
+        RemotePtr p;
+        st = allocNode(node, &p);
+        if (!ok(st))
+            return st;
+        *new_raw = p.raw();
+        return Status::Ok;
+    }
+    const uint32_t idx = routeIndex(node, key);
+    uint64_t new_child_raw = 0;
+    st = eraseRec(node.children[idx], depth + 1, key, &new_child_raw,
+                  removed);
+    if (!ok(st))
+        return st;
+    if (!*removed) {
+        *new_raw = node_raw;
+        return Status::Ok;
+    }
+    s_->retire(id_, RemotePtr::fromRaw(node_raw), sizeof(Node));
+    node.children[idx] = new_child_raw;
+    RemotePtr p;
+    st = allocNode(node, &p);
+    if (!ok(st))
+        return st;
+    *new_raw = p.raw();
+    return Status::Ok;
+}
+
+Status
+MvBpTree::erase(Key key)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        return st;
+    const uint64_t root_raw = workingRoot();
+    if (root_raw == 0) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+    bool removed = false;
+    uint64_t new_root_raw = 0;
+    st = eraseRec(root_raw, 0, key, &new_root_raw, &removed);
+    if (!ok(st))
+        return st;
+    if (!removed) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+    stageRoot(new_root_raw);
+    --count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+} // namespace asymnvm

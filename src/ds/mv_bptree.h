@@ -1,0 +1,81 @@
+#ifndef ASYMNVM_DS_MV_BPTREE_H_
+#define ASYMNVM_DS_MV_BPTREE_H_
+
+/**
+ * @file
+ * Multi-version B+tree (Sections 6.2 and 8.3), in the style of
+ * append-only/CouchDB B-trees the paper cites: every insert copies the
+ * root-to-leaf path into fresh nodes and publishes the new version with
+ * one atomic root swap. Value cells are immutable as well (an update
+ * allocates a new cell). Leaf chaining is not maintained across versions
+ * (scans traverse the tree), the usual trade-off of append-only B-trees.
+ */
+
+#include <span>
+#include <vector>
+
+#include "ds/mv_common.h"
+
+namespace asymnvm {
+
+/** A persistent multi-version (lock-free for readers) B+tree. */
+class MvBpTree : public MvBase
+{
+  public:
+    static constexpr uint32_t kFanout = 32;
+
+    MvBpTree() = default; //!< unbound; use create()/open()
+
+    static Status create(FrontendSession &s, NodeId backend,
+                         std::string_view name, MvBpTree *out,
+                         const DsOptions &opt = {});
+    static Status open(FrontendSession &s, NodeId backend,
+                       std::string_view name, MvBpTree *out,
+                       const DsOptions &opt = {});
+
+    Status insert(Key key, const Value &v);
+    Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
+    Status find(Key key, Value *out);
+    Status erase(Key key);
+    bool contains(Key key);
+    uint64_t size() const { return count_; }
+
+  private:
+    MvBpTree(FrontendSession &s, NodeId backend, std::string name,
+             DsId id, const DsOptions &opt)
+        : MvBase(s, backend, std::move(name), id, opt)
+    {}
+
+    struct Node
+    {
+        uint16_t is_leaf;
+        uint16_t count;
+        uint32_t pad;
+        uint64_t unused; //!< no leaf chain across versions
+        Key keys[kFanout];
+        uint64_t children[kFanout];
+    };
+    static_assert(sizeof(Node) == 16 + 16 * kFanout);
+
+    struct Split
+    {
+        bool happened = false;
+        Key sep_key = 0;
+        uint64_t right_raw = 0;
+    };
+
+    void install();
+    Status insertOne(Key key, const Value &v, bool pin);
+    Status insertRec(uint64_t node_raw, uint32_t depth, Key key,
+                     const Value &v, bool pin, uint64_t *new_raw,
+                     Split *split, bool *added);
+    Status eraseRec(uint64_t node_raw, uint32_t depth, Key key,
+                    uint64_t *new_raw, bool *removed);
+    static uint32_t routeIndex(const Node &n, Key key);
+
+    uint64_t count_ = 0; //!< aux1
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_MV_BPTREE_H_

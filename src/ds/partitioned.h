@@ -1,0 +1,157 @@
+#ifndef ASYMNVM_DS_PARTITIONED_H_
+#define ASYMNVM_DS_PARTITIONED_H_
+
+/**
+ * @file
+ * Key-hash partitioning (Section 8.3 "Data Structure Partition" and the
+ * multi-back-end support of Section 4.3).
+ *
+ * A partitioned structure is k independent instances, each with its own
+ * writer lock and index, spread round-robin across the available back-end
+ * nodes. The front-end routes each operation by key hash; readers of one
+ * partition never contend with the writer of another, which is what
+ * removes the lock bottleneck in Figure 10. The partition count (the
+ * "mapping table between key range and partition") is persisted in the
+ * naming space of the first back-end for recovery.
+ */
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "ds/ds_common.h"
+
+namespace asymnvm {
+
+/** k-way key-hash partitioning over any keyed structure. */
+template <typename DS>
+class Partitioned
+{
+  public:
+    /** Creates partition i of @p nparts on its assigned back-end. */
+    using MakeFn = std::function<Status(FrontendSession &, NodeId,
+                                        std::string_view, DS *)>;
+
+    Partitioned() = default;
+
+    /**
+     * Create @p nparts partitions named "<name>/p<i>" spread over
+     * @p backends, plus the persistent coordinator entry.
+     */
+    static Status create(FrontendSession &s,
+                         std::span<const NodeId> backends,
+                         std::string_view name, uint32_t nparts,
+                         Partitioned *out, MakeFn make)
+    {
+        if (backends.empty() || nparts == 0)
+            return Status::InvalidArgument;
+        DsId coord = 0;
+        Status st = s.createDs(backends[0], name, DsType::Raw, &coord);
+        if (!ok(st))
+            return st;
+        st = s.writeAux(coord, backends[0], 0, nparts);
+        if (!ok(st))
+            return st;
+        st = s.flushAll();
+        if (!ok(st))
+            return st;
+        return buildParts(s, backends, name, nparts, out,
+                          std::move(make));
+    }
+
+    /** Open an existing partitioned structure. */
+    static Status open(FrontendSession &s,
+                       std::span<const NodeId> backends,
+                       std::string_view name, Partitioned *out,
+                       MakeFn open_fn)
+    {
+        if (backends.empty())
+            return Status::InvalidArgument;
+        DsId coord = 0;
+        DsType type = DsType::None;
+        Status st = s.openDs(backends[0], name, &coord, &type);
+        if (!ok(st))
+            return st;
+        if (type != DsType::Raw)
+            return Status::InvalidArgument;
+        uint64_t nparts = 0;
+        st = s.readAux(coord, backends[0], 0, &nparts);
+        if (!ok(st))
+            return st;
+        return buildParts(s, backends, name,
+                          static_cast<uint32_t>(nparts), out,
+                          std::move(open_fn));
+    }
+
+    /** The partition owning @p key. */
+    DS &partitionFor(Key key)
+    {
+        return parts_[mix64(key) % parts_.size()];
+    }
+
+    uint32_t partitionCount() const
+    {
+        return static_cast<uint32_t>(parts_.size());
+    }
+
+    DS &partition(uint32_t i) { return parts_[i]; }
+
+    /** Keyed insert routed by hash (put() or insert(), whichever DS has). */
+    Status insert(Key key, const Value &v)
+    {
+        DS &p = partitionFor(key);
+        if constexpr (requires { p.put(key, v); })
+            return p.put(key, v);
+        else
+            return p.insert(key, v);
+    }
+
+    /** Keyed lookup routed by hash. */
+    Status find(Key key, Value *out)
+    {
+        DS &p = partitionFor(key);
+        if constexpr (requires { p.get(key, out); })
+            return p.get(key, out);
+        else
+            return p.find(key, out);
+    }
+
+    /** Keyed removal routed by hash. */
+    Status erase(Key key) { return partitionFor(key).erase(key); }
+
+    uint64_t size() const
+    {
+        uint64_t n = 0;
+        for (const DS &p : parts_)
+            n += p.size();
+        return n;
+    }
+
+  private:
+    static Status buildParts(FrontendSession &s,
+                             std::span<const NodeId> backends,
+                             std::string_view name, uint32_t nparts,
+                             Partitioned *out, MakeFn make)
+    {
+        out->parts_.clear();
+        // deque: handles must not relocate (their hooks capture `this`).
+        for (uint32_t i = 0; i < nparts; ++i)
+            out->parts_.emplace_back();
+        for (uint32_t i = 0; i < nparts; ++i) {
+            const NodeId be = backends[i % backends.size()];
+            const std::string pname =
+                std::string(name) + "/p" + std::to_string(i);
+            const Status st = make(s, be, pname, &out->parts_[i]);
+            if (!ok(st))
+                return st;
+        }
+        return Status::Ok;
+    }
+
+    std::deque<DS> parts_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_PARTITIONED_H_

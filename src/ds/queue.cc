@@ -1,0 +1,205 @@
+#include "ds/queue.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+Status
+Queue::create(FrontendSession &s, NodeId backend, std::string_view name,
+              Queue *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    const Status st = s.createDs(backend, name, DsType::Queue, &id);
+    if (!ok(st))
+        return st;
+    *out = Queue(s, backend, std::string(name), id, opt);
+    out->install();
+    return Status::Ok;
+}
+
+Status
+Queue::open(FrontendSession &s, NodeId backend, std::string_view name,
+            Queue *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::Queue)
+        return Status::InvalidArgument;
+    *out = Queue(s, backend, std::string(name), id, opt);
+    st = out->loadShadows();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+Queue::install()
+{
+    s_->setFlushHook(id_, backend_, [this] { materializePending(); });
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        if (op.op == OpType::Enqueue) {
+            Value v;
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+            return enqueue(v);
+        }
+        if (op.op == OpType::Dequeue) {
+            Value dummy;
+            const Status st = dequeue(&dummy);
+            return st == Status::NotFound ? Status::Ok : st;
+        }
+        return Status::InvalidArgument;
+    });
+}
+
+Status
+Queue::loadShadows()
+{
+    Status st = s_->readAux(id_, backend_, 0, &head_raw_);
+    if (!ok(st))
+        return st;
+    st = s_->readAux(id_, backend_, 1, &tail_raw_);
+    if (!ok(st))
+        return st;
+    return s_->readAux(id_, backend_, 2, &count_);
+}
+
+Status
+Queue::writeShadows()
+{
+    // head/tail/count always change together: one log entry, and in the
+    // naive mode one RDMA_Write instead of three.
+    const uint64_t vals[3] = {head_raw_, tail_raw_, count_};
+    return s_->writeAuxRange(id_, backend_, 0, vals, 3);
+}
+
+Status
+Queue::materializeOne(const Value &v)
+{
+    Node node{};
+    node.value = v;
+    node.next_raw = 0;
+    RemotePtr p;
+    Status st = allocNode(node, &p);
+    if (!ok(st))
+        return st;
+    if (tail_raw_ != 0) {
+        // Link the old tail to the new node (whole-node rewrite keeps
+        // the overlay/cache object-consistent).
+        const RemotePtr tail = RemotePtr::fromRaw(tail_raw_);
+        Node tail_node;
+        st = readNode(tail, &tail_node, 0, false);
+        if (!ok(st))
+            return st;
+        tail_node.next_raw = p.raw();
+        st = writeNode(tail, tail_node);
+        if (!ok(st))
+            return st;
+    } else {
+        head_raw_ = p.raw();
+    }
+    tail_raw_ = p.raw();
+    ++count_;
+    return Status::Ok;
+}
+
+Status
+Queue::materializePending()
+{
+    if (pending_.empty())
+        return Status::Ok;
+    for (const Value &v : pending_) {
+        const Status st = materializeOne(v);
+        if (!ok(st))
+            return st;
+    }
+    pending_.clear();
+    return writeShadows();
+}
+
+Status
+Queue::enqueue(const Value &v)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Enqueue, 0,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    if (deferWrites()) {
+        pending_.push_back(v);
+    } else {
+        st = materializeOne(v);
+        if (!ok(st))
+            return st;
+        st = writeShadows();
+        if (!ok(st))
+            return st;
+    }
+    return s_->opEnd();
+}
+
+Status
+Queue::dequeue(Value *out)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Dequeue, 0, nullptr, 0);
+    if (!ok(st))
+        return st;
+    if (count_ > 0) {
+        // FIFO: materialized elements are older than anything pending.
+        const RemotePtr head = RemotePtr::fromRaw(head_raw_);
+        Node node;
+        st = readNode(head, &node, 0, false);
+        if (!ok(st))
+            return st;
+        *out = node.value;
+        head_raw_ = node.next_raw;
+        if (head_raw_ == 0)
+            tail_raw_ = 0;
+        --count_;
+        st = writeShadows();
+        if (!ok(st))
+            return st;
+        st = s_->free(head, sizeof(Node));
+        if (!ok(st))
+            return st;
+        return s_->opEnd();
+    }
+    if (!pending_.empty()) {
+        // Annulment: the oldest pending enqueue is the queue's front.
+        *out = pending_.front();
+        pending_.pop_front();
+        return s_->opEnd();
+    }
+    st = s_->opEnd();
+    return ok(st) ? Status::NotFound : st;
+}
+
+Status
+Queue::front(Value *out)
+{
+    if (count_ > 0) {
+        Node node;
+        const Status st =
+            readNode(RemotePtr::fromRaw(head_raw_), &node, 0, false);
+        if (!ok(st))
+            return st;
+        *out = node.value;
+        return Status::Ok;
+    }
+    if (!pending_.empty()) {
+        *out = pending_.front();
+        return Status::Ok;
+    }
+    return Status::NotFound;
+}
+
+uint64_t
+Queue::size() const
+{
+    return count_ + pending_.size();
+}
+
+} // namespace asymnvm

@@ -1,0 +1,78 @@
+#ifndef ASYMNVM_DS_QUEUE_H_
+#define ASYMNVM_DS_QUEUE_H_
+
+/**
+ * @file
+ * Persistent FIFO queue (Section 8.1).
+ *
+ * Linked list with head and tail references in the naming entry's
+ * auxiliary words. Like Stack, the queue exploits operation-log
+ * annulment: when no materialized element remains, dequeues are served
+ * from the pending (un-materialized) enqueues of the current batch, and
+ * the annulled pairs never produce memory logs. Queues are not shared
+ * between front-ends (Section 9.5).
+ */
+
+#include <deque>
+
+#include "ds/ds_common.h"
+
+namespace asymnvm {
+
+/** A persistent FIFO queue of 64-byte values. */
+class Queue : public DsBase
+{
+  public:
+    Queue() = default; //!< unbound; use create()/open()
+
+    static Status create(FrontendSession &s, NodeId backend,
+                         std::string_view name, Queue *out,
+                         const DsOptions &opt = {});
+    static Status open(FrontendSession &s, NodeId backend,
+                       std::string_view name, Queue *out,
+                       const DsOptions &opt = {});
+
+    /** Append one value at the tail. */
+    Status enqueue(const Value &v);
+
+    /** Remove the oldest value; NotFound when empty. */
+    Status dequeue(Value *out);
+
+    /** Peek the oldest value. */
+    Status front(Value *out);
+
+    uint64_t size() const;
+
+  private:
+    Queue(FrontendSession &s, NodeId backend, std::string name, DsId id,
+          const DsOptions &opt)
+        : DsBase(s, backend, std::move(name), id, opt)
+    {}
+
+    struct Node
+    {
+        Value value;
+        uint64_t next_raw;
+        uint64_t pad;
+    };
+    static_assert(sizeof(Node) == 80);
+
+    void install();
+    Status loadShadows();
+    Status materializePending();
+    Status materializeOne(const Value &v);
+    Status writeShadows();
+    bool deferWrites() const
+    {
+        return !s_->config().symmetric && s_->config().use_txlog;
+    }
+
+    uint64_t head_raw_ = 0; //!< aux0
+    uint64_t tail_raw_ = 0; //!< aux1
+    uint64_t count_ = 0;    //!< aux2 (materialized)
+    std::deque<Value> pending_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_QUEUE_H_

@@ -1,0 +1,354 @@
+#include "ds/skiplist.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asymnvm {
+
+namespace {
+constexpr uint32_t kMaxHops = 1u << 20;
+} // namespace
+
+Status
+SkipList::create(FrontendSession &s, NodeId backend, std::string_view name,
+                 SkipList *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    Status st = s.createDs(backend, name, DsType::SkipList, &id);
+    if (!ok(st))
+        return st;
+    *out = SkipList(s, backend, std::string(name), id, opt);
+
+    Node sentinel{};
+    sentinel.key = 0;
+    sentinel.level = kMaxLevel;
+    RemotePtr p;
+    st = out->allocNode(sentinel, &p);
+    if (!ok(st))
+        return st;
+    out->head_raw_ = p.raw();
+    st = s.writeAux(id, backend, 0, out->head_raw_);
+    if (!ok(st))
+        return st;
+    st = s.writeAux(id, backend, 1, 0);
+    if (!ok(st))
+        return st;
+    st = s.flushAll();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+Status
+SkipList::open(FrontendSession &s, NodeId backend, std::string_view name,
+               SkipList *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::SkipList)
+        return Status::InvalidArgument;
+    *out = SkipList(s, backend, std::string(name), id, opt);
+    st = out->loadShadows();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+SkipList::install()
+{
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        Value v;
+        if (!op.value.empty())
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+        switch (op.op) {
+          case OpType::Insert:
+          case OpType::Update:
+            return insert(op.key, v);
+          case OpType::Erase: {
+            const Status st = erase(op.key);
+            return st == Status::NotFound ? Status::Ok : st;
+          }
+          default:
+            return Status::InvalidArgument;
+        }
+    });
+}
+
+Status
+SkipList::loadShadows()
+{
+    Status st = s_->readAux(id_, backend_, 0, &head_raw_);
+    if (!ok(st))
+        return st;
+    return s_->readAux(id_, backend_, 1, &count_);
+}
+
+uint32_t
+SkipList::randomLevel()
+{
+    uint32_t level = 1;
+    while (level < kMaxLevel && level_rng_.nextBool(0.5))
+        ++level;
+    return level;
+}
+
+Status
+SkipList::findPosition(Key key, uint64_t preds[kMaxLevel],
+                       uint64_t succs[kMaxLevel], bool *found, bool pin)
+{
+    *found = false;
+    uint64_t cur_raw = head_raw_;
+    Node cur;
+    // The sentinel is the hottest node of all.
+    Status st = readNode(RemotePtr::fromRaw(cur_raw), &cur, 0, true, pin);
+    if (!ok(st))
+        return st;
+    uint32_t hops = 0;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+        while (cur.next[lvl] != 0) {
+            if (++hops > kMaxHops)
+                return Status::Conflict; // torn view; retry
+            Node next;
+            // Tower height correlates with traversal level: high levels
+            // are hot, low levels cold (Section 8.4 caching rule).
+            st = readNode(RemotePtr::fromRaw(cur.next[lvl]), &next,
+                          kMaxLevel - 1 - lvl, true, pin);
+            if (!ok(st))
+                return st;
+            if (next.key >= key || next.level == 0 ||
+                next.level > kMaxLevel) {
+                if (next.key == key && next.level >= 1 &&
+                    next.level <= kMaxLevel)
+                    *found = true;
+                break;
+            }
+            cur_raw = cur.next[lvl];
+            cur = next;
+        }
+        preds[lvl] = cur_raw;
+        succs[lvl] = cur.next[lvl];
+    }
+    return Status::Ok;
+}
+
+Status
+SkipList::insert(Key key, const Value &v)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    return insertOne(key, v, /*pin=*/false);
+}
+
+Status
+SkipList::insertBatch(std::span<const std::pair<Key, Value>> kvs)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    std::vector<std::pair<Key, Value>> sorted(kvs.begin(), kvs.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[key, value] : sorted) {
+        st = insertOne(key, value, /*pin=*/true);
+        if (!ok(st))
+            return st;
+    }
+    return Status::Ok;
+}
+
+Status
+SkipList::insertOne(Key key, const Value &v, bool pin)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Insert, key,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+
+    uint64_t preds[kMaxLevel], succs[kMaxLevel];
+    bool found = false;
+    st = findPosition(key, preds, succs, &found, pin);
+    if (!ok(st))
+        return st;
+    if (found) {
+        // Update in place.
+        const RemotePtr target = RemotePtr::fromRaw(succs[0]);
+        Node node;
+        st = readNode(target, &node, kMaxLevel - 1);
+        if (!ok(st))
+            return st;
+        node.value = v;
+        st = writeNode(target, node);
+        if (!ok(st))
+            return st;
+        return s_->opEnd();
+    }
+
+    // Figure 2 line 14-19: allocate, log the op, set successors in the
+    // new node, then link predecessors bottom-up.
+    const uint32_t level = randomLevel();
+    Node fresh{};
+    fresh.key = key;
+    fresh.level = level;
+    fresh.value = v;
+    for (uint32_t l = 0; l < level; ++l)
+        fresh.next[l] = succs[l];
+    RemotePtr p;
+    st = allocNode(fresh, &p);
+    if (!ok(st))
+        return st;
+
+    // Distinct predecessors may repeat across levels; keep one evolving
+    // copy per node so whole-node rewrites stay consistent.
+    std::unordered_map<uint64_t, Node> pred_copies;
+    for (uint32_t l = 0; l < level; ++l) {
+        auto it = pred_copies.find(preds[l]);
+        if (it == pred_copies.end()) {
+            Node copy;
+            st = readNode(RemotePtr::fromRaw(preds[l]), &copy,
+                          kMaxLevel - 1 - l, true, pin);
+            if (!ok(st))
+                return st;
+            it = pred_copies.emplace(preds[l], copy).first;
+        }
+        it->second.next[l] = p.raw();
+        st = writeNode(RemotePtr::fromRaw(preds[l]), it->second);
+        if (!ok(st))
+            return st;
+    }
+    ++count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+Status
+SkipList::findLocked(Key key, Value *out)
+{
+    uint64_t preds[kMaxLevel], succs[kMaxLevel];
+    bool found = false;
+    const Status st = findPosition(key, preds, succs, &found);
+    if (!ok(st))
+        return st;
+    if (!found)
+        return Status::NotFound;
+    Node node;
+    const Status rst =
+        readNode(RemotePtr::fromRaw(succs[0]), &node, kMaxLevel - 1);
+    if (!ok(rst))
+        return rst;
+    *out = node.value;
+    return Status::Ok;
+}
+
+Status
+SkipList::find(Key key, Value *out)
+{
+    return optimisticRead([&] { return findLocked(key, out); });
+}
+
+Status
+SkipList::scan(Key from, uint32_t limit,
+               std::vector<std::pair<Key, Value>> *out)
+{
+    return optimisticRead([&]() -> Status {
+        out->clear();
+        uint64_t preds[kMaxLevel], succs[kMaxLevel];
+        bool found = false;
+        Status st = findPosition(from, preds, succs, &found);
+        if (!ok(st))
+            return st;
+        // The bottom level is a sorted linked list; walk it forward.
+        uint64_t cur_raw = succs[0];
+        uint32_t hops = 0;
+        while (cur_raw != 0 && out->size() < limit) {
+            if (++hops > kMaxHops)
+                return Status::Conflict;
+            Node node;
+            st = readNode(RemotePtr::fromRaw(cur_raw), &node,
+                          kMaxLevel - 1);
+            if (!ok(st))
+                return st;
+            if (node.level == 0 || node.level > kMaxLevel)
+                return Status::Conflict; // torn view
+            if (node.key >= from)
+                out->emplace_back(node.key, node.value);
+            cur_raw = node.next[0];
+        }
+        return Status::Ok;
+    });
+}
+
+bool
+SkipList::contains(Key key)
+{
+    Value v;
+    return find(key, &v) == Status::Ok;
+}
+
+Status
+SkipList::erase(Key key)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        return st;
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        return st;
+
+    uint64_t preds[kMaxLevel], succs[kMaxLevel];
+    bool found = false;
+    st = findPosition(key, preds, succs, &found);
+    if (!ok(st))
+        return st;
+    if (!found) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+    const RemotePtr target = RemotePtr::fromRaw(succs[0]);
+    Node victim;
+    st = readNode(target, &victim, kMaxLevel - 1);
+    if (!ok(st))
+        return st;
+
+    std::unordered_map<uint64_t, Node> pred_copies;
+    for (uint32_t l = 0; l < victim.level; ++l) {
+        if (succs[l] != target.raw())
+            continue; // the tower does not reach this level's successor
+        auto it = pred_copies.find(preds[l]);
+        if (it == pred_copies.end()) {
+            Node copy;
+            st = readNode(RemotePtr::fromRaw(preds[l]), &copy,
+                          kMaxLevel - 1 - l);
+            if (!ok(st))
+                return st;
+            it = pred_copies.emplace(preds[l], copy).first;
+        }
+        it->second.next[l] = victim.next[l];
+        st = writeNode(RemotePtr::fromRaw(preds[l]), it->second);
+        if (!ok(st))
+            return st;
+    }
+    if (opt_.shared)
+        s_->retire(id_, target, sizeof(Node)); // readers may still visit
+    else {
+        st = s_->free(target, sizeof(Node));
+        if (!ok(st))
+            return st;
+    }
+    --count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+} // namespace asymnvm

@@ -1,0 +1,97 @@
+#ifndef ASYMNVM_DS_SKIPLIST_H_
+#define ASYMNVM_DS_SKIPLIST_H_
+
+/**
+ * @file
+ * Persistent skiplist (Section 8.4, and the paper's running example of
+ * Figure 2).
+ *
+ * Towers up to 16 levels with p = 0.5 (Section 9.2). The writer first
+ * creates the fully initialized new node (successor pointers set), then
+ * links predecessors from the bottom level upward, the ordering that
+ * keeps concurrent readers on a consistent view. High-level nodes are the
+ * hot ones, so cache admission is keyed on tower height ("we cache the
+ * nodes with higher degree").
+ */
+
+#include <span>
+#include <vector>
+
+#include "ds/ds_common.h"
+
+namespace asymnvm {
+
+/** A persistent ordered map implemented as a skiplist. */
+class SkipList : public DsBase
+{
+  public:
+    static constexpr uint32_t kMaxLevel = 16;
+
+    SkipList() = default; //!< unbound; use create()/open()
+
+    static Status create(FrontendSession &s, NodeId backend,
+                         std::string_view name, SkipList *out,
+                         const DsOptions &opt = {});
+    static Status open(FrontendSession &s, NodeId backend,
+                       std::string_view name, SkipList *out,
+                       const DsOptions &opt = {});
+
+    /** Insert or update (Figure 2's workflow). */
+    Status insert(Key key, const Value &v);
+
+    /** Vector insertion (sorted batch with path pinning, Section 8.4). */
+    Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
+
+    /** Point lookup. */
+    Status find(Key key, Value *out);
+
+    /** Remove; NotFound when absent. */
+    Status erase(Key key);
+
+    /** Range scan: up to @p limit pairs with key >= @p from. */
+    Status scan(Key from, uint32_t limit,
+                std::vector<std::pair<Key, Value>> *out);
+
+    bool contains(Key key);
+    uint64_t size() const { return count_; }
+
+  private:
+    SkipList(FrontendSession &s, NodeId backend, std::string name,
+             DsId id, const DsOptions &opt)
+        : DsBase(s, backend, std::move(name), id, opt),
+          level_rng_(0x5eed + id)
+    {}
+
+    struct Node
+    {
+        Key key;
+        uint32_t level;
+        uint32_t pad;
+        Value value;
+        uint64_t next[kMaxLevel];
+    };
+    static_assert(sizeof(Node) == 208);
+
+    void install();
+    Status loadShadows();
+    uint32_t randomLevel();
+
+    /**
+     * Locate the insert position: predecessors/successors per level
+     * (the rnvm_read traversal of Figure 2 lines 2-13).
+     */
+    Status findPosition(Key key, uint64_t preds[kMaxLevel],
+                        uint64_t succs[kMaxLevel], bool *found,
+                        bool pin = false);
+
+    Status insertOne(Key key, const Value &v, bool pin);
+    Status findLocked(Key key, Value *out);
+
+    uint64_t head_raw_ = 0; //!< aux0: sentinel node
+    uint64_t count_ = 0;    //!< aux1
+    Rng level_rng_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_DS_SKIPLIST_H_

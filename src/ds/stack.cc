@@ -1,0 +1,186 @@
+#include "ds/stack.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+Status
+Stack::create(FrontendSession &s, NodeId backend, std::string_view name,
+              Stack *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    const Status st = s.createDs(backend, name, DsType::Stack, &id);
+    if (!ok(st))
+        return st;
+    *out = Stack(s, backend, std::string(name), id, opt);
+    out->install();
+    return Status::Ok;
+}
+
+Status
+Stack::open(FrontendSession &s, NodeId backend, std::string_view name,
+            Stack *out, const DsOptions &opt)
+{
+    DsId id = 0;
+    DsType type = DsType::None;
+    Status st = s.openDs(backend, name, &id, &type);
+    if (!ok(st))
+        return st;
+    if (type != DsType::Stack)
+        return Status::InvalidArgument;
+    *out = Stack(s, backend, std::string(name), id, opt);
+    st = out->loadShadows();
+    if (!ok(st))
+        return st;
+    out->install();
+    return Status::Ok;
+}
+
+void
+Stack::install()
+{
+    s_->setFlushHook(id_, backend_, [this] { materializePending(); });
+    s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
+        if (op.op == OpType::Push) {
+            Value v;
+            std::memcpy(v.bytes.data(), op.value.data(),
+                        std::min(op.value.size(), Value::kSize));
+            return push(v);
+        }
+        if (op.op == OpType::Pop) {
+            Value dummy;
+            const Status st = pop(&dummy);
+            return st == Status::NotFound ? Status::Ok : st;
+        }
+        return Status::InvalidArgument;
+    });
+}
+
+Status
+Stack::loadShadows()
+{
+    Status st = s_->readAux(id_, backend_, 0, &head_raw_);
+    if (!ok(st))
+        return st;
+    return s_->readAux(id_, backend_, 1, &count_);
+}
+
+Status
+Stack::materializeOne(const Value &v)
+{
+    Node node{};
+    node.value = v;
+    node.next_raw = head_raw_;
+    RemotePtr p;
+    Status st = allocNode(node, &p);
+    if (!ok(st))
+        return st;
+    head_raw_ = p.raw();
+    ++count_;
+    return Status::Ok;
+}
+
+Status
+Stack::materializePending()
+{
+    if (pending_.empty())
+        return Status::Ok;
+    for (const Value &v : pending_) {
+        const Status st = materializeOne(v);
+        if (!ok(st))
+            return st;
+    }
+    pending_.clear();
+    const uint64_t vals[2] = {head_raw_, count_};
+    return s_->writeAuxRange(id_, backend_, 0, vals, 2);
+}
+
+Status
+Stack::push(const Value &v)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Push, 0,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    if (deferWrites()) {
+        pending_.push_back(v);
+    } else {
+        st = materializeOne(v);
+        if (!ok(st))
+            return st;
+        const uint64_t vals[2] = {head_raw_, count_};
+        st = s_->writeAuxRange(id_, backend_, 0, vals, 2);
+        if (!ok(st))
+            return st;
+    }
+    return s_->opEnd();
+}
+
+Status
+Stack::popMaterialized(Value *out)
+{
+    const RemotePtr head = RemotePtr::fromRaw(head_raw_);
+    Node node;
+    // The head node is the hot spot; cache it (Section 8.1).
+    Status st = readNode(head, &node, /*level=*/0,
+                         /*use_admission=*/false);
+    if (!ok(st))
+        return st;
+    *out = node.value;
+    head_raw_ = node.next_raw;
+    --count_;
+    const uint64_t vals[2] = {head_raw_, count_};
+    st = s_->writeAuxRange(id_, backend_, 0, vals, 2);
+    if (!ok(st))
+        return st;
+    return s_->free(head, sizeof(Node));
+}
+
+Status
+Stack::pop(Value *out)
+{
+    Status st = s_->opBegin(id_, backend_, OpType::Pop, 0, nullptr, 0);
+    if (!ok(st))
+        return st;
+    if (!pending_.empty()) {
+        // Annulment: serve the newest un-materialized push locally; its
+        // memory logs are never generated (Section 8.1).
+        *out = pending_.back();
+        pending_.pop_back();
+        return s_->opEnd();
+    }
+    if (head_raw_ == 0) {
+        st = s_->opEnd();
+        return ok(st) ? Status::NotFound : st;
+    }
+    st = popMaterialized(out);
+    if (!ok(st))
+        return st;
+    return s_->opEnd();
+}
+
+Status
+Stack::top(Value *out)
+{
+    if (!pending_.empty()) {
+        *out = pending_.back();
+        return Status::Ok;
+    }
+    if (head_raw_ == 0)
+        return Status::NotFound;
+    Node node;
+    const Status st = readNode(RemotePtr::fromRaw(head_raw_), &node, 0,
+                               false);
+    if (!ok(st))
+        return st;
+    *out = node.value;
+    return Status::Ok;
+}
+
+uint64_t
+Stack::size() const
+{
+    return count_ + pending_.size();
+}
+
+} // namespace asymnvm

@@ -1,0 +1,236 @@
+#include "frontend/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "rdma/rpc.h"
+
+namespace asymnvm {
+
+FrontendAllocator::FrontendAllocator(NodeId backend, uint64_t slab_size,
+                                     RpcFn rpc, uint32_t reclaim_threshold)
+    : backend_(backend), slab_size_(slab_size), rpc_(std::move(rpc)),
+      reclaim_threshold_(reclaim_threshold)
+{}
+
+void
+FrontendAllocator::reindex(Slab &slab)
+{
+    // Keep the by-largest-hole index current so best-fit allocation is
+    // a single ordered lookup, independent of how many (nearly) full
+    // slabs have accumulated.
+    uint64_t largest = 0;
+    for (const auto &[off, len] : slab.holes)
+        largest = std::max(largest, len);
+    if (largest != slab.largest_hole) {
+        by_hole_.erase({slab.largest_hole, slab.base});
+        slab.largest_hole = largest;
+        if (largest != 0)
+            by_hole_.insert({largest, slab.base});
+    } else if (largest != 0 &&
+               by_hole_.count({largest, slab.base}) == 0) {
+        by_hole_.insert({largest, slab.base});
+    }
+}
+
+Status
+FrontendAllocator::allocLarge(uint64_t size, RemotePtr *out)
+{
+    const uint64_t nblocks = (size + slab_size_ - 1) / slab_size_;
+    uint64_t args[1] = {nblocks};
+    uint64_t rets[4] = {};
+    const Status st = rpc_(RpcOp::AllocBlocks, args, {}, rets);
+    if (!ok(st))
+        return st;
+    ++rpc_allocs_;
+    *out = RemotePtr(backend_, rets[0]);
+    return Status::Ok;
+}
+
+Status
+FrontendAllocator::newSlab()
+{
+    // Refill several slabs per RPC: one round trip amortizes over
+    // kRefillSlabs slab-worths of fine-grained allocations, the point
+    // of the two-tier design (Section 5.2).
+    constexpr uint64_t kRefillSlabs = 8;
+    uint64_t args[1] = {kRefillSlabs};
+    uint64_t rets[4] = {};
+    Status st = rpc_(RpcOp::AllocBlocks, args, {}, rets);
+    uint64_t got = kRefillSlabs;
+    if (st == Status::OutOfMemory) {
+        // Memory pressure: fall back to a single block.
+        args[0] = 1;
+        st = rpc_(RpcOp::AllocBlocks, args, {}, rets);
+        got = 1;
+    }
+    if (!ok(st))
+        return st;
+    ++rpc_allocs_;
+    for (uint64_t i = 0; i < got; ++i) {
+        Slab slab;
+        slab.base = rets[0] + i * slab_size_;
+        slab.free_bytes = slab_size_;
+        slab.largest_hole = slab_size_;
+        slab.holes[0] = slab_size_;
+        by_hole_.insert({slab_size_, slab.base});
+        slabs_.emplace(slab.base, std::move(slab));
+    }
+    empty_count_ += static_cast<uint32_t>(got);
+    return Status::Ok;
+}
+
+Status
+FrontendAllocator::alloc(uint64_t size, RemotePtr *out)
+{
+    if (size == 0)
+        return Status::InvalidArgument;
+    size = roundUp(size);
+    if (size > slab_size_)
+        return allocLarge(size, out);
+
+    // Best fit: the partial slab hole with the least leftover wins.
+    // Scanning is bounded to keep host cost O(1): allocation sizes are
+    // few in practice, so an exact hit appears within a few slabs.
+    Slab *best_slab = nullptr;
+    uint64_t best_off = 0;
+    uint64_t best_leftover = UINT64_MAX;
+    auto consider = [&](Slab &slab) {
+        if (slab.free_bytes < size)
+            return;
+        for (const auto &[off, len] : slab.holes) {
+            if (len >= size && len - size < best_leftover) {
+                best_leftover = len - size;
+                best_slab = &slab;
+                best_off = off;
+            }
+        }
+    };
+    // Best-fit slab: the smallest largest-hole that still fits, found
+    // with one ordered lookup; a couple of neighbors refine the choice.
+    uint32_t candidates = 0;
+    for (auto it = by_hole_.lower_bound({size, 0});
+         it != by_hole_.end(); ++it) {
+        consider(slabs_.at(it->second));
+        if (best_leftover == 0 || ++candidates >= 4)
+            break;
+    }
+    if (best_slab == nullptr) {
+        const Status st = newSlab();
+        if (!ok(st))
+            return st;
+        return alloc(size, out);
+    }
+    const uint64_t hole_len = best_slab->holes[best_off];
+    best_slab->holes.erase(best_off);
+    if (hole_len > size)
+        best_slab->holes[best_off + size] = hole_len - size;
+    if (best_slab->free_bytes == slab_size_)
+        --empty_count_;
+    best_slab->free_bytes -= size;
+    reindex(*best_slab);
+    ++local_allocs_;
+    *out = RemotePtr(backend_, best_slab->base + best_off);
+    return Status::Ok;
+}
+
+Status
+FrontendAllocator::free(RemotePtr p, uint64_t size)
+{
+    if (p.isNull() || size == 0 || p.backend != backend_)
+        return Status::InvalidArgument;
+    size = roundUp(size);
+    if (size > slab_size_) {
+        const uint64_t nblocks = (size + slab_size_ - 1) / slab_size_;
+        uint64_t args[2] = {p.offset, nblocks};
+        return rpc_(RpcOp::FreeBlocks, args, {}, nullptr);
+    }
+    // Locate the owning slab: the greatest base <= offset.
+    auto sit = slabs_.upper_bound(p.offset);
+    if (sit != slabs_.begin()) {
+        --sit;
+        Slab &slab = sit->second;
+        const uint64_t base = sit->first;
+        if (p.offset >= base && p.offset + size <= base + slab_size_) {
+            uint64_t off = p.offset - base;
+            uint64_t len = size;
+            // Coalesce with neighbors.
+            auto next = slab.holes.lower_bound(off);
+            if (next != slab.holes.end() && off + len == next->first) {
+                len += next->second;
+                next = slab.holes.erase(next);
+            }
+            if (next != slab.holes.begin()) {
+                auto prev = std::prev(next);
+                if (prev->first + prev->second == off) {
+                    off = prev->first;
+                    len += prev->second;
+                    slab.holes.erase(prev);
+                }
+            }
+            slab.holes[off] = len;
+            slab.free_bytes += size;
+            reindex(slab);
+            if (slab.free_bytes == slab_size_)
+                ++empty_count_;
+            maybeReclaim();
+            return Status::Ok;
+        }
+    }
+    // Not one of ours (allocated by a previous incarnation or another
+    // session). Section 5.2: allocation state recovers only at slab
+    // granularity, so sub-slab regions inside foreign slabs leak until
+    // the owning slab is reclaimed; freeing the block here could corrupt
+    // live neighbours.
+    ++leaked_foreign_;
+    return Status::Ok;
+}
+
+void
+FrontendAllocator::maybeReclaim()
+{
+    if (empty_count_ <= reclaim_threshold_)
+        return;
+    // Collect fully free slabs (top of the hole-size index), keep half
+    // the threshold's worth around, and return the rest — contiguous
+    // runs coalesce into single FreeBlocks calls so a burst of frees
+    // costs O(runs) round trips, not O(slabs).
+    std::vector<uint64_t> bases;
+    const uint32_t keep = reclaim_threshold_ / 2;
+    for (auto it = by_hole_.lower_bound({slab_size_, 0});
+         it != by_hole_.end() && it->first == slab_size_ &&
+         empty_count_ - bases.size() > keep;
+         ++it) {
+        bases.push_back(it->second);
+    }
+    if (bases.empty())
+        return;
+    std::sort(bases.begin(), bases.end());
+    size_t run_start = 0;
+    for (size_t i = 1; i <= bases.size(); ++i) {
+        const bool run_ends =
+            i == bases.size() ||
+            bases[i] != bases[i - 1] + slab_size_;
+        if (run_ends) {
+            uint64_t args[2] = {bases[run_start], i - run_start};
+            rpc_(RpcOp::FreeBlocks, args, {}, nullptr);
+            run_start = i;
+        }
+    }
+    for (uint64_t base : bases) {
+        by_hole_.erase({slab_size_, base});
+        slabs_.erase(base);
+        --empty_count_;
+    }
+}
+
+void
+FrontendAllocator::loseVolatileState()
+{
+    slabs_.clear();
+    by_hole_.clear();
+    empty_count_ = 0;
+}
+
+} // namespace asymnvm

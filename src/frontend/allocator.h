@@ -1,0 +1,103 @@
+#ifndef ASYMNVM_FRONTEND_ALLOCATOR_H_
+#define ASYMNVM_FRONTEND_ALLOCATOR_H_
+
+/**
+ * @file
+ * Front-end tier of the two-tier slab allocator (Section 5.2).
+ *
+ * The back-end hands out fixed-size slabs; the front-end subdivides them
+ * at finer granularity. Slabs are organized in full-, partial-, and
+ * empty-lists according to consumption, sub-slab allocation is best-fit,
+ * and when the number of free (empty) slabs exceeds a threshold the
+ * front-end reclaims them to the back-end via RPC. Table 2 of the paper
+ * compares this design against an RPC-per-allocation strawman and the
+ * local-only NVML/glibc allocators — bench/bench_table2_allocators.cc
+ * regenerates that comparison.
+ *
+ * Sub-slab allocation metadata is volatile (it lives in front-end DRAM);
+ * after a front-end crash the allocation state is recovered only at slab
+ * granularity from the back-end's persistent bitmap, exactly the trade-off
+ * Section 5.2 describes.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <set>
+#include <span>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace asymnvm {
+
+enum class RpcOp : uint32_t;
+
+/** Front-end (second-tier) slab allocator for one back-end. */
+class FrontendAllocator
+{
+  public:
+    /**
+     * Transport used to reach the back-end allocator: normally bound to
+     * RfpRpc::call, or to a direct local call in the symmetric baseline.
+     */
+    using RpcFn = std::function<Status(
+        RpcOp op, std::span<const uint64_t> args,
+        std::span<const uint8_t> payload, uint64_t rets[4])>;
+
+    /**
+     * @param backend          Back-end node id (for RemotePtr stamping).
+     * @param slab_size        Back-end block size in bytes.
+     * @param rpc              Transport to the back-end allocator.
+     * @param reclaim_threshold Empty slabs kept before reclaiming.
+     */
+    FrontendAllocator(NodeId backend, uint64_t slab_size, RpcFn rpc,
+                      uint32_t reclaim_threshold = 32);
+
+    /** Allocate @p size bytes of back-end NVM. */
+    Status alloc(uint64_t size, RemotePtr *out);
+
+    /** Free an allocation of @p size bytes at @p p. */
+    Status free(RemotePtr p, uint64_t size);
+
+    /** Drop all volatile sub-slab state (front-end crash simulation). */
+    void loseVolatileState();
+
+    uint64_t slabsHeld() const { return slabs_.size(); }
+    uint64_t rpcAllocs() const { return rpc_allocs_; }
+    uint64_t localAllocs() const { return local_allocs_; }
+    uint64_t leakedForeignFrees() const { return leaked_foreign_; }
+
+  private:
+    struct Slab
+    {
+        uint64_t base;                    //!< absolute NVM offset
+        uint64_t free_bytes;
+        uint64_t largest_hole;            //!< index key into by_hole_
+        std::map<uint64_t, uint64_t> holes; //!< offset -> length
+    };
+
+    Status allocLarge(uint64_t size, RemotePtr *out);
+    Status newSlab();
+    void reindex(Slab &slab);
+    void maybeReclaim();
+    static uint64_t roundUp(uint64_t v) { return (v + 7) & ~7ull; }
+
+    NodeId backend_;
+    uint64_t slab_size_;
+    RpcFn rpc_;
+    uint32_t reclaim_threshold_;
+
+    std::map<uint64_t, Slab> slabs_; //!< keyed by base offset (ordered)
+    /** (largest hole, base): best-fit slab lookup is one lower_bound. */
+    std::set<std::pair<uint64_t, uint64_t>> by_hole_;
+    uint32_t empty_count_ = 0;
+    uint64_t rpc_allocs_ = 0;
+    uint64_t local_allocs_ = 0;
+    uint64_t leaked_foreign_ = 0;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_FRONTEND_ALLOCATOR_H_

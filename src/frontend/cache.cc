@@ -1,0 +1,183 @@
+#include "frontend/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asymnvm {
+
+PageCache::PageCache(CachePolicy policy, uint64_t capacity, SimClock *clock,
+                     const LatencyModel *lat, uint32_t sample_k,
+                     uint64_t seed)
+    : policy_(policy), capacity_(capacity), clock_(clock), lat_(lat),
+      sample_k_(sample_k), rng_(seed)
+{}
+
+bool
+PageCache::entryValid(const Entry &e) const
+{
+    auto it = ds_min_epoch_.find(e.ds);
+    return it == ds_min_epoch_.end() || e.epoch >= it->second;
+}
+
+bool
+PageCache::lookup(RemotePtr addr, void *dst, uint32_t len)
+{
+    clock_->advance(lat_->cache_probe_ns);
+    auto it = map_.find(addr.raw());
+    if (it == map_.end() || it->second.data.size() != len ||
+        !entryValid(it->second)) {
+        if (it != map_.end() && !entryValid(it->second))
+            removeKey(addr.raw()); // lazily drop invalidated entries
+        ++misses_;
+        return false;
+    }
+    Entry &e = it->second;
+    std::memcpy(dst, e.data.data(), len);
+    e.tick = ++tick_;
+    clock_->advance(lat_->dram_access_ns);
+    if (policy_ == CachePolicy::Lru) {
+        // Exact LRU pays list maintenance on every access — this is the
+        // overhead the hybrid policy avoids (Section 4.4).
+        lru_list_.splice(lru_list_.begin(), lru_list_, e.lru_it);
+        clock_->advance(2 * lat_->dram_access_ns);
+    }
+    ++hits_;
+    return true;
+}
+
+void
+PageCache::insert(DsId ds, RemotePtr addr, const void *data, uint32_t len)
+{
+    if (len > capacity_)
+        return;
+    const uint64_t raw = addr.raw();
+    auto it = map_.find(raw);
+    if (it != map_.end()) {
+        size_bytes_ -= it->second.data.size();
+        it->second.ds = ds;
+        it->second.data.assign(static_cast<const uint8_t *>(data),
+                               static_cast<const uint8_t *>(data) + len);
+        it->second.tick = ++tick_;
+        it->second.epoch = epoch_;
+        size_bytes_ += len;
+        clock_->advance(lat_->dram_access_ns);
+        return;
+    }
+    while (size_bytes_ + len > capacity_ && !map_.empty())
+        evictOne();
+    Entry e;
+    e.ds = ds;
+    e.data.assign(static_cast<const uint8_t *>(data),
+                  static_cast<const uint8_t *>(data) + len);
+    e.tick = ++tick_;
+    e.epoch = epoch_;
+    e.keys_idx = keys_.size();
+    keys_.push_back(raw);
+    if (policy_ == CachePolicy::Lru) {
+        lru_list_.push_front(raw);
+        e.lru_it = lru_list_.begin();
+    }
+    size_bytes_ += len;
+    map_.emplace(raw, std::move(e));
+    clock_->advance(lat_->dram_access_ns);
+}
+
+void
+PageCache::update(RemotePtr addr, const void *data, uint32_t len)
+{
+    auto it = map_.find(addr.raw());
+    if (it == map_.end())
+        return;
+    if (it->second.data.size() != len) {
+        invalidate(addr);
+        return;
+    }
+    std::memcpy(it->second.data.data(), data, len);
+    clock_->advance(lat_->dram_access_ns);
+}
+
+void
+PageCache::removeKey(uint64_t raw)
+{
+    auto it = map_.find(raw);
+    if (it == map_.end())
+        return;
+    Entry &e = it->second;
+    // Swap-pop from the dense key vector.
+    const size_t idx = e.keys_idx;
+    keys_[idx] = keys_.back();
+    map_[keys_[idx]].keys_idx = idx;
+    keys_.pop_back();
+    if (policy_ == CachePolicy::Lru)
+        lru_list_.erase(e.lru_it);
+    size_bytes_ -= e.data.size();
+    map_.erase(it);
+}
+
+void
+PageCache::invalidate(RemotePtr addr)
+{
+    removeKey(addr.raw());
+}
+
+void
+PageCache::invalidateDs(DsId ds)
+{
+    // O(1): entries of this structure inserted before the new epoch are
+    // treated as misses and lazily removed on their next probe.
+    ds_min_epoch_[ds] = ++epoch_;
+    clock_->advance(lat_->dram_access_ns);
+}
+
+void
+PageCache::clear()
+{
+    map_.clear();
+    keys_.clear();
+    lru_list_.clear();
+    ds_min_epoch_.clear();
+    size_bytes_ = 0;
+}
+
+void
+PageCache::evictOne()
+{
+    if (map_.empty())
+        return;
+    ++evictions_;
+    switch (policy_) {
+      case CachePolicy::Lru: {
+        removeKey(lru_list_.back());
+        clock_->advance(lat_->dram_access_ns);
+        return;
+      }
+      case CachePolicy::Random: {
+        const uint64_t raw = keys_[rng_.nextBounded(keys_.size())];
+        removeKey(raw);
+        clock_->advance(lat_->dram_access_ns);
+        return;
+      }
+      case CachePolicy::Hybrid: {
+        // Sample a random set and discard the least-recently-used member.
+        uint64_t victim = 0;
+        uint64_t best_tick = UINT64_MAX;
+        const uint32_t k =
+            static_cast<uint32_t>(std::min<uint64_t>(sample_k_,
+                                                     keys_.size()));
+        for (uint32_t i = 0; i < k; ++i) {
+            const uint64_t raw = keys_[rng_.nextBounded(keys_.size())];
+            const uint64_t t = map_[raw].tick;
+            if (t < best_tick) {
+                best_tick = t;
+                victim = raw;
+            }
+        }
+        removeKey(victim);
+        // Sampling touches k cache slots' metadata.
+        clock_->advance(k * lat_->dram_access_ns / 8);
+        return;
+      }
+    }
+}
+
+} // namespace asymnvm

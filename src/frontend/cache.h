@@ -1,0 +1,184 @@
+#ifndef ASYMNVM_FRONTEND_CACHE_H_
+#define ASYMNVM_FRONTEND_CACHE_H_
+
+/**
+ * @file
+ * Front-end DRAM data cache (Section 4.4).
+ *
+ * The front-end maps remote NVM objects (tree nodes, hash-table items,
+ * pages — "the page size is adjustable according to different data
+ * structures") to local DRAM copies through a hash map. Three replacement
+ * policies are provided:
+ *
+ *  - Lru:    exact LRU; best hit ratio but charges extra DRAM work on
+ *            every access for list maintenance (the paper calls its
+ *            implementation "expensive"),
+ *  - Random: random replacement; cheap but keeps no hot data,
+ *  - Hybrid: the paper's policy — sample a random set of K pages and
+ *            evict the least recently used one of the set, combining
+ *            LRU-quality hit ratios with RR-level bookkeeping cost.
+ *
+ * Entries are tagged with the owning data structure so multi-version
+ * readers can flush a structure's entries when its gc_epoch advances
+ * (reclaimed NVM may be reused; see Section 6.2 and frontend/session.h).
+ */
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace asymnvm {
+
+/** Replacement policies for the front-end data cache. */
+enum class CachePolicy : uint8_t
+{
+    Lru,
+    Random,
+    Hybrid,
+};
+
+/** Object-granularity DRAM cache in front of remote NVM. */
+class PageCache
+{
+  public:
+    /**
+     * @param policy     Replacement policy.
+     * @param capacity   Capacity in bytes of cached data.
+     * @param clock      Session clock charged for probe/maintenance work.
+     * @param lat        Cost constants.
+     * @param sample_k   Sample-set size for the Hybrid policy (paper: 32).
+     * @param seed       PRNG seed for Random/Hybrid sampling.
+     */
+    PageCache(CachePolicy policy, uint64_t capacity, SimClock *clock,
+              const LatencyModel *lat, uint32_t sample_k = 32,
+              uint64_t seed = 1234);
+
+    /**
+     * Probe for @p addr. On a hit, copies the cached bytes (which must
+     * have been inserted with the same length) into @p dst.
+     */
+    bool lookup(RemotePtr addr, void *dst, uint32_t len);
+
+    /** Insert (or refresh) an object; evicts per policy to make room. */
+    void insert(DsId ds, RemotePtr addr, const void *data, uint32_t len);
+
+    /**
+     * Write-through update after a memory log: patch the cached copy if
+     * present. Length mismatch invalidates the entry instead.
+     */
+    void update(RemotePtr addr, const void *data, uint32_t len);
+
+    /** Drop one object. */
+    void invalidate(RemotePtr addr);
+
+    /** Drop every object belonging to @p ds (gc_epoch advanced). */
+    void invalidateDs(DsId ds);
+
+    /** Drop everything (back-end failover, Section 4.3). */
+    void clear();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t sizeBytes() const { return size_bytes_; }
+    uint64_t entryCount() const { return map_.size(); }
+
+    /** Observed miss ratio since the last resetStats(). */
+    double missRatio() const
+    {
+        const uint64_t total = hits_ + misses_;
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses_) / total;
+    }
+
+    void resetStats()
+    {
+        hits_ = misses_ = evictions_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        DsId ds;
+        std::vector<uint8_t> data;
+        uint64_t tick;              //!< last-use logical time
+        uint64_t epoch;             //!< insertion epoch (DS invalidation)
+        size_t keys_idx;            //!< position in keys_ (Random/Hybrid)
+        std::list<uint64_t>::iterator lru_it; //!< valid under Lru
+    };
+
+    bool entryValid(const Entry &e) const;
+
+    void evictOne();
+    void removeKey(uint64_t raw);
+
+    CachePolicy policy_;
+    uint64_t capacity_;
+    SimClock *clock_;
+    const LatencyModel *lat_;
+    uint32_t sample_k_;
+    Rng rng_;
+
+    std::unordered_map<uint64_t, Entry> map_;
+    std::vector<uint64_t> keys_;    //!< dense key set for random sampling
+    std::list<uint64_t> lru_list_;  //!< MRU at front (Lru policy only)
+
+    uint64_t tick_ = 0;
+    uint64_t epoch_ = 1;
+    std::unordered_map<DsId, uint64_t> ds_min_epoch_;
+    uint64_t size_bytes_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+/**
+ * Adaptive level-based cache admission for tree-like structures
+ * (Section 8.3): only nodes at level <= N are admitted; N decreases when
+ * the miss ratio exceeds 50% and increases when it drops below 25%,
+ * evaluated over fixed-size windows of accesses.
+ */
+class LevelAdmission
+{
+  public:
+    explicit LevelAdmission(uint32_t initial_n = 8, uint32_t window = 512)
+        : n_(initial_n), window_(window)
+    {}
+
+    /** Should a node at @p level (root = 0) be admitted to the cache? */
+    bool admit(uint32_t level) const { return level <= n_; }
+
+    /** Record the outcome of one cacheable read. */
+    void record(bool hit)
+    {
+        ++accesses_;
+        misses_ += hit ? 0 : 1;
+        if (accesses_ < window_)
+            return;
+        const double ratio =
+            static_cast<double>(misses_) / static_cast<double>(accesses_);
+        if (ratio > 0.50 && n_ > 0)
+            --n_;
+        else if (ratio < 0.25 && n_ < 64)
+            ++n_;
+        accesses_ = misses_ = 0;
+    }
+
+    uint32_t level() const { return n_; }
+
+  private:
+    uint32_t n_;
+    uint32_t window_;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_FRONTEND_CACHE_H_

@@ -1,0 +1,1050 @@
+#include "frontend/session.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace asymnvm {
+
+// ---------------------------------------------------------------------
+// SessionConfig presets (the system rows of Table 3)
+// ---------------------------------------------------------------------
+
+SessionConfig
+SessionConfig::naive(uint64_t id)
+{
+    SessionConfig c;
+    c.session_id = id;
+    c.use_oplog = false;
+    c.use_txlog = false;
+    c.use_cache = false;
+    c.batch_size = 1;
+    return c;
+}
+
+SessionConfig
+SessionConfig::r(uint64_t id)
+{
+    SessionConfig c;
+    c.session_id = id;
+    c.use_oplog = true;
+    c.use_txlog = true;
+    c.use_cache = false;
+    c.batch_size = 1;
+    return c;
+}
+
+SessionConfig
+SessionConfig::rc(uint64_t id, uint64_t cache_bytes)
+{
+    SessionConfig c = r(id);
+    c.use_cache = true;
+    c.cache_bytes = cache_bytes;
+    return c;
+}
+
+SessionConfig
+SessionConfig::rcb(uint64_t id, uint64_t cache_bytes, uint32_t batch)
+{
+    SessionConfig c = rc(id, cache_bytes);
+    c.batch_size = batch;
+    return c;
+}
+
+SessionConfig
+SessionConfig::symmetricBase(uint64_t id, bool batched)
+{
+    SessionConfig c;
+    c.session_id = id;
+    c.symmetric = true;
+    c.symmetric_batch = batched;
+    c.use_cache = false; // data is already local
+    c.batch_size = batched ? 1024 : 1;
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// Construction / connection
+// ---------------------------------------------------------------------
+
+FrontendSession::FrontendSession(const SessionConfig &cfg,
+                                 const LatencyModel &lat)
+    : cfg_(cfg), lat_(lat), verbs_(&clock_, &lat_)
+{
+    cache_ = std::make_unique<PageCache>(cfg_.cache_policy,
+                                         cfg_.cache_bytes, &clock_, &lat_,
+                                         cfg_.cache_sample_k,
+                                         cfg_.rng_seed);
+}
+
+FrontendSession::~FrontendSession() = default;
+
+Status
+FrontendSession::connect(BackendNode *backend)
+{
+    BackendCtx c;
+    c.node = backend;
+    const Status st = backend->registerFrontend(cfg_.session_id, &c.slot);
+    if (!ok(st))
+        return st;
+    verbs_.attach(backend->id(), backend->rdmaTarget());
+    c.rpc = std::make_unique<RfpRpc>(&verbs_, backend, c.slot);
+
+    auto it = backends_.emplace(backend->id(), std::move(c)).first;
+    BackendCtx &ctx = it->second;
+    ctx.alloc = std::make_unique<FrontendAllocator>(
+        backend->id(), backend->config().block_size,
+        [this, id = backend->id()](RpcOp op, std::span<const uint64_t> a,
+                                   std::span<const uint8_t> p,
+                                   uint64_t r[4]) {
+            return rpcCall(backends_.at(id), op, a, p, r);
+        });
+
+    // Fetch the persisted log positions (one-sided read of the control
+    // block), which restores the shadows after a reconnect.
+    const LogControl ctl = backend->readControl(ctx.slot);
+    if (!cfg_.symmetric)
+        clock_.advance(lat_.rdma_read_rtt_ns +
+                       lat_.wireBytes(sizeof(LogControl)));
+    else
+        clock_.advance(lat_.nvm_read_ns);
+    ctx.lpn = ctl.lpn;
+    ctx.opn = ctl.opn;
+    ctx.memlog_head = ctl.memlog_head;
+    ctx.oplog_head = ctl.oplog_head;
+    return Status::Ok;
+}
+
+void
+FrontendSession::disconnect(BackendNode *backend)
+{
+    auto it = backends_.find(backend->id());
+    if (it == backends_.end())
+        return;
+    backend->unregisterFrontend(it->second.slot);
+    verbs_.detach(backend->id());
+    backends_.erase(it);
+}
+
+FrontendSession::BackendCtx *
+FrontendSession::ctx(NodeId id)
+{
+    auto it = backends_.find(id);
+    return it == backends_.end() ? nullptr : &it->second;
+}
+
+const FrontendSession::BackendCtx *
+FrontendSession::ctx(NodeId id) const
+{
+    auto it = backends_.find(id);
+    return it == backends_.end() ? nullptr : &it->second;
+}
+
+Status
+FrontendSession::rpcCall(BackendCtx &c, RpcOp op,
+                         std::span<const uint64_t> args,
+                         std::span<const uint8_t> payload, uint64_t rets[4])
+{
+    if (cfg_.symmetric) {
+        // Local back-end: a function call, not a network round trip.
+        clock_.advance(lat_.cpu_op_overhead_ns + lat_.persist_fence_ns);
+        switch (op) {
+          case RpcOp::AllocBlocks:
+            return c.node->rpcAllocBlocks(args[0], &rets[0]);
+          case RpcOp::FreeBlocks:
+            return c.node->rpcFreeBlocks(args[0], args[1]);
+          case RpcOp::CreateName: {
+            DsId id = 0;
+            const Status st = c.node->rpcCreateName(
+                args[0], static_cast<DsType>(args[1]), &id);
+            if (rets != nullptr)
+                rets[0] = id;
+            return st;
+          }
+          case RpcOp::LookupName: {
+            DsId id = 0;
+            DsType type = DsType::None;
+            const Status st = c.node->rpcLookupName(args[0], &id, &type);
+            if (rets != nullptr) {
+                rets[0] = id;
+                rets[1] = static_cast<uint64_t>(type);
+            }
+            return st;
+          }
+          case RpcOp::Retire: {
+            std::vector<std::pair<uint64_t, uint64_t>> regions(args[1]);
+            for (uint64_t i = 0; i < args[1]; ++i) {
+                std::memcpy(&regions[i].first, payload.data() + i * 16, 8);
+                std::memcpy(&regions[i].second,
+                            payload.data() + i * 16 + 8, 8);
+            }
+            return c.node->rpcRetire(static_cast<DsId>(args[0]), regions,
+                                     clock_.now());
+          }
+          case RpcOp::None:
+            break;
+        }
+        return Status::InvalidArgument;
+    }
+    return c.rpc->call(op, args, payload, rets);
+}
+
+// ---------------------------------------------------------------------
+// Read path (gather): overlay -> pin -> cache -> remote
+// ---------------------------------------------------------------------
+
+bool
+FrontendSession::overlayLookup(RemotePtr addr, void *dst,
+                               uint32_t len) const
+{
+    auto it = overlay_.find(addr.raw());
+    if (it == overlay_.end() || it->second.size() != len)
+        return false;
+    std::memcpy(dst, it->second.data(), len);
+    return true;
+}
+
+void
+FrontendSession::overlayInsert(RemotePtr addr, const void *value,
+                               uint32_t len)
+{
+    auto &slot = overlay_[addr.raw()];
+    slot.assign(static_cast<const uint8_t *>(value),
+                static_cast<const uint8_t *>(value) + len);
+}
+
+Status
+FrontendSession::symmetricRead(RemotePtr addr, void *dst, uint32_t len)
+{
+    BackendCtx *c = ctx(addr.backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    c->node->nvm().read(addr.offset, dst, len);
+    clock_.advance(lat_.nvm_read_ns);
+    return Status::Ok;
+}
+
+Status
+FrontendSession::read(RemotePtr addr, void *dst, uint32_t len,
+                      const ReadHint &hint)
+{
+    if (tracking_)
+        tracked_reads_.push_back(addr);
+
+    // 1. Read-your-writes: buffered memory logs shadow remote state.
+    if (!overlay_.empty() && overlayLookup(addr, dst, len)) {
+        clock_.advance(lat_.dram_access_ns);
+        return Status::Ok;
+    }
+    // 2. Batch-local pins (vector operations reread shared path nodes).
+    if (hint.pin && !pinned_.empty()) {
+        auto it = pinned_.find(addr.raw());
+        if (it != pinned_.end() && it->second.size() == len) {
+            std::memcpy(dst, it->second.data(), len);
+            clock_.advance(lat_.dram_access_ns);
+            return Status::Ok;
+        }
+    }
+    if (cfg_.symmetric)
+        return symmetricRead(addr, dst, len);
+
+    // 3. Front-end DRAM cache.
+    const bool cacheable = cfg_.use_cache && hint.cacheable;
+    const bool admitted = hint.admission == nullptr ||
+                          hint.admission->admit(hint.level);
+    if (cacheable && cache_->lookup(addr, dst, len)) {
+        if (hint.admission != nullptr && admitted)
+            hint.admission->record(true);
+        return Status::Ok;
+    }
+    // 4. Remote NVM.
+    const Status st = verbs_.read(addr, dst, len);
+    if (!ok(st))
+        return st;
+    if (cacheable && admitted) {
+        // Only admitted levels feed the miss-ratio window; reads the
+        // threshold excludes by design must not drag N further down.
+        if (hint.admission != nullptr)
+            hint.admission->record(false);
+        cache_->insert(hint.ds, addr, dst, len);
+    }
+    if (hint.pin) {
+        auto &slot = pinned_[addr.raw()];
+        slot.assign(static_cast<uint8_t *>(dst),
+                    static_cast<uint8_t *>(dst) + len);
+    }
+    return Status::Ok;
+}
+
+// ---------------------------------------------------------------------
+// Write path (apply): op log -> memory logs -> group commit
+// ---------------------------------------------------------------------
+
+Status
+FrontendSession::symmetricWrite(RemotePtr addr, const void *value,
+                                uint32_t len)
+{
+    BackendCtx *c = ctx(addr.backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    c->node->nvm().write(addr.offset, value, len);
+    c->node->nvm().persist();
+    // Local persistence is paid per cache line: every 64B of a node
+    // must be written back (clwb) to the DIMM individually.
+    clock_.advance(lat_.nvm_write_ns * ((len + 63) / 64));
+    return Status::Ok;
+}
+
+Status
+FrontendSession::logWrite(DsId ds, RemotePtr addr, const void *value,
+                          uint32_t len)
+{
+    return logWriteInternal(ds, addr, value, len, /*op_ref=*/false, 0);
+}
+
+Status
+FrontendSession::logWriteFromOp(DsId ds, RemotePtr addr,
+                                const void *value, uint32_t len,
+                                uint32_t val_off)
+{
+    BackendCtx *c = ctx(addr.backend);
+    const bool can_ref = cfg_.use_opref && cfg_.use_oplog &&
+                         cfg_.use_txlog && !cfg_.symmetric &&
+                         c != nullptr &&
+                         val_off + len <= c->last_oplog_len;
+    return logWriteInternal(ds, addr, value, len, can_ref, val_off);
+}
+
+Status
+FrontendSession::logWriteInternal(DsId ds, RemotePtr addr,
+                                  const void *value, uint32_t len,
+                                  bool op_ref, uint32_t val_off)
+{
+    if (cfg_.symmetric)
+        return symmetricWrite(addr, value, len);
+    if (!cfg_.use_txlog) {
+        // Naive: a synchronous RDMA_Write per modification.
+        return verbs_.write(addr, value, len);
+    }
+    BackendCtx *c = ctx(addr.backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+
+    overlayInsert(addr, value, len);
+    if (cfg_.use_cache)
+        cache_->update(addr, value, len);
+    clock_.advance(lat_.dram_access_ns); // build the log entry in DRAM
+
+    auto &group = c->groups[ds];
+    const uint64_t raw = addr.raw();
+    auto fill = [&](BackendCtx::GroupEntry &e) {
+        e.addr = addr;
+        e.bytes.assign(static_cast<const uint8_t *>(value),
+                       static_cast<const uint8_t *>(value) + len);
+        e.op_ref = op_ref;
+        e.oplog_pos = c->last_oplog_pos;
+        e.val_off = val_off;
+    };
+    auto idx = cfg_.coalesce_memlogs ? group.index.find(raw)
+                                     : group.index.end();
+    if (idx != group.index.end() &&
+        group.logs[idx->second].bytes.size() == len) {
+        // Coalesce: a later write to the same address supersedes the
+        // earlier memory log ("compacted to one NVM write", Section 8.3).
+        fill(group.logs[idx->second]);
+    } else {
+        group.index[raw] = group.logs.size();
+        BackendCtx::GroupEntry e;
+        fill(e);
+        group.logs.push_back(std::move(e));
+        group.bytes += (op_ref ? 16 : len) + sizeof(MemLogEntryHeader);
+    }
+    if (group.bytes >= cfg_.memlog_buffer_cap) {
+        // Buffer full: spill the memory logs (not a commit point).
+        return flushGroup(*c, ds, false);
+    }
+    return Status::Ok;
+}
+
+Status
+FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
+                         const void *value, uint32_t val_len)
+{
+    ++ops_started_;
+    clock_.advance(lat_.cpu_op_overhead_ns);
+    if (cfg_.symmetric || !cfg_.use_oplog)
+        return Status::Ok;
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    const auto rec = encodeOpLog(op, ds, c->opn, key, value, val_len);
+    // Per-op persistence (batch == 1) makes the op log the write's
+    // durability point: one synchronous RDMA_Write (Section 4.3). Inside
+    // a batch, op logs are posted and the group commit is the fence.
+    const bool sync = cfg_.batch_size <= 1;
+    const Status st = appendOpLogRecord(*c, rec, sync);
+    if (!ok(st))
+        return st;
+    c->last_oplog_len = val_len;
+    c->opn += 1;
+    return Status::Ok;
+}
+
+Status
+FrontendSession::appendOpLogRecord(BackendCtx &c,
+                                   const std::vector<uint8_t> &rec,
+                                   bool sync)
+{
+    const Layout &lay = c.node->layout();
+    const uint64_t ring = lay.super.oplog_ring_size;
+    const uint64_t base = lay.oplogRingOff(c.slot);
+    const uint64_t pos = ringReserve(&c.oplog_head, ring, base,
+                                     c.node->id(), rec.size());
+    c.last_oplog_pos = pos;
+    const RemotePtr dst(c.node->id(), base + pos % ring);
+    const Status st = sync ? verbs_.write(dst, rec.data(), rec.size())
+                           : verbs_.writeAsync(dst, rec.data(), rec.size());
+    if (!ok(st))
+        return st;
+    return c.node->onOpLogAppended(c.slot, pos,
+                                   static_cast<uint32_t>(rec.size()),
+                                   clock_.now());
+}
+
+uint64_t
+FrontendSession::ringReserve(uint64_t *head, uint64_t ring_size,
+                             uint64_t ring_base, NodeId backend, size_t len)
+{
+    assert(len <= ring_size);
+    const uint64_t off = *head % ring_size;
+    if (off + len > ring_size) {
+        // Pad the lap with a skip marker so scans can follow.
+        if (ring_size - off >= sizeof(uint32_t)) {
+            const uint32_t skip = kSkipMagic;
+            verbs_.writeAsync(RemotePtr(backend, ring_base + off), &skip,
+                              sizeof(skip));
+        }
+        *head = (*head / ring_size + 1) * ring_size;
+    }
+    const uint64_t pos = *head;
+    *head += len;
+    return pos;
+}
+
+Status
+FrontendSession::opEnd()
+{
+    ++ops_in_batch_;
+    if (cfg_.symmetric) {
+        if (!cfg_.symmetric_batch) {
+            // Ship this op's logs now: doorbell + persist fence.
+            clock_.advance(lat_.doorbell_ns + lat_.persist_fence_ns);
+            ops_in_batch_ = 0;
+            return Status::Ok;
+        }
+        if (ops_in_batch_ >= cfg_.batch_size)
+            return flushAll();
+        return Status::Ok;
+    }
+    if (ops_in_batch_ >= cfg_.batch_size)
+        return flushAll();
+    processLocalRetired();
+    return Status::Ok;
+}
+
+void
+FrontendSession::processLocalRetired()
+{
+    while (!local_retired_.empty() &&
+           local_retired_.front().free_at_ns <= clock_.now()) {
+        const auto item = local_retired_.front();
+        local_retired_.pop_front();
+        free(item.ptr, item.size);
+    }
+}
+
+Status
+FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
+{
+    auto git = c.groups.find(ds);
+    if (git == c.groups.end() || git->second.logs.empty()) {
+        c.groups.erase(ds);
+        return Status::Ok;
+    }
+    const uint64_t covered =
+        git->second.covered_opn.value_or(c.opn);
+    const uint64_t oplog_ring = c.node->layout().super.oplog_ring_size;
+    TxBuilder builder;
+    builder.reset(c.lpn, ds, covered);
+    for (const auto &e : git->second.logs) {
+        // An op-ref is only valid while the referenced record is still
+        // in the ring (always true for sane batch/ring ratios).
+        const bool ref_ok =
+            e.op_ref && c.oplog_head - e.oplog_pos < oplog_ring;
+        if (ref_ok) {
+            builder.addOpRef(e.addr, e.oplog_pos, e.val_off,
+                             static_cast<uint32_t>(e.bytes.size()));
+        } else {
+            builder.addInline(e.addr, e.bytes.data(),
+                              static_cast<uint32_t>(e.bytes.size()));
+        }
+    }
+    const auto tx = builder.finish();
+    clock_.advance(lat_.cpu_op_overhead_ns); // serialize in DRAM
+
+    const Layout &lay = c.node->layout();
+    const uint64_t ring = lay.super.memlog_ring_size;
+    const uint64_t base = lay.memlogRingOff(c.slot);
+    const uint64_t pos =
+        ringReserve(&c.memlog_head, ring, base, c.node->id(), tx.size());
+    const RemotePtr dst(c.node->id(), base + pos % ring);
+    const Status st =
+        sync_commit ? verbs_.write(dst, tx.data(), tx.size())
+                    : verbs_.writeAsync(dst, tx.data(), tx.size());
+    c.groups.erase(git);
+    if (!ok(st))
+        return st;
+    const Status bst = c.node->onTxAppended(
+        c.slot, pos, static_cast<uint32_t>(tx.size()), clock_.now());
+    if (!ok(bst))
+        return bst;
+    c.lpn += 1;
+    ++tx_flushes_;
+    return Status::Ok;
+}
+
+void
+FrontendSession::setFlushHook(DsId ds, NodeId backend,
+                              std::function<void()> fn)
+{
+    flush_hooks_[{backend, ds}] = std::move(fn);
+}
+
+void
+FrontendSession::setPostFlushHook(DsId ds, NodeId backend,
+                                  std::function<void()> fn)
+{
+    post_flush_hooks_[{backend, ds}] = std::move(fn);
+}
+
+void
+FrontendSession::setGroupCoverage(DsId ds, NodeId backend,
+                                  uint64_t covered_opn)
+{
+    BackendCtx *c = ctx(backend);
+    if (c != nullptr)
+        c->groups[ds].covered_opn = covered_opn;
+}
+
+uint64_t
+FrontendSession::currentOpn(NodeId backend) const
+{
+    const BackendCtx *c = ctx(backend);
+    return c == nullptr ? 0 : c->opn;
+}
+
+Status
+FrontendSession::flushAll()
+{
+    if (in_flush_)
+        return Status::Ok;
+    in_flush_ = true;
+    // Materialize deferred operations (stack/queue annulment survivors)
+    // before serializing the batch's memory logs.
+    for (auto &[ds, fn] : flush_hooks_)
+        fn();
+    in_flush_ = false;
+    if (cfg_.symmetric) {
+        // Ship the accumulated logs to the remote replica: one doorbell
+        // and one persist fence for the whole batch (Symmetric-B).
+        clock_.advance(lat_.doorbell_ns + lat_.persist_fence_ns);
+        ops_in_batch_ = 0;
+        held_locks_.clear();
+        return Status::Ok;
+    }
+    Status result = Status::Ok;
+    // The final transaction write is the batch's commit point when op
+    // logs were posted asynchronously inside the batch.
+    const bool need_sync =
+        cfg_.use_txlog && (cfg_.batch_size > 1 || !cfg_.use_oplog);
+    // Collect the flush plan first so we know which write is last.
+    std::vector<std::pair<BackendCtx *, DsId>> plan;
+    for (auto &[id, c] : backends_) {
+        for (auto &[ds, group] : c.groups) {
+            if (!group.logs.empty())
+                plan.emplace_back(&c, ds);
+        }
+    }
+    for (size_t i = 0; i < plan.size(); ++i) {
+        const bool sync = need_sync && i + 1 == plan.size();
+        const Status st = flushGroup(*plan[i].first, plan[i].second, sync);
+        if (!ok(st))
+            result = st;
+    }
+    if (plan.empty() && need_sync && ops_in_batch_ > 0 && cfg_.use_oplog) {
+        // Read-annulled batches (stack/queue) may commit with no memory
+        // logs at all; the op logs were still posted, so fence with one
+        // synchronous RTT to make the batch durable.
+        clock_.advance(lat_.rdma_write_rtt_ns);
+    }
+
+    // Publish multi-version roots now that the batch is durable.
+    for (auto &[ds, fn] : post_flush_hooks_)
+        fn();
+
+    // Ship deferred MV retirements and reclaim locally-due regions.
+    for (auto &[id, c] : backends_) {
+        if (!c.retired.empty()) {
+            std::vector<uint8_t> payload(c.retired.size() * 16);
+            for (size_t i = 0; i < c.retired.size(); ++i) {
+                std::memcpy(payload.data() + i * 16, &c.retired[i].first,
+                            8);
+                std::memcpy(payload.data() + i * 16 + 8,
+                            &c.retired[i].second, 8);
+            }
+            uint64_t args[3] = {c.retired_ds, c.retired.size(),
+                                clock_.now()};
+            rpcCall(c, RpcOp::Retire, args, payload, nullptr);
+            // Hand the regions to the local delayed-free queue.
+            for (const auto &[off, size] : c.retired)
+                local_retired_.push_back(
+                    {RemotePtr(id, off), size,
+                     clock_.now() + c.node->config().gc_delay_ns});
+            c.retired.clear();
+        }
+    }
+    processLocalRetired();
+
+    overlay_.clear();
+    pinned_.clear();
+    ops_in_batch_ = 0;
+
+    // Release writer locks only after the batch is durable.
+    auto locks = held_locks_;
+    held_locks_.clear();
+    for (const auto &[key, held] : locks) {
+        if (!held)
+            continue;
+        const auto [backend, ds] = key;
+        BackendCtx *c = ctx(backend);
+        if (c == nullptr)
+            continue;
+        const uint64_t gen = ++writer_gen_[key];
+        verbs_.writeAsync(namingField(ds, backend, naming_field::kAux0 +
+                                                       3 * 8),
+                          &gen, sizeof(gen));
+        const uint64_t zero = 0;
+        verbs_.writeAsync(
+            RemotePtr(backend, c->node->layout().logControlOff(c->slot) +
+                                   offsetof(LogControl, lock_ahead)),
+            &zero, sizeof(zero));
+        verbs_.write64(namingField(ds, backend, naming_field::kWriterLock),
+                       0);
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------
+
+Status
+FrontendSession::alloc(NodeId backend, uint64_t size, RemotePtr *out)
+{
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    clock_.advance(lat_.dram_access_ns); // free-list walk
+    return c->alloc->alloc(size, out);
+}
+
+Status
+FrontendSession::free(RemotePtr p, uint64_t size)
+{
+    BackendCtx *c = ctx(p.backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    clock_.advance(lat_.dram_access_ns);
+    if (cfg_.use_cache)
+        cache_->invalidate(p);
+    return c->alloc->free(p, size);
+}
+
+void
+FrontendSession::retire(DsId ds, RemotePtr p, uint64_t size)
+{
+    BackendCtx *c = ctx(p.backend);
+    if (c == nullptr)
+        return;
+    c->retired.emplace_back(p.offset, size);
+    c->retired_ds = ds;
+}
+
+// ---------------------------------------------------------------------
+// Concurrency control
+// ---------------------------------------------------------------------
+
+RemotePtr
+FrontendSession::namingField(DsId ds, NodeId backend, uint64_t field_off)
+{
+    BackendCtx *c = ctx(backend);
+    assert(c != nullptr);
+    return RemotePtr(backend, c->node->layout().namingEntryOff(ds) +
+                                  field_off);
+}
+
+Status
+FrontendSession::writerLock(DsId ds, NodeId backend)
+{
+    const auto key = std::make_pair(backend, ds);
+    if (held_locks_.count(key) != 0)
+        return Status::Ok;
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    if (cfg_.symmetric) {
+        clock_.advance(lat_.dram_access_ns);
+        held_locks_[key] = true;
+        return Status::Ok;
+    }
+    const RemotePtr lock_ptr =
+        namingField(ds, backend, naming_field::kWriterLock);
+    const uint64_t self = static_cast<uint64_t>(c->slot) + 1;
+    while (true) {
+        uint64_t old = 0;
+        const Status st = verbs_.compareAndSwap(lock_ptr, 0, self, &old);
+        if (!ok(st))
+            return st;
+        if (old == 0)
+            break;
+        std::this_thread::yield(); // another writer holds the lock
+    }
+    // Lock-ahead record: lets recovery identify and release the lock if
+    // we crash while holding it (Section 6.1). Posted before any logs.
+    const uint64_t ahead = static_cast<uint64_t>(ds) + 1;
+    verbs_.writeAsync(
+        RemotePtr(backend, c->node->layout().logControlOff(c->slot) +
+                               offsetof(LogControl, lock_ahead)),
+        &ahead, sizeof(ahead));
+
+    // Another writer may have modified the structure since we last held
+    // the lock; a changed writer generation invalidates our cache.
+    uint64_t gen = 0;
+    verbs_.read64(namingField(ds, backend, naming_field::kAux0 + 3 * 8),
+                  &gen);
+    auto git = writer_gen_.find(key);
+    if (git == writer_gen_.end() || git->second != gen) {
+        if (cfg_.use_cache)
+            cache_->invalidateDs(ds);
+        writer_gen_[key] = gen;
+    }
+    held_locks_[key] = true;
+    return Status::Ok;
+}
+
+Status
+FrontendSession::writerUnlock(DsId ds, NodeId backend)
+{
+    const auto key = std::make_pair(backend, ds);
+    if (held_locks_.count(key) == 0)
+        return Status::Ok;
+    // The flush releases every held lock after the commit.
+    return flushAll();
+}
+
+bool
+FrontendSession::holdsWriterLock(DsId ds, NodeId backend) const
+{
+    return held_locks_.count(std::make_pair(backend, ds)) != 0;
+}
+
+Status
+FrontendSession::readerLock(DsId ds, NodeId backend, uint64_t *sn)
+{
+    const RemotePtr sn_ptr = namingField(ds, backend,
+                                         naming_field::kSeqNum);
+    if (cfg_.symmetric) {
+        BackendCtx *c = ctx(backend);
+        *sn = c->node->nvm().read64(sn_ptr.offset);
+        clock_.advance(lat_.nvm_read_ns);
+    } else {
+        while (true) {
+            const Status st = verbs_.read64(sn_ptr, sn);
+            if (!ok(st))
+                return st;
+            if ((*sn & 1) == 0)
+                break;
+            std::this_thread::yield(); // replay in progress
+        }
+    }
+    // A moved SN means the structure changed since our last critical
+    // section: every cached copy of it may be stale.
+    const auto key = std::make_pair(backend, ds);
+    auto it = sn_seen_.find(key);
+    if (it == sn_seen_.end()) {
+        sn_seen_[key] = *sn;
+    } else if (it->second != *sn) {
+        if (cfg_.use_cache)
+            cache_->invalidateDs(ds);
+        it->second = *sn;
+    }
+    tracking_ = true;
+    tracked_reads_.clear();
+    return Status::Ok;
+}
+
+bool
+FrontendSession::readerValidate(DsId ds, NodeId backend, uint64_t sn)
+{
+    tracking_ = false;
+    uint64_t now_sn = 0;
+    if (cfg_.symmetric) {
+        BackendCtx *c = ctx(backend);
+        now_sn = c->node->nvm().read64(
+            namingField(ds, backend, naming_field::kSeqNum).offset);
+        clock_.advance(lat_.nvm_read_ns);
+    } else {
+        if (!ok(verbs_.read64(namingField(ds, backend,
+                                          naming_field::kSeqNum),
+                              &now_sn))) {
+            return false;
+        }
+    }
+    if (now_sn == sn)
+        return true;
+    // Conflict: drop every cache entry this read touched so the retry
+    // fetches fresh data instead of spinning on stale copies.
+    if (cfg_.use_cache) {
+        for (const RemotePtr &p : tracked_reads_)
+            cache_->invalidate(p);
+    }
+    tracked_reads_.clear();
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Naming space
+// ---------------------------------------------------------------------
+
+Status
+FrontendSession::createDs(NodeId backend, std::string_view name,
+                          DsType type, DsId *id)
+{
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    uint64_t args[2] = {fnv1a64(name), static_cast<uint64_t>(type)};
+    uint64_t rets[4] = {};
+    const Status st = rpcCall(*c, RpcOp::CreateName, args, {}, rets);
+    if (!ok(st))
+        return st;
+    *id = static_cast<DsId>(rets[0]);
+    return Status::Ok;
+}
+
+Status
+FrontendSession::openDs(NodeId backend, std::string_view name, DsId *id,
+                        DsType *type)
+{
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return Status::Unavailable;
+    uint64_t args[1] = {fnv1a64(name)};
+    uint64_t rets[4] = {};
+    const Status st = rpcCall(*c, RpcOp::LookupName, args, {}, rets);
+    if (!ok(st))
+        return st;
+    *id = static_cast<DsId>(rets[0]);
+    if (type != nullptr)
+        *type = static_cast<DsType>(rets[1]);
+    return Status::Ok;
+}
+
+Status
+FrontendSession::readDsMeta(DsId ds, NodeId backend, DsMeta *out)
+{
+    const RemotePtr base = namingField(ds, backend, naming_field::kRoot);
+    uint64_t buf[3];
+    if (cfg_.symmetric) {
+        BackendCtx *c = ctx(backend);
+        c->node->nvm().read(base.offset, buf, sizeof(buf));
+        clock_.advance(lat_.nvm_read_ns);
+    } else {
+        const Status st = verbs_.read(base, buf, sizeof(buf));
+        if (!ok(st))
+            return st;
+    }
+    out->root_raw = buf[0];
+    out->version = buf[1];
+    out->gc_epoch = buf[2];
+    const auto gc_key = std::make_pair(backend, ds);
+    auto it = gc_epoch_seen_.find(gc_key);
+    if (it == gc_epoch_seen_.end()) {
+        gc_epoch_seen_[gc_key] = out->gc_epoch;
+    } else if (it->second != out->gc_epoch) {
+        // Retired versions were reclaimed; cached nodes may alias reused
+        // NVM now (Section 6.2).
+        if (cfg_.use_cache)
+            cache_->invalidateDs(ds);
+        it->second = out->gc_epoch;
+    }
+    return Status::Ok;
+}
+
+Status
+FrontendSession::casRoot(DsId ds, NodeId backend, uint64_t expected_raw,
+                         uint64_t desired_raw, uint64_t *old_raw)
+{
+    const RemotePtr root = namingField(ds, backend, naming_field::kRoot);
+    if (cfg_.symmetric) {
+        BackendCtx *c = ctx(backend);
+        *old_raw = c->node->nvm().compareAndSwap64(root.offset,
+                                                   expected_raw,
+                                                   desired_raw);
+        clock_.advance(lat_.nvm_write_ns);
+        return Status::Ok;
+    }
+    return verbs_.compareAndSwap(root, expected_raw, desired_raw, old_raw);
+}
+
+Status
+FrontendSession::readAux(DsId ds, NodeId backend, uint32_t idx, uint64_t *v)
+{
+    const RemotePtr p = namingField(ds, backend,
+                                    naming_field::kAux0 + idx * 8);
+    if (overlayLookup(p, v, sizeof(*v))) {
+        clock_.advance(lat_.dram_access_ns);
+        return Status::Ok;
+    }
+    if (cfg_.symmetric)
+        return symmetricRead(p, v, sizeof(*v));
+    return verbs_.read64(p, v);
+}
+
+Status
+FrontendSession::writeAux(DsId ds, NodeId backend, uint32_t idx, uint64_t v)
+{
+    const RemotePtr p = namingField(ds, backend,
+                                    naming_field::kAux0 + idx * 8);
+    return logWrite(ds, p, &v, sizeof(v));
+}
+
+Status
+FrontendSession::writeAuxRange(DsId ds, NodeId backend, uint32_t first,
+                               const uint64_t *vals, uint32_t count)
+{
+    const RemotePtr p = namingField(ds, backend,
+                                    naming_field::kAux0 + first * 8);
+    return logWrite(ds, p, vals, count * 8);
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+void
+FrontendSession::setReplayer(DsId ds, NodeId backend, Replayer fn)
+{
+    replayers_[{backend, ds}] = std::move(fn);
+}
+
+void
+FrontendSession::simulateCrash()
+{
+    flush_hooks_.clear();
+    post_flush_hooks_.clear();
+    overlay_.clear();
+    pinned_.clear();
+    tracked_reads_.clear();
+    tracking_ = false;
+    held_locks_.clear();
+    writer_gen_.clear();
+    gc_epoch_seen_.clear();
+    local_retired_.clear();
+    replayers_.clear();
+    ops_in_batch_ = 0;
+    cache_->clear();
+    for (auto &[id, c] : backends_) {
+        c.groups.clear();
+        c.retired.clear();
+        c.alloc->loseVolatileState();
+    }
+}
+
+Status
+FrontendSession::recover()
+{
+    for (auto &[id, c] : backends_) {
+        // Fetch the authoritative log positions.
+        clock_.advance(lat_.rdma_read_rtt_ns +
+                       lat_.wireBytes(sizeof(LogControl)));
+        // Case 2.a/3.a: a fully persisted tail transaction rolls forward.
+        c.node->recoverTailTx(c.slot);
+        // Release any writer lock our previous incarnation held.
+        c.node->releaseStaleLocks(c.slot);
+
+        const LogControl ctl = c.node->readControl(c.slot);
+        c.lpn = ctl.lpn;
+        c.opn = ctl.opn;
+        c.memlog_head = ctl.memlog_head;
+        c.oplog_head = ctl.oplog_head;
+
+        // Case 2.b/2.c: re-execute operations whose memory logs never
+        // made it into a replayed transaction.
+        const auto ops = c.node->uncoveredOps(c.slot);
+        for (const ParsedOpLog &op : ops) {
+            clock_.advance(lat_.rdma_read_rtt_ns +
+                           lat_.wireBytes(op.wire_len));
+            auto rit = replayers_.find(
+                std::make_pair(id, static_cast<DsId>(op.ds_id)));
+            if (rit == replayers_.end())
+                continue; // structure not re-opened; skip
+            const Status st = rit->second(op);
+            if (!ok(st) && st != Status::Exists)
+                return st;
+        }
+    }
+    return flushAll();
+}
+
+Status
+FrontendSession::failover(NodeId failed, BackendNode *replacement)
+{
+    auto it = backends_.find(failed);
+    if (it == backends_.end())
+        return Status::InvalidArgument;
+    assert(replacement->id() == failed &&
+           "a promoted back-end keeps the node id so RemotePtrs stay valid");
+    BackendCtx &c = it->second;
+    c.node = replacement;
+    c.groups.clear();
+    c.retired.clear();
+    verbs_.detach(failed);
+    verbs_.attach(failed, replacement->rdmaTarget());
+    c.rpc = std::make_unique<RfpRpc>(&verbs_, replacement, c.slot);
+    c.alloc->loseVolatileState();
+    cache_->clear(); // Section 4.3: aborts clear the cache
+    overlay_.clear();
+    pinned_.clear();
+
+    uint32_t slot = 0;
+    const Status st =
+        replacement->registerFrontend(cfg_.session_id, &slot);
+    if (!ok(st))
+        return st;
+    c.slot = slot;
+    return recover();
+}
+
+void
+FrontendSession::resetStats()
+{
+    ops_started_ = 0;
+    tx_flushes_ = 0;
+    verbs_.resetStats();
+    cache_->resetStats();
+}
+
+} // namespace asymnvm

@@ -1,0 +1,437 @@
+#ifndef ASYMNVM_FRONTEND_SESSION_H_
+#define ASYMNVM_FRONTEND_SESSION_H_
+
+/**
+ * @file
+ * The front-end session: AsymNVM's client-side runtime.
+ *
+ * A FrontendSession implements the underlying API of Table 1 on top of the
+ * verbs layer — rnvm_read / rnvm_write, the transactional interface
+ * (rnvm_mem_log / rnvm_op_log / rnvm_tx_write), the two-tier allocator
+ * (rnvm_malloc / rnvm_free), and the concurrency primitives (writer lock,
+ * write-preferred reader lock). Data structures (src/ds) are written
+ * purely against this API, exactly as Figure 2's skiplist example uses it.
+ *
+ * The session also embodies the paper's three optimizations, selectable
+ * through SessionConfig so that benchmarks can run the ablation rows of
+ * Table 3:
+ *
+ *  - R  (log reproducing): a write returns once its *operation log* is
+ *    persisted with a single RDMA_Write; memory logs are posted
+ *    asynchronously and replayed by the back-end (Sections 4.2/4.3).
+ *  - C  (caching): remote objects are cached in front-end DRAM with the
+ *    hybrid LRU+RR policy and adaptive level admission (Section 4.4).
+ *  - B  (batching): operations group-commit — op logs are buffered and
+ *    the batch's memory logs coalesce into one rnvm_tx_write whose
+ *    completion is the batch's persistence point (Section 4.3).
+ *
+ * The *symmetric* baseline of Section 9.2 is a session mode as well: the
+ * data structure code is unchanged, but reads/writes are priced as local
+ * NVM accesses and logs ship to a remote mirror asynchronously.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend_node.h"
+#include "backend/log_format.h"
+#include "common/types.h"
+#include "frontend/allocator.h"
+#include "frontend/cache.h"
+#include "rdma/rpc.h"
+#include "rdma/verbs.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace asymnvm {
+
+/** Per-session tunables; presets mirror the system rows of Table 3. */
+struct SessionConfig
+{
+    uint64_t session_id = 1;    //!< identity for log-slot reattachment
+    bool use_oplog = true;      //!< decoupled op-log persistency (R)
+    bool use_txlog = true;      //!< memory logs via transactions
+    bool use_cache = true;      //!< front-end DRAM cache (C)
+    uint32_t batch_size = 1024; //!< ops per group commit; 1 = per-op (B)
+    /**
+     * Replace memory-log values that duplicate the current operation
+     * log's payload with a reference to it (Figure 3's one-byte Flag),
+     * shrinking transactions on the wire; the back-end replayer fetches
+     * the bytes from the op-log ring.
+     */
+    bool use_opref = true;
+    /** Coalesce memory logs to the same address within a batch. */
+    bool coalesce_memlogs = true;
+    uint64_t cache_bytes = 4ull << 20;
+    CachePolicy cache_policy = CachePolicy::Hybrid;
+    uint32_t cache_sample_k = 32;
+    uint64_t memlog_buffer_cap = 512ull << 10;
+    bool symmetric = false;       //!< symmetric-architecture baseline
+    bool symmetric_batch = false; //!< Symmetric-B (batched log shipping)
+    uint64_t rng_seed = 99;
+
+    /** AsymNVM-Naive: direct remote reads/writes, no logs/cache/batch. */
+    static SessionConfig naive(uint64_t id);
+    /** AsymNVM-R: + operation-log reproducing. */
+    static SessionConfig r(uint64_t id);
+    /** AsymNVM-RC: + front-end caching. */
+    static SessionConfig rc(uint64_t id, uint64_t cache_bytes);
+    /** AsymNVM-RCB: + batching. */
+    static SessionConfig rcb(uint64_t id, uint64_t cache_bytes,
+                             uint32_t batch);
+    /** Symmetric upper bound (local NVM + async remote logs). */
+    static SessionConfig symmetricBase(uint64_t id, bool batched);
+};
+
+/** Hints a data structure passes with each read (Section 8). */
+struct ReadHint
+{
+    DsId ds = 0;
+    bool cacheable = false;
+    uint32_t level = 0;                 //!< tree level, root = 0
+    LevelAdmission *admission = nullptr; //!< adaptive admission, optional
+    bool pin = false; //!< batch-local pin (vector operations, Alg. 3)
+};
+
+/** Snapshot of the hot naming-entry fields read in one verb. */
+struct DsMeta
+{
+    uint64_t root_raw;
+    uint64_t version;
+    uint64_t gc_epoch;
+};
+
+/** The client-side AsymNVM runtime for one front-end thread. */
+class FrontendSession
+{
+  public:
+    FrontendSession(const SessionConfig &cfg,
+                    const LatencyModel &lat = LatencyModel::defaults());
+    ~FrontendSession();
+
+    FrontendSession(const FrontendSession &) = delete;
+    FrontendSession &operator=(const FrontendSession &) = delete;
+
+    /** Connect to a back-end: register a log slot and attach the NIC. */
+    Status connect(BackendNode *backend);
+
+    /** Clean disconnect (releases the log slot). */
+    void disconnect(BackendNode *backend);
+
+    SimClock &clock() { return clock_; }
+    Verbs &verbs() { return verbs_; }
+    const SessionConfig &config() const { return cfg_; }
+    const LatencyModel &latency() const { return lat_; }
+    PageCache &cache() { return *cache_; }
+
+    // ------------------------------------------------------------------
+    // Table 1: basic / transactional API
+    // ------------------------------------------------------------------
+
+    /**
+     * rnvm_read: serve from the pending-write overlay, the batch-local
+     * pin set, or the DRAM cache; otherwise read remote NVM (and admit
+     * to the cache per the hint).
+     */
+    Status read(RemotePtr addr, void *dst, uint32_t len,
+                const ReadHint &hint = {});
+
+    /**
+     * rnvm_mem_log/rnvm_write: record one {address, value} modification
+     * of data structure @p ds. Naive mode issues a synchronous
+     * RDMA_Write; transactional modes buffer a memory log (with
+     * coalescing) and update overlay + cache.
+     */
+    Status logWrite(DsId ds, RemotePtr addr, const void *value,
+                    uint32_t len);
+
+    /**
+     * Like logWrite, but the value equals a slice of the payload of
+     * this operation's op log (offset @p val_off): when op-ref logging
+     * is enabled the memory log carries a reference instead of bytes.
+     */
+    Status logWriteFromOp(DsId ds, RemotePtr addr, const void *value,
+                          uint32_t len, uint32_t val_off = 0);
+
+    /**
+     * rnvm_op_log + operation bracketing: call at the start of every
+     * data structure write operation. Persists the operation log (the
+     * write's durability point in R mode) and assigns its OPN.
+     */
+    Status opBegin(DsId ds, NodeId backend, OpType op, Key key,
+                   const void *value, uint32_t val_len);
+
+    /**
+     * End of a data structure write operation: advances the batch
+     * counter and group-commits at the batch boundary.
+     */
+    Status opEnd();
+
+    /** rnvm_tx_write on every buffered group: the persistence fence. */
+    Status flushAll();
+
+    /**
+     * Persistent fence (Section 4.1): after it returns, every preceding
+     * write is durable in back-end NVM, and reads return persisted data.
+     */
+    Status persistentFence() { return flushAll(); }
+
+    /** Ops currently buffered (not yet group-committed). */
+    uint32_t opsInBatch() const { return ops_in_batch_; }
+
+    /**
+     * Pre-flush hook: runs at the start of every group commit, before
+     * memory logs serialize. Stack/queue use this to materialize their
+     * surviving (un-annulled) pending operations (Section 8.1).
+     */
+    void setFlushHook(DsId ds, NodeId backend, std::function<void()> fn);
+
+    /**
+     * Post-flush hook: runs after the batch is durable and replayed,
+     * before locks release. Multi-version structures publish their new
+     * root here with an atomic root swap (Section 6.2).
+     */
+    void setPostFlushHook(DsId ds, NodeId backend,
+                          std::function<void()> fn);
+
+    /**
+     * Override the covered-OPN recorded in @p ds's next transaction.
+     * Multi-version structures keep coverage at the OPN of their last
+     * *published* (root-swapped) batch, so a crash between the flush and
+     * the root swap still re-executes the unpublished operations.
+     */
+    void setGroupCoverage(DsId ds, NodeId backend, uint64_t covered_opn);
+
+    /** Current OPN shadow for @p backend (next op log number). */
+    uint64_t currentOpn(NodeId backend) const;
+
+    // ------------------------------------------------------------------
+    // Table 1: management API (two-tier allocator)
+    // ------------------------------------------------------------------
+
+    /** rnvm_malloc. */
+    Status alloc(NodeId backend, uint64_t size, RemotePtr *out);
+
+    /** rnvm_free. */
+    Status free(RemotePtr p, uint64_t size);
+
+    /** Defer reclamation of a multi-version node (lazy GC, Section 6.2). */
+    void retire(DsId ds, RemotePtr p, uint64_t size);
+
+    // ------------------------------------------------------------------
+    // Table 1: concurrency API
+    // ------------------------------------------------------------------
+
+    /**
+     * writer_lock (Algorithm 1): RDMA_CAS spin plus the lock-ahead
+     * record. When batching, the lock is held until the group commit
+     * releases it. Re-acquiring a lock already held is a no-op.
+     */
+    Status writerLock(DsId ds, NodeId backend);
+
+    /** writer_unlock: flushes this structure's logs first. */
+    Status writerUnlock(DsId ds, NodeId backend);
+
+    bool holdsWriterLock(DsId ds, NodeId backend) const;
+
+    /**
+     * reader_lock (Algorithm 2): spin until the SN is even; returns it.
+     * Begins tracking read addresses for cache invalidation on conflict.
+     */
+    Status readerLock(DsId ds, NodeId backend, uint64_t *sn);
+
+    /**
+     * reader_unlock: true when the SN is unchanged (reads consistent).
+     * On failure the tracked cache entries are invalidated so the retry
+     * refetches fresh data.
+     */
+    bool readerValidate(DsId ds, NodeId backend, uint64_t sn);
+
+    // ------------------------------------------------------------------
+    // Naming space
+    // ------------------------------------------------------------------
+
+    Status createDs(NodeId backend, std::string_view name, DsType type,
+                    DsId *id);
+    Status openDs(NodeId backend, std::string_view name, DsId *id,
+                  DsType *type);
+
+    /** One-verb read of {root, version, gc_epoch}; invalidates the DS's
+     *  cache entries when the GC epoch advanced (reused NVM). */
+    Status readDsMeta(DsId ds, NodeId backend, DsMeta *out);
+
+    /** Atomic root swap (multi-version commit). */
+    Status casRoot(DsId ds, NodeId backend, uint64_t expected_raw,
+                   uint64_t desired_raw, uint64_t *old_raw);
+
+    /** Read/write naming-entry auxiliary words (through the log path). */
+    Status readAux(DsId ds, NodeId backend, uint32_t idx, uint64_t *v);
+    Status writeAux(DsId ds, NodeId backend, uint32_t idx, uint64_t v);
+
+    /**
+     * Write @p count consecutive auxiliary words as ONE memory log /
+     * RDMA write (stack/queue update head+tail+count together). A
+     * structure must not mix range and single-word writes to the same
+     * aux words within a batch (overlay granularity is per write).
+     */
+    Status writeAuxRange(DsId ds, NodeId backend, uint32_t first,
+                         const uint64_t *vals, uint32_t count);
+
+    /** Absolute NVM address of a naming-entry field. */
+    RemotePtr namingField(DsId ds, NodeId backend, uint64_t field_off);
+
+    // ------------------------------------------------------------------
+    // Recovery (Section 7.2)
+    // ------------------------------------------------------------------
+
+    /** Re-execution callback a data structure registers for its ops. */
+    using Replayer = std::function<Status(const ParsedOpLog &)>;
+    void setReplayer(DsId ds, NodeId backend, Replayer fn);
+
+    /**
+     * Drop all volatile state, as a front-end crash would (Cases 1/2).
+     * The session stays connected (the back-end keeps its slot).
+     */
+    void simulateCrash();
+
+    /**
+     * Recover after simulateCrash() or a back-end restart: re-fetch log
+     * positions, have the back-end validate the last transaction,
+     * re-execute uncovered operation logs through the registered
+     * replayers, and release stale writer locks.
+     */
+    Status recover();
+
+    /** Back-end failover: clear caches and retarget to @p replacement. */
+    Status failover(NodeId failed, BackendNode *replacement);
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    uint64_t opsStarted() const { return ops_started_; }
+    uint64_t txFlushes() const { return tx_flushes_; }
+    uint64_t busyNs() const { return clock_.now(); }
+    void resetStats();
+
+    /** Pinned (batch-local) reads are dropped at every group commit. */
+    void dropPins() { pinned_.clear(); }
+
+  private:
+    struct BackendCtx
+    {
+        BackendNode *node = nullptr;
+        uint32_t slot = 0;
+        std::unique_ptr<RfpRpc> rpc;
+        std::unique_ptr<FrontendAllocator> alloc;
+        // Local shadows of the log positions (persisted in LogControl).
+        uint64_t lpn = 0;
+        uint64_t opn = 0;
+        uint64_t memlog_head = 0;
+        uint64_t oplog_head = 0;
+        uint64_t last_oplog_pos = 0; //!< position of this op's log record
+        uint32_t last_oplog_len = 0; //!< its payload length
+        // Buffered memory logs per data structure (group-commit unit).
+        struct GroupEntry
+        {
+            RemotePtr addr;
+            std::vector<uint8_t> bytes;
+            bool op_ref = false;    //!< value lives in the op-log ring
+            uint64_t oplog_pos = 0; //!< monotonic ring position
+            uint32_t val_off = 0;   //!< offset within the op's payload
+        };
+        struct Group
+        {
+            std::vector<GroupEntry> logs;
+            std::unordered_map<uint64_t, size_t> index; //!< addr -> slot
+            uint64_t bytes = 0;
+            /** Coverage override (multi-version structures). */
+            std::optional<uint64_t> covered_opn;
+        };
+        std::map<DsId, Group> groups;
+        // Deferred MV retirements, shipped with the next group commit.
+        std::vector<std::pair<uint64_t, uint64_t>> retired;
+        DsId retired_ds = 0;
+    };
+
+    BackendCtx *ctx(NodeId id);
+    const BackendCtx *ctx(NodeId id) const;
+    Status rpcCall(BackendCtx &c, RpcOp op, std::span<const uint64_t> args,
+                   std::span<const uint8_t> payload, uint64_t rets[4]);
+    Status flushGroup(BackendCtx &c, DsId ds, bool sync_commit);
+    Status logWriteInternal(DsId ds, RemotePtr addr, const void *value,
+                            uint32_t len, bool op_ref, uint32_t val_off);
+    Status appendOpLogRecord(BackendCtx &c,
+                             const std::vector<uint8_t> &rec,
+                             bool sync);
+    uint64_t ringReserve(uint64_t *head, uint64_t ring_size,
+                         uint64_t ring_base, NodeId backend, size_t len);
+    void overlayInsert(RemotePtr addr, const void *value, uint32_t len);
+    bool overlayLookup(RemotePtr addr, void *dst, uint32_t len) const;
+    Status symmetricRead(RemotePtr addr, void *dst, uint32_t len);
+    Status symmetricWrite(RemotePtr addr, const void *value, uint32_t len);
+    void processLocalRetired();
+
+    SessionConfig cfg_;
+    LatencyModel lat_;
+    SimClock clock_;
+    Verbs verbs_;
+    std::unique_ptr<PageCache> cache_;
+
+    std::map<NodeId, BackendCtx> backends_;
+
+    /** Read-your-writes overlay of buffered (unflushed) memory logs. */
+    std::unordered_map<uint64_t, std::vector<uint8_t>> overlay_;
+
+    /** Batch-local pinned reads (vector operations). */
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pinned_;
+
+    /** Writer locks currently held: (backend, ds) pairs. */
+    std::map<std::pair<NodeId, DsId>, bool> held_locks_;
+
+    /** Last observed writer generation per (backend, ds). */
+    std::map<std::pair<NodeId, DsId>, uint64_t> writer_gen_;
+
+    /** Last observed gc_epoch per (backend, ds) (MV invalidation). */
+    std::map<std::pair<NodeId, DsId>, uint64_t> gc_epoch_seen_;
+
+    /** Last observed seqlock SN per (backend, ds) (stale-cache guard). */
+    std::map<std::pair<NodeId, DsId>, uint64_t> sn_seen_;
+
+    /** Tracked read addresses for seqlock conflict invalidation. */
+    std::vector<RemotePtr> tracked_reads_;
+    bool tracking_ = false;
+
+    std::map<std::pair<NodeId, DsId>, Replayer> replayers_;
+    std::map<std::pair<NodeId, DsId>, std::function<void()>> flush_hooks_;
+    std::map<std::pair<NodeId, DsId>, std::function<void()>>
+        post_flush_hooks_;
+    bool in_flush_ = false;
+
+    /** Locally deferred frees of retired multi-version regions. */
+    struct RetiredRegion
+    {
+        RemotePtr ptr;
+        uint64_t size;
+        uint64_t free_at_ns;
+    };
+    std::deque<RetiredRegion> local_retired_;
+
+    uint32_t ops_in_batch_ = 0;
+    uint64_t ops_started_ = 0;
+    uint64_t tx_flushes_ = 0;
+
+    // Symmetric baseline: a private local "back-end" priced at NVM cost.
+    std::unique_ptr<BackendNode> local_backend_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_FRONTEND_SESSION_H_

@@ -1,0 +1,116 @@
+#include "nvm/nvm_device.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace asymnvm {
+
+NvmDevice::NvmDevice(uint64_t size) : mem_(size, 0)
+{
+    if (size < 4096)
+        throw std::invalid_argument("NvmDevice: size too small");
+}
+
+void
+NvmDevice::read(uint64_t off, void *dst, size_t len) const
+{
+    std::shared_lock lock(mu_);
+    assert(off + len <= mem_.size());
+    std::memcpy(dst, mem_.data() + off, len);
+}
+
+void
+NvmDevice::write(uint64_t off, const void *src, size_t len)
+{
+    std::unique_lock lock(mu_);
+    assert(off + len <= mem_.size());
+    Pending p;
+    p.off = off;
+    p.old_bytes.assign(mem_.begin() + off, mem_.begin() + off + len);
+    pending_.push_back(std::move(p));
+    std::memcpy(mem_.data() + off, src, len);
+    bytes_written_ += len;
+}
+
+uint64_t
+NvmDevice::read64(uint64_t off) const
+{
+    uint64_t v;
+    read(off, &v, sizeof(v));
+    return v;
+}
+
+void
+NvmDevice::write64Atomic(uint64_t off, uint64_t v)
+{
+    std::unique_lock lock(mu_);
+    assert(off + sizeof(v) <= mem_.size());
+    std::memcpy(mem_.data() + off, &v, sizeof(v));
+    bytes_written_ += sizeof(v);
+    // Atomic verbs are immediately durable; no journal entry.
+}
+
+uint64_t
+NvmDevice::compareAndSwap64(uint64_t off, uint64_t expected,
+                            uint64_t desired)
+{
+    std::unique_lock lock(mu_);
+    assert(off + 8 <= mem_.size());
+    uint64_t cur;
+    std::memcpy(&cur, mem_.data() + off, 8);
+    if (cur == expected) {
+        std::memcpy(mem_.data() + off, &desired, 8);
+        bytes_written_ += 8;
+    }
+    return cur;
+}
+
+uint64_t
+NvmDevice::fetchAdd64(uint64_t off, uint64_t delta)
+{
+    std::unique_lock lock(mu_);
+    assert(off + 8 <= mem_.size());
+    uint64_t cur;
+    std::memcpy(&cur, mem_.data() + off, 8);
+    const uint64_t next = cur + delta;
+    std::memcpy(mem_.data() + off, &next, 8);
+    bytes_written_ += 8;
+    return cur;
+}
+
+void
+NvmDevice::persist()
+{
+    std::unique_lock lock(mu_);
+    pending_.clear();
+}
+
+size_t
+NvmDevice::pendingWrites() const
+{
+    std::shared_lock lock(mu_);
+    return pending_.size();
+}
+
+void
+NvmDevice::crash()
+{
+    crashPartial(0);
+}
+
+void
+NvmDevice::crashPartial(size_t keep_writes)
+{
+    std::unique_lock lock(mu_);
+    // Roll back in reverse order so overlapping writes restore correctly.
+    while (pending_.size() > keep_writes) {
+        const Pending &p = pending_.back();
+        std::memcpy(mem_.data() + p.off, p.old_bytes.data(),
+                    p.old_bytes.size());
+        pending_.pop_back();
+    }
+    pending_.clear(); // the surviving prefix is now durable
+}
+
+} // namespace asymnvm

@@ -1,0 +1,60 @@
+#include "rdma/rpc.h"
+
+#include <cstring>
+
+#include "backend/backend_node.h"
+#include "rdma/verbs.h"
+
+namespace asymnvm {
+
+RfpRpc::RfpRpc(Verbs *verbs, BackendNode *backend, uint32_t slot)
+    : verbs_(verbs), backend_(backend), slot_(slot)
+{}
+
+Status
+RfpRpc::call(RpcOp op, std::span<const uint64_t> args,
+             std::span<const uint8_t> payload, uint64_t rets[4])
+{
+    const Layout &lay = backend_->layout();
+    const uint64_t req_off = lay.rpcReqRingOff(slot_);
+    const uint64_t resp_off = lay.rpcRespRingOff(slot_);
+    if (sizeof(RpcRequest) + payload.size() > lay.super.rpc_ring_size)
+        return Status::InvalidArgument;
+
+    RpcRequest req{};
+    req.magic = kRpcReqMagic;
+    req.op = static_cast<uint32_t>(op);
+    req.seq = ++seq_;
+    for (size_t i = 0; i < args.size() && i < 4; ++i)
+        req.args[i] = args[i];
+    req.payload_len = static_cast<uint32_t>(payload.size());
+
+    scratch_.resize(sizeof(req) + payload.size());
+    std::memcpy(scratch_.data(), &req, sizeof(req));
+    if (!payload.empty())
+        std::memcpy(scratch_.data() + sizeof(req), payload.data(),
+                    payload.size());
+
+    const RemotePtr req_ptr(backend_->id(), req_off);
+    Status st = verbs_->write(req_ptr, scratch_.data(), scratch_.size());
+    if (!ok(st))
+        return st;
+
+    // The passive back-end notices the doorbell and serves the request.
+    backend_->handleRpc(slot_);
+
+    RpcResponse resp{};
+    const RemotePtr resp_ptr(backend_->id(), resp_off);
+    st = verbs_->read(resp_ptr, &resp, sizeof(resp));
+    if (!ok(st))
+        return st;
+    if (resp.magic != kRpcRespMagic || resp.seq != req.seq)
+        return Status::Corruption;
+    if (rets != nullptr) {
+        for (int i = 0; i < 4; ++i)
+            rets[i] = resp.rets[i];
+    }
+    return static_cast<Status>(resp.status);
+}
+
+} // namespace asymnvm

@@ -1,0 +1,90 @@
+#ifndef ASYMNVM_RDMA_RPC_H_
+#define ASYMNVM_RDMA_RPC_H_
+
+/**
+ * @file
+ * RFP-style RPC over one-sided verbs (Section 5.1).
+ *
+ * The back-end is passive, so the RPC mechanism follows RFP [Su et al.,
+ * EuroSys'17]: each front-end has a pair of circular buffers in back-end
+ * NVM; it *writes* requests with RDMA_Write and *fetches* responses with
+ * RDMA_Read, and the back-end never touches the network. This is how the
+ * memory-management interface (rnvm_malloc / rnvm_free), naming, and
+ * multi-version retirement reach the back-end.
+ *
+ * Requests are synchronous and one-at-a-time per session, so each request
+ * simply occupies the start of its ring.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace asymnvm {
+
+class Verbs;
+class BackendNode;
+
+/** Operations servable by the back-end RPC dispatcher. */
+enum class RpcOp : uint32_t
+{
+    None = 0,
+    AllocBlocks, //!< args: nblocks          -> rets: nvm offset
+    FreeBlocks,  //!< args: off, nblocks
+    CreateName,  //!< args: hash, type       -> rets: DsId
+    LookupName,  //!< args: hash             -> rets: DsId, DsType
+    Retire,      //!< args: ds, count, now; payload: {off,nblocks} pairs
+};
+
+/** Fixed request header written into the request ring. */
+struct RpcRequest
+{
+    uint32_t magic;
+    uint32_t op;
+    uint64_t seq;     //!< matches request to response
+    uint64_t args[4];
+    uint32_t payload_len;
+    uint32_t pad;
+};
+
+/** Fixed response header written into the response ring. */
+struct RpcResponse
+{
+    uint32_t magic;
+    uint32_t status; //!< Status
+    uint64_t seq;
+    uint64_t rets[4];
+};
+
+constexpr uint32_t kRpcReqMagic = 0x52504351;  // "RPCQ"
+constexpr uint32_t kRpcRespMagic = 0x52504352; // "RPCR"
+
+/** Client side of the RFP RPC channel (one per session per back-end). */
+class RfpRpc
+{
+  public:
+    RfpRpc(Verbs *verbs, BackendNode *backend, uint32_t slot);
+
+    /**
+     * Issue one RPC: write the request, let the passive back-end consume
+     * it, and fetch the response. Costs one RDMA_Write plus one RDMA_Read
+     * round trip on the caller's virtual clock.
+     */
+    Status call(RpcOp op, std::span<const uint64_t> args,
+                std::span<const uint8_t> payload, uint64_t rets[4]);
+
+    uint64_t callsIssued() const { return seq_; }
+
+  private:
+    Verbs *verbs_;
+    BackendNode *backend_;
+    uint32_t slot_;
+    uint64_t seq_ = 0;
+    std::vector<uint8_t> scratch_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_RDMA_RPC_H_

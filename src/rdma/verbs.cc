@@ -1,0 +1,151 @@
+#include "rdma/verbs.h"
+
+namespace asymnvm {
+
+Status
+Verbs::begin(NodeId id, uint64_t write_len, RdmaTarget **out)
+{
+    auto it = targets_.find(id);
+    if (it == targets_.end())
+        return Status::Unavailable;
+    RdmaTarget &t = it->second;
+    if (t.fail != nullptr) {
+        const auto partial = t.fail->onVerb(write_len);
+        if (partial.has_value()) {
+            // The back-end crashed under this verb. For a write, a torn
+            // prefix may still land in NVM; the caller sees the failure
+            // through the (simulated) RNIC completion error.
+            partial_write_len_pending_ = *partial;
+            *out = &t;
+            return Status::BackendCrashed;
+        }
+    }
+    if (t.nic != nullptr)
+        clock_->advance(t.nic->reserve(clock_->now()));
+    *out = &t;
+    return Status::Ok;
+}
+
+void
+Verbs::charge(uint64_t base_rtt, uint64_t payload)
+{
+    clock_->advance(base_rtt + lat_->wireBytes(payload));
+    ++verbs_issued_;
+    bytes_moved_ += payload;
+}
+
+Status
+Verbs::read(RemotePtr src, void *dst, size_t len)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(src.backend, 0, &t);
+    charge(lat_->rdma_read_rtt_ns, len);
+    if (!ok(st))
+        return st;
+    if (src.offset + len > t->nvm->size())
+        return Status::InvalidArgument; // RNIC access violation
+    t->nvm->read(src.offset, dst, len);
+    return Status::Ok;
+}
+
+Status
+Verbs::write(RemotePtr dst, const void *src, size_t len)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(dst.backend, len, &t);
+    charge(lat_->rdma_write_rtt_ns, len);
+    if (t != nullptr && dst.offset + len > t->nvm->size())
+        return Status::InvalidArgument;
+    if (st == Status::BackendCrashed && t != nullptr) {
+        // Apply the torn prefix, then leave the device "down".
+        const uint64_t kept = partial_write_len_pending_;
+        if (kept > 0) {
+            t->nvm->write(dst.offset, src, kept);
+            t->nvm->persist();
+        }
+        return st;
+    }
+    if (!ok(st))
+        return st;
+    t->nvm->write(dst.offset, src, len);
+    t->nvm->persist(); // DMA into the NVM DIMM is durable on completion
+    return Status::Ok;
+}
+
+Status
+Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(dst.backend, len, &t);
+    clock_->advance(lat_->post_overhead_ns);
+    ++verbs_issued_;
+    bytes_moved_ += len;
+    if (t != nullptr && dst.offset + len > t->nvm->size())
+        return Status::InvalidArgument;
+    if (st == Status::BackendCrashed && t != nullptr) {
+        const uint64_t kept = partial_write_len_pending_;
+        if (kept > 0) {
+            t->nvm->write(dst.offset, src, kept);
+            t->nvm->persist();
+        }
+        return st;
+    }
+    if (!ok(st))
+        return st;
+    t->nvm->write(dst.offset, src, len);
+    t->nvm->persist();
+    return Status::Ok;
+}
+
+Status
+Verbs::read64(RemotePtr src, uint64_t *out)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(src.backend, 0, &t);
+    charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    if (!ok(st))
+        return st;
+    if (src.offset + 8 > t->nvm->size())
+        return Status::InvalidArgument;
+    *out = t->nvm->read64(src.offset);
+    return Status::Ok;
+}
+
+Status
+Verbs::write64(RemotePtr dst, uint64_t v)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    if (!ok(st))
+        return st;
+    t->nvm->write64Atomic(dst.offset, v);
+    return Status::Ok;
+}
+
+Status
+Verbs::compareAndSwap(RemotePtr dst, uint64_t expected, uint64_t desired,
+                      uint64_t *old)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    if (!ok(st))
+        return st;
+    *old = t->nvm->compareAndSwap64(dst.offset, expected, desired);
+    return Status::Ok;
+}
+
+Status
+Verbs::fetchAdd(RemotePtr dst, uint64_t delta, uint64_t *old)
+{
+    RdmaTarget *t = nullptr;
+    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    if (!ok(st))
+        return st;
+    *old = t->nvm->fetchAdd64(dst.offset, delta);
+    return Status::Ok;
+}
+
+} // namespace asymnvm

@@ -1,0 +1,49 @@
+#ifndef ASYMNVM_SIM_CLOCK_H_
+#define ASYMNVM_SIM_CLOCK_H_
+
+/**
+ * @file
+ * Per-session virtual clock.
+ *
+ * The reproduction measures performance in *virtual time*: every simulated
+ * hardware action (NVM access, DRAM access, RDMA verb, NIC queueing delay)
+ * advances the clock of the session that performed it by the configured
+ * cost. Throughput figures are then ops / virtual seconds, which makes the
+ * shape of the paper's results reproducible and deterministic regardless
+ * of host machine speed.
+ */
+
+#include <cstdint>
+
+namespace asymnvm {
+
+/** A monotonically advancing virtual clock, in nanoseconds. */
+class SimClock
+{
+  public:
+    /** Current virtual time in nanoseconds. */
+    uint64_t now() const { return now_ns_; }
+
+    /** Advance by @p delta_ns nanoseconds of simulated work. */
+    void advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+
+    /**
+     * Advance to at least @p t_ns (used when waiting on a shared resource
+     * whose next-free time is ahead of this session's clock).
+     */
+    void advanceTo(uint64_t t_ns)
+    {
+        if (t_ns > now_ns_)
+            now_ns_ = t_ns;
+    }
+
+    /** Reset to zero (start of a measurement interval). */
+    void reset() { now_ns_ = 0; }
+
+  private:
+    uint64_t now_ns_ = 0;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_SIM_CLOCK_H_

@@ -1,0 +1,87 @@
+#ifndef ASYMNVM_SIM_FAILURE_H_
+#define ASYMNVM_SIM_FAILURE_H_
+
+/**
+ * @file
+ * Failure injection for crash-consistency testing.
+ *
+ * The recovery protocol of Section 7 must survive: front-end crashes while
+ * reading or writing (Cases 1/2), back-end transient and permanent failures
+ * (Cases 3/4), and mirror crashes (Case 5). A crash during a single
+ * RDMA_Write may leave a torn log entry that only the transaction checksum
+ * can detect (Section 4.2). FailureInjector arms those scenarios: it
+ * counts RDMA verbs and, when a trigger fires, tears the in-flight write
+ * at a 64-byte boundary and reports the back-end as crashed.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/rand.h"
+
+namespace asymnvm {
+
+/** Arms deterministic or probabilistic crash points in the verbs layer. */
+class FailureInjector
+{
+  public:
+    FailureInjector() = default;
+
+    /**
+     * Crash the back-end on the @p nth verb from now. The in-flight WRITE
+     * (if it is a write) is torn: only a random 64-byte-aligned prefix
+     * reaches NVM.
+     */
+    void armCrashAfterVerbs(uint64_t nth, uint64_t seed = 7)
+    {
+        rng_ = Rng(seed);
+        countdown_.store(nth, std::memory_order_relaxed);
+        armed_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Disarm any pending trigger. */
+    void disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+    /** True once a trigger has fired and the "device" is down. */
+    bool crashed() const
+    {
+        return crashed_.load(std::memory_order_acquire);
+    }
+
+    /** Clear the crashed flag after simulated recovery. */
+    void recover() { crashed_.store(false, std::memory_order_release); }
+
+    /**
+     * Called by the verbs layer before each verb. Returns std::nullopt to
+     * proceed normally, or the number of bytes of the in-flight write that
+     * should still be applied (possibly 0) before the crash takes effect.
+     */
+    std::optional<uint64_t> onVerb(uint64_t write_len)
+    {
+        if (crashed())
+            return 0;
+        if (!armed_.load(std::memory_order_relaxed))
+            return std::nullopt;
+        if (countdown_.fetch_sub(1, std::memory_order_relaxed) != 0)
+            return std::nullopt;
+        armed_.store(false, std::memory_order_relaxed);
+        crashed_.store(true, std::memory_order_release);
+        if (write_len == 0)
+            return 0;
+        // Tear at a cache-line boundary: a prefix of the payload lands.
+        const uint64_t lines = (write_len + 63) / 64;
+        const uint64_t kept = rng_.nextBounded(lines); // 0..lines-1 lines
+        return std::min(kept * 64, write_len);
+    }
+
+  private:
+    std::atomic<bool> armed_{false};
+    std::atomic<bool> crashed_{false};
+    std::atomic<uint64_t> countdown_{0};
+    Rng rng_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_SIM_FAILURE_H_

@@ -1,0 +1,109 @@
+#ifndef ASYMNVM_SIM_NIC_H_
+#define ASYMNVM_SIM_NIC_H_
+
+/**
+ * @file
+ * Shared back-end RNIC contention model.
+ *
+ * Section 3.2 observes that although InfiniBand bandwidth is comparable
+ * to NVM, the NIC "cannot provide enough IOPS for fine-grained data
+ * structure accesses". The back-end NIC is modeled as a single server
+ * with a fixed per-verb service time; the queueing delay each verb
+ * experiences follows the M/D/1 mean-wait formula computed from the
+ * NIC's measured utilization over a sliding virtual-time window.
+ *
+ * Utilization is the *cumulative* ratio of aggregate verb service time
+ * (across every session) to the maximum virtual time any session has
+ * reached since the last reset. A ratio is robust both to the skew
+ * between concurrently running sessions' virtual clocks and to host
+ * thread scheduling (on a single host core, sessions run in timeslices,
+ * so any windowed estimate of arrival concurrency collapses to one).
+ * This produces the sub-linear multi-front-end scaling of Figures 8/9.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace asymnvm {
+
+/** One back-end's RNIC: a shared, IOPS-bounded verb server. */
+class NicModel
+{
+  public:
+    /** @param verb_service_ns Service time per verb (1 / max IOPS). */
+    explicit NicModel(uint64_t verb_service_ns = 120)
+        : service_ns_(verb_service_ns)
+    {}
+
+    /**
+     * Account one verb issued at session-local time @p now_ns and return
+     * the modeled queueing delay (0 when the NIC is mostly idle).
+     */
+    uint64_t reserve(uint64_t now_ns)
+    {
+        verbs_.add();
+        const uint64_t busy =
+            busy_since_reset_.fetch_add(service_ns_,
+                                        std::memory_order_relaxed) +
+            service_ns_;
+        busy_ns_.add(service_ns_);
+
+        uint64_t maxn = max_now_ns_.load(std::memory_order_relaxed);
+        while (now_ns > maxn &&
+               !max_now_ns_.compare_exchange_weak(
+                   maxn, now_ns, std::memory_order_relaxed)) {
+        }
+        maxn = std::max(maxn, now_ns);
+        const uint64_t base = base_now_ns_.load(std::memory_order_relaxed);
+        const uint64_t span = maxn > base ? maxn - base : 0;
+        if (span < 10 * service_ns_)
+            return 0; // not enough signal yet
+        // Cumulative utilization, capped below saturation.
+        const uint64_t ppk =
+            std::min<uint64_t>(950, busy * 1000 / span);
+        // M/D/1 mean waiting time: W = s * rho / (2 * (1 - rho)).
+        return service_ns_ * ppk / (2 * (1000 - ppk));
+    }
+
+    uint64_t verbCount() const { return verbs_.get(); }
+    uint64_t busyNs() const { return busy_ns_.get(); }
+    uint64_t serviceNs() const { return service_ns_; }
+
+    /** Cumulative utilization since the last reset, 0..1. */
+    double utilization() const
+    {
+        const uint64_t span =
+            max_now_ns_.load(std::memory_order_relaxed) -
+            base_now_ns_.load(std::memory_order_relaxed);
+        return span == 0
+                   ? 0.0
+                   : static_cast<double>(busy_since_reset_.load(
+                         std::memory_order_relaxed)) /
+                         static_cast<double>(span);
+    }
+
+    /** Reset counters and rebase utilization at the current time. */
+    void resetStats()
+    {
+        verbs_.reset();
+        busy_ns_.reset();
+        busy_since_reset_.store(0, std::memory_order_relaxed);
+        base_now_ns_.store(max_now_ns_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+
+  private:
+    uint64_t service_ns_;
+    std::atomic<uint64_t> max_now_ns_{0};
+    std::atomic<uint64_t> base_now_ns_{0};
+    std::atomic<uint64_t> busy_since_reset_{0};
+    Counter verbs_;
+    Counter busy_ns_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_SIM_NIC_H_

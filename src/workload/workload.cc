@@ -1,0 +1,46 @@
+#include "workload/workload.h"
+
+#include "common/hash.h"
+
+namespace asymnvm {
+
+Workload::Workload(const WorkloadConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      zipf_(cfg.key_space, cfg.zipf_theta, cfg.seed ^ 0x5a5a)
+{}
+
+Key
+Workload::nextKey()
+{
+    const uint64_t rank = cfg_.dist == KeyDist::Zipf
+                              ? zipf_.next()
+                              : rng_.nextBounded(cfg_.key_space);
+    // Rank 0 is the hottest item under Zipf; hashing scatters ranks over
+    // the key space without changing popularity, like hashed trace keys.
+    if (!cfg_.hashed_keys)
+        return rank + 1;
+    return (mix64(rank) % (cfg_.key_space * 16)) + 1;
+}
+
+WorkItem
+Workload::next()
+{
+    WorkItem item;
+    item.op = rng_.nextDouble() < cfg_.put_ratio ? WorkOp::Put
+                                                 : WorkOp::Get;
+    item.key = nextKey();
+    item.value = Value::ofU64(rng_.next());
+    return item;
+}
+
+std::vector<WorkItem>
+Workload::generate(uint64_t n)
+{
+    std::vector<WorkItem> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace asymnvm

@@ -1,0 +1,82 @@
+#ifndef ASYMNVM_WORKLOAD_WORKLOAD_H_
+#define ASYMNVM_WORKLOAD_WORKLOAD_H_
+
+/**
+ * @file
+ * Workload generators for the evaluation (Section 9).
+ *
+ * Two families stand in for the paper's drivers:
+ *  - A YCSB-style generator (Section 9.6 / Figure 12): configurable
+ *    put/get mix with uniform or Zipf-distributed keys.
+ *  - An "industry" generator standing in for the Alibaba online-service
+ *    traces of Figure 13: power-law key popularity (the paper reports
+ *    the traces follow a power-law distribution) with hashed keys.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace asymnvm {
+
+/** Kinds of operations a workload emits. */
+enum class WorkOp : uint8_t
+{
+    Put,
+    Get,
+};
+
+/** One generated operation. */
+struct WorkItem
+{
+    WorkOp op;
+    Key key;
+    Value value;
+};
+
+/** Key distributions supported by the generators. */
+enum class KeyDist : uint8_t
+{
+    Uniform,
+    Zipf,
+};
+
+/** Configuration of a key/value workload. */
+struct WorkloadConfig
+{
+    uint64_t key_space = 100000; //!< distinct keys
+    double put_ratio = 1.0;      //!< fraction of Put operations
+    KeyDist dist = KeyDist::Uniform;
+    double zipf_theta = 0.99;
+    uint64_t seed = 2024;
+    bool hashed_keys = true; //!< scatter keys (industry traces hash keys)
+};
+
+/** Streaming generator of key/value operations. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &cfg);
+
+    /** Next operation. */
+    WorkItem next();
+
+    /** Pre-generate @p n operations (deterministic given the seed). */
+    std::vector<WorkItem> generate(uint64_t n);
+
+    const WorkloadConfig &config() const { return cfg_; }
+
+  private:
+    Key nextKey();
+
+    WorkloadConfig cfg_;
+    Rng rng_;
+    ZipfGenerator zipf_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the transaction applications (SmallBank, TATP) and the
+ * workload generators: functional transaction semantics, money
+ * conservation invariants, recovery of application state, mix sanity,
+ * and workload distribution properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/smallbank.h"
+#include "apps/tatp.h"
+#include "backend/backend_node.h"
+#include "frontend/session.h"
+#include "workload/workload.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+testConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 64ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 16;
+    cfg.memlog_ring_size = 1ull << 20;
+    cfg.oplog_ring_size = 1ull << 20;
+    return cfg;
+}
+
+class SmallBankTest : public ::testing::Test
+{
+  protected:
+    SmallBankTest()
+        : be(1, testConfig()), s(SessionConfig::rcb(1, 2 << 20, 16))
+    {
+        EXPECT_EQ(s.connect(&be), Status::Ok);
+        EXPECT_EQ(SmallBank::create(s, 1, 50, &bank), Status::Ok);
+    }
+
+    BackendNode be;
+    FrontendSession s;
+    SmallBank bank;
+};
+
+TEST_F(SmallBankTest, InitialBalances)
+{
+    int64_t total = 0;
+    ASSERT_EQ(bank.balance(1, &total), Status::Ok);
+    EXPECT_EQ(total, 200);
+    ASSERT_EQ(bank.totalAssets(&total), Status::Ok);
+    EXPECT_EQ(total, 50 * 200);
+}
+
+TEST_F(SmallBankTest, DepositAndWriteCheck)
+{
+    ASSERT_EQ(bank.depositChecking(3, 40), Status::Ok);
+    int64_t total = 0;
+    ASSERT_EQ(bank.balance(3, &total), Status::Ok);
+    EXPECT_EQ(total, 240);
+    ASSERT_EQ(bank.writeCheck(3, 100), Status::Ok);
+    ASSERT_EQ(bank.balance(3, &total), Status::Ok);
+    EXPECT_EQ(total, 140);
+}
+
+TEST_F(SmallBankTest, WriteCheckOverdraftPenalty)
+{
+    ASSERT_EQ(bank.writeCheck(4, 500), Status::Ok); // over the 200 total
+    int64_t total = 0;
+    ASSERT_EQ(bank.balance(4, &total), Status::Ok);
+    EXPECT_EQ(total, 200 - 500 - 1) << "penalty applies on overdraft";
+}
+
+TEST_F(SmallBankTest, SendPaymentConservesMoney)
+{
+    ASSERT_EQ(bank.sendPayment(1, 2, 50), Status::Ok);
+    int64_t t1 = 0, t2 = 0;
+    ASSERT_EQ(bank.balance(1, &t1), Status::Ok);
+    ASSERT_EQ(bank.balance(2, &t2), Status::Ok);
+    EXPECT_EQ(t1, 150);
+    EXPECT_EQ(t2, 250);
+    EXPECT_EQ(bank.sendPayment(1, 2, 10000), Status::InvalidArgument)
+        << "insufficient checking must reject";
+}
+
+TEST_F(SmallBankTest, AmalgamateMovesEverything)
+{
+    ASSERT_EQ(bank.amalgamate(5, 6), Status::Ok);
+    int64_t t5 = 0, t6 = 0;
+    ASSERT_EQ(bank.balance(5, &t5), Status::Ok);
+    ASSERT_EQ(bank.balance(6, &t6), Status::Ok);
+    EXPECT_EQ(t5, 0);
+    EXPECT_EQ(t6, 400);
+}
+
+TEST_F(SmallBankTest, ConservationUnderTransferOnlyMix)
+{
+    // Only money-moving transactions: total assets must be invariant.
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t a = 1 + rng.nextBounded(50);
+        uint64_t b = 1 + rng.nextBounded(50);
+        if (a == b)
+            b = (b % 50) + 1;
+        if (rng.nextBool())
+            (void)bank.sendPayment(a, b, 1 +
+                                   static_cast<int64_t>(rng.nextBounded(30)));
+        else
+            (void)bank.amalgamate(a, b);
+    }
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    int64_t total = 0;
+    ASSERT_EQ(bank.totalAssets(&total), Status::Ok);
+    EXPECT_EQ(total, 50 * 200) << "money leaked or was invented";
+}
+
+TEST_F(SmallBankTest, StandardMixRuns)
+{
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(bank.runOne(rng), Status::Ok) << "txn " << i;
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+}
+
+TEST_F(SmallBankTest, SurvivesCrashAndRecovery)
+{
+    ASSERT_EQ(bank.depositChecking(7, 123), Status::Ok);
+    // Crash with the deposit only in the operation log.
+    s.simulateCrash();
+    SmallBank reopened;
+    ASSERT_EQ(SmallBank::open(s, 1, &reopened), Status::Ok);
+    ASSERT_EQ(s.recover(), Status::Ok);
+    SmallBank verify;
+    ASSERT_EQ(SmallBank::open(s, 1, &verify), Status::Ok);
+    int64_t total = 0;
+    ASSERT_EQ(verify.balance(7, &total), Status::Ok);
+    EXPECT_EQ(total, 323);
+}
+
+class TatpTest : public ::testing::Test
+{
+  protected:
+    TatpTest()
+        : be(1, testConfig()), s(SessionConfig::rcb(1, 2 << 20, 16))
+    {
+        EXPECT_EQ(s.connect(&be), Status::Ok);
+        EXPECT_EQ(Tatp::create(s, 1, 100, &tatp), Status::Ok);
+    }
+
+    BackendNode be;
+    FrontendSession s;
+    Tatp tatp;
+};
+
+TEST_F(TatpTest, SubscriberDataReadable)
+{
+    Value v;
+    ASSERT_EQ(tatp.getSubscriberData(1, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 131u);
+    EXPECT_EQ(tatp.getSubscriberData(5000, &v), Status::NotFound);
+}
+
+TEST_F(TatpTest, AccessDataPresentForEverySubscriber)
+{
+    // Every subscriber has at least ai_type 1.
+    for (uint64_t id = 1; id <= 100; ++id) {
+        Value v;
+        ASSERT_EQ(tatp.getAccessData(id, 1, &v), Status::Ok)
+            << "subscriber " << id;
+    }
+}
+
+TEST_F(TatpTest, UpdateLocationVisible)
+{
+    ASSERT_EQ(tatp.updateLocation(42, 0xfeed), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    Value v;
+    ASSERT_EQ(tatp.getSubscriberData(42, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 0xfeedu);
+}
+
+TEST_F(TatpTest, CallForwardingInsertDelete)
+{
+    const Value num = Value::ofString("555-7777");
+    ASSERT_EQ(tatp.insertCallForwarding(10, 1, 16, num), Status::Ok);
+    Value v;
+    ASSERT_EQ(tatp.getNewDestination(10, 1, 16, &v), Status::Ok);
+    EXPECT_EQ(v.asString(), "555-7777");
+    ASSERT_EQ(tatp.deleteCallForwarding(10, 1, 16), Status::Ok);
+    EXPECT_EQ(tatp.getNewDestination(10, 1, 16, &v), Status::NotFound);
+}
+
+TEST_F(TatpTest, StandardMixRuns)
+{
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(tatp.runOne(rng), Status::Ok) << "txn " << i;
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    EXPECT_GT(tatp.stats().committed, 500u);
+}
+
+TEST_F(TatpTest, SurvivesReopen)
+{
+    ASSERT_EQ(tatp.updateLocation(3, 777), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    s.disconnect(&be);
+
+    FrontendSession s2(SessionConfig::rc(2, 2 << 20));
+    ASSERT_EQ(s2.connect(&be), Status::Ok);
+    Tatp reopened;
+    ASSERT_EQ(Tatp::open(s2, 1, &reopened), Status::Ok);
+    EXPECT_EQ(reopened.subscriberCount(), 100u);
+    Value v;
+    ASSERT_EQ(reopened.getSubscriberData(3, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 777u);
+}
+
+// ---------------------------------------------------------------------
+// Workload generators
+// ---------------------------------------------------------------------
+
+TEST(WorkloadTest, PutRatioRespected)
+{
+    WorkloadConfig cfg;
+    cfg.put_ratio = 0.25;
+    Workload w(cfg);
+    uint64_t puts = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        puts += w.next().op == WorkOp::Put ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(puts) / n, 0.25, 0.02);
+}
+
+TEST(WorkloadTest, DeterministicForSeed)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 77;
+    Workload a(cfg), b(cfg);
+    for (int i = 0; i < 100; ++i) {
+        const WorkItem x = a.next(), y = b.next();
+        EXPECT_EQ(x.key, y.key);
+        EXPECT_EQ(x.op, y.op);
+    }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardsHotKeys)
+{
+    WorkloadConfig uni;
+    uni.dist = KeyDist::Uniform;
+    WorkloadConfig zip = uni;
+    zip.dist = KeyDist::Zipf;
+    zip.zipf_theta = 0.99;
+
+    auto top_key_share = [](Workload &w) {
+        std::map<Key, uint64_t> freq;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            ++freq[w.next().key];
+        uint64_t max_freq = 0;
+        for (const auto &[k, f] : freq)
+            max_freq = std::max(max_freq, f);
+        return static_cast<double>(max_freq) / n;
+    };
+    Workload wu(uni), wz(zip);
+    EXPECT_GT(top_key_share(wz), 10 * top_key_share(wu));
+}
+
+TEST(WorkloadTest, SameRankMapsToSameHashedKey)
+{
+    WorkloadConfig cfg;
+    cfg.dist = KeyDist::Zipf;
+    cfg.key_space = 100;
+    Workload w(cfg);
+    std::map<Key, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        ++seen[w.next().key];
+    // 100 ranks -> at most 100 distinct hashed keys.
+    EXPECT_LE(seen.size(), 100u);
+}
+
+} // namespace
+} // namespace asymnvm

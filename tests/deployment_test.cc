@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Whole-deployment integration test mirroring the paper's Section 9.1
+ * cluster: seven front-end sessions, one back-end, two mirror nodes —
+ * all active concurrently. Four sessions write their own structures
+ * (one per kind), three read a shared tree, then the back-end fails
+ * permanently mid-life and every session fails over to the promoted
+ * mirror. Everything written before the failure must survive; every
+ * session must keep working after it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "asymnvm.h"
+
+namespace asymnvm {
+namespace {
+
+ClusterConfig
+paperDeployment()
+{
+    ClusterConfig cfg;
+    cfg.num_backends = 1;
+    cfg.mirrors_per_backend = 2;
+    cfg.backend.nvm_size = 64ull << 20;
+    cfg.backend.max_frontends = 8;
+    cfg.backend.max_names = 32;
+    cfg.backend.memlog_ring_size = 2ull << 20;
+    cfg.backend.oplog_ring_size = 1ull << 20;
+    return cfg;
+}
+
+TEST(DeploymentTest, TenNodeClusterLifecycle)
+{
+    Cluster cluster(paperDeployment());
+    DsOptions shared;
+    shared.shared = true;
+    shared.max_read_retries = 4096;
+
+    // --- Phase 1: set up seven front-ends. ---
+    std::vector<std::unique_ptr<FrontendSession>> sessions;
+    for (uint64_t i = 0; i < 7; ++i) {
+        sessions.push_back(cluster.makeSession(
+            SessionConfig::rcb(100 + i, 1 << 20, 16)));
+        ASSERT_NE(sessions.back(), nullptr) << "session " << i;
+    }
+
+    // Session 0 owns the shared tree the readers will hammer.
+    BpTree shared_tree;
+    ASSERT_EQ(BpTree::create(*sessions[0], 1, "shared", &shared_tree,
+                             shared),
+              Status::Ok);
+    for (uint64_t k = 1; k <= 1000; ++k)
+        ASSERT_EQ(shared_tree.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(sessions[0]->flushAll(), Status::Ok);
+
+    // Sessions 1..3 own private structures of different kinds.
+    HashTable ht;
+    ASSERT_EQ(HashTable::create(*sessions[1], 1, "private/ht", 256, &ht),
+              Status::Ok);
+    SkipList sl;
+    ASSERT_EQ(SkipList::create(*sessions[2], 1, "private/sl", &sl),
+              Status::Ok);
+    Queue q;
+    ASSERT_EQ(Queue::create(*sessions[3], 1, "private/q", &q), Status::Ok);
+
+    // Readers 4..6 open the shared tree.
+    BpTree readers[3];
+    for (int r = 0; r < 3; ++r) {
+        ASSERT_EQ(BpTree::open(*sessions[4 + r], 1, "shared", &readers[r],
+                               shared),
+                  Status::Ok);
+    }
+
+    // --- Phase 2: everyone runs concurrently. ---
+    std::atomic<bool> go{false};
+    std::atomic<uint64_t> reader_errors{0};
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (uint64_t k = 1001; k <= 1500; ++k) {
+            ASSERT_EQ(shared_tree.insert(k, Value::ofU64(k)), Status::Ok);
+            std::this_thread::yield();
+        }
+        ASSERT_EQ(sessions[0]->flushAll(), Status::Ok);
+    });
+    threads.emplace_back([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (uint64_t k = 1; k <= 500; ++k)
+            ASSERT_EQ(ht.put(k, Value::ofU64(k * 3)), Status::Ok);
+        ASSERT_EQ(sessions[1]->flushAll(), Status::Ok);
+    });
+    threads.emplace_back([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (uint64_t k = 1; k <= 500; ++k)
+            ASSERT_EQ(sl.insert(k * 2, Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(sessions[2]->flushAll(), Status::Ok);
+    });
+    threads.emplace_back([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (uint64_t k = 1; k <= 500; ++k)
+            ASSERT_EQ(q.enqueue(Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(sessions[3]->flushAll(), Status::Ok);
+    });
+    for (int r = 0; r < 3; ++r) {
+        threads.emplace_back([&, r] {
+            while (!go.load())
+                std::this_thread::yield();
+            Rng rng(500 + r);
+            for (int i = 0; i < 1500; ++i) {
+                const Key k = 1 + rng.nextBounded(1000); // preloaded range
+                Value v;
+                const Status st = readers[r].find(k, &v);
+                if (st == Status::Conflict)
+                    continue;
+                if (st != Status::Ok || v.asU64() != k)
+                    reader_errors.fetch_add(1);
+            }
+        });
+    }
+    go.store(true);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reader_errors.load(), 0u);
+
+    // --- Phase 3: the back-end dies permanently; mirror promotion. ---
+    cluster.crashBackendTransient(1);
+    ASSERT_EQ(cluster.failBackendPermanently(1, 1000000), Status::Ok);
+    for (auto &s : sessions)
+        ASSERT_EQ(s->failover(1, cluster.backend(1)), Status::Ok);
+
+    // --- Phase 4: everything survived; everyone keeps working. ---
+    BpTree shared2;
+    ASSERT_EQ(BpTree::open(*sessions[0], 1, "shared", &shared2, shared),
+              Status::Ok);
+    EXPECT_EQ(shared2.size(), 1500u);
+    Value v;
+    ASSERT_EQ(shared2.find(1500, &v), Status::Ok);
+
+    HashTable ht2;
+    ASSERT_EQ(HashTable::open(*sessions[1], 1, "private/ht", &ht2),
+              Status::Ok);
+    EXPECT_EQ(ht2.size(), 500u);
+    ASSERT_EQ(ht2.get(250, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 750u);
+
+    SkipList sl2;
+    ASSERT_EQ(SkipList::open(*sessions[2], 1, "private/sl", &sl2),
+              Status::Ok);
+    EXPECT_EQ(sl2.size(), 500u);
+
+    Queue q2;
+    ASSERT_EQ(Queue::open(*sessions[3], 1, "private/q", &q2), Status::Ok);
+    EXPECT_EQ(q2.size(), 500u);
+    ASSERT_EQ(q2.dequeue(&v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 1u);
+
+    // Fresh writes on the promoted back-end replicate to the surviving
+    // mirror — which can itself be promoted (second failover).
+    ASSERT_EQ(ht2.put(9999, Value::ofU64(1)), Status::Ok);
+    ASSERT_EQ(sessions[1]->flushAll(), Status::Ok);
+    cluster.crashBackendTransient(1);
+    ASSERT_EQ(cluster.failBackendPermanently(1, 2000000), Status::Ok);
+    ASSERT_EQ(sessions[1]->failover(1, cluster.backend(1)), Status::Ok);
+    HashTable ht3;
+    ASSERT_EQ(HashTable::open(*sessions[1], 1, "private/ht", &ht3),
+              Status::Ok);
+    ASSERT_EQ(ht3.get(9999, &v), Status::Ok);
+    // A third failure has no mirror left.
+    cluster.crashBackendTransient(1);
+    EXPECT_EQ(cluster.failBackendPermanently(1, 3000000),
+              Status::Unavailable);
+}
+
+} // namespace
+} // namespace asymnvm

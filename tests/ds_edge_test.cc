@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Edge-case tests across the data structures and the session API that
+ * the main suites do not reach: duplicate keys in vector inserts,
+ * annulment interacting with crash recovery, GC-epoch races against MV
+ * readers, allocator fragmentation endurance, TATP recovery, and the
+ * persistent-fence read semantics of Section 4.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/tatp.h"
+#include "backend/backend_node.h"
+#include "common/rand.h"
+#include "ds/bptree.h"
+#include "ds/mv_bst.h"
+#include "ds/queue.h"
+#include "ds/stack.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+testConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 32ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 32;
+    cfg.memlog_ring_size = 1ull << 20;
+    cfg.oplog_ring_size = 1ull << 20;
+    return cfg;
+}
+
+TEST(DsEdgeTest, VectorInsertWithDuplicateKeysLastWins)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 64));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    BpTree tree;
+    ASSERT_EQ(BpTree::create(s, 1, "dup", &tree), Status::Ok);
+
+    std::vector<std::pair<Key, Value>> batch;
+    for (uint64_t i = 0; i < 50; ++i)
+        batch.emplace_back(7, Value::ofU64(i)); // same key, 50 times
+    batch.emplace_back(9, Value::ofU64(100));
+    ASSERT_EQ(tree.insertBatch(batch), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    EXPECT_EQ(tree.size(), 2u);
+    Value v;
+    ASSERT_EQ(tree.find(7, &v), Status::Ok);
+    // std::sort is not stable, but every duplicate carries a distinct
+    // value; whichever landed last must be one of the batch's values.
+    EXPECT_LT(v.asU64(), 50u);
+}
+
+TEST(DsEdgeTest, AnnulledOpsReplayToSameState)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 1024));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    Stack stack;
+    ASSERT_EQ(Stack::create(s, 1, "annul", &stack), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+
+    // Interleaved pushes and pops, some annulled, crash mid-batch.
+    Value v;
+    ASSERT_EQ(stack.push(Value::ofU64(1)), Status::Ok);
+    ASSERT_EQ(stack.push(Value::ofU64(2)), Status::Ok);
+    ASSERT_EQ(stack.pop(&v), Status::Ok); // annuls push(2)
+    EXPECT_EQ(v.asU64(), 2u);
+    ASSERT_EQ(stack.push(Value::ofU64(3)), Status::Ok);
+    // State should be [1, 3]; nothing flushed yet.
+    s.simulateCrash();
+    Stack re;
+    ASSERT_EQ(Stack::open(s, 1, "annul", &re), Status::Ok);
+    ASSERT_EQ(s.recover(), Status::Ok);
+    Stack audit;
+    ASSERT_EQ(Stack::open(s, 1, "annul", &audit), Status::Ok);
+    EXPECT_EQ(audit.size(), 2u);
+    ASSERT_EQ(audit.pop(&v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 3u);
+    ASSERT_EQ(audit.pop(&v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 1u);
+}
+
+TEST(DsEdgeTest, QueueCrashRecoveryPreservesFifo)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 1024));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    Queue q;
+    ASSERT_EQ(Queue::create(s, 1, "fifo", &q), Status::Ok);
+    for (uint64_t i = 1; i <= 5; ++i)
+        ASSERT_EQ(q.enqueue(Value::ofU64(i)), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    Value v;
+    ASSERT_EQ(q.dequeue(&v), Status::Ok); // removes 1 (committed later?)
+    for (uint64_t i = 6; i <= 8; ++i)
+        ASSERT_EQ(q.enqueue(Value::ofU64(i)), Status::Ok);
+    // Crash with the dequeue + 3 enqueues un-flushed.
+    s.simulateCrash();
+    Queue re;
+    ASSERT_EQ(Queue::open(s, 1, "fifo", &re), Status::Ok);
+    ASSERT_EQ(s.recover(), Status::Ok);
+    Queue audit;
+    ASSERT_EQ(Queue::open(s, 1, "fifo", &audit), Status::Ok);
+    EXPECT_EQ(audit.size(), 7u);
+    for (uint64_t expect = 2; expect <= 8; ++expect) {
+        ASSERT_EQ(audit.dequeue(&v), Status::Ok);
+        EXPECT_EQ(v.asU64(), expect) << "FIFO broken after recovery";
+    }
+}
+
+TEST(DsEdgeTest, MvReaderSurvivesGcEpochBumpMidStream)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession writer(SessionConfig::rcb(1, 1 << 20, 4));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    MvBst wtree;
+    ASSERT_EQ(MvBst::create(writer, 1, "gcmv", &wtree), Status::Ok);
+    for (uint64_t k = 1; k <= 64; ++k)
+        ASSERT_EQ(wtree.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(writer.flushAll(), Status::Ok);
+
+    FrontendSession reader(SessionConfig::rc(2, 1 << 20));
+    ASSERT_EQ(reader.connect(&be), Status::Ok);
+    MvBst rtree;
+    ASSERT_EQ(MvBst::open(reader, 1, "gcmv", &rtree), Status::Ok);
+    Value v;
+    for (uint64_t k = 1; k <= 64; ++k)
+        ASSERT_EQ(rtree.find(k, &v), Status::Ok);
+
+    // Writer churns versions; force GC so the epoch bumps and reclaimed
+    // node addresses get reused under the reader's cache.
+    for (int round = 0; round < 5; ++round) {
+        for (uint64_t k = 1; k <= 64; ++k)
+            ASSERT_EQ(wtree.insert(k, Value::ofU64(k * 100 + round)),
+                      Status::Ok);
+        ASSERT_EQ(writer.flushAll(), Status::Ok);
+        be.processGc(0, /*force=*/true);
+        // Reader must converge to the latest published version.
+        for (uint64_t k = 1; k <= 64; k += 13) {
+            ASSERT_EQ(rtree.find(k, &v), Status::Ok) << "key " << k;
+            EXPECT_EQ(v.asU64(), k * 100 + round)
+                << "stale read after epoch bump";
+        }
+    }
+}
+
+TEST(DsEdgeTest, AllocatorEnduranceUnderFragmentingChurn)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 16));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    // Random alloc/free of mixed sizes with bounded live bytes must
+    // never exhaust a device an order of magnitude larger.
+    Rng rng(3);
+    std::vector<std::pair<RemotePtr, uint64_t>> live;
+    uint64_t live_bytes = 0;
+    constexpr uint64_t kLiveCap = 2ull << 20; // 2 MB live, 8 MB+ device
+    for (int i = 0; i < 20000; ++i) {
+        if (live_bytes < kLiveCap && rng.nextBool(0.6)) {
+            const uint64_t size = 16 + rng.nextBounded(900);
+            RemotePtr p;
+            ASSERT_EQ(s.alloc(1, size, &p), Status::Ok)
+                << "exhausted at iteration " << i;
+            live.emplace_back(p, size);
+            live_bytes += size;
+        } else if (!live.empty()) {
+            const size_t idx = rng.nextBounded(live.size());
+            ASSERT_EQ(s.free(live[idx].first, live[idx].second),
+                      Status::Ok);
+            live_bytes -= live[idx].second;
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+}
+
+TEST(DsEdgeTest, TatpRecoversMidMix)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 64));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    Tatp tatp;
+    ASSERT_EQ(Tatp::create(s, 1, 500, &tatp), Status::Ok);
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(tatp.runOne(rng), Status::Ok);
+    // Crash with a partial batch of transactions.
+    s.simulateCrash();
+    Tatp re;
+    ASSERT_EQ(Tatp::open(s, 1, &re), Status::Ok);
+    ASSERT_EQ(s.recover(), Status::Ok);
+    Tatp audit;
+    ASSERT_EQ(Tatp::open(s, 1, &audit), Status::Ok);
+    EXPECT_EQ(audit.subscriberCount(), 500u);
+    Value v;
+    ASSERT_EQ(audit.getSubscriberData(1, &v), Status::Ok);
+    // The mix keeps running after recovery.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(audit.runOne(rng), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+}
+
+TEST(DsEdgeTest, PersistentFenceMakesReadsSeePersistedData)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 1024));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    RemotePtr p;
+    ASSERT_EQ(s.alloc(1, 64, &p), Status::Ok);
+    ASSERT_EQ(s.opBegin(0, 1, OpType::Update, 1, nullptr, 0), Status::Ok);
+    const uint64_t v = 0xfe;
+    ASSERT_EQ(s.logWrite(0, p, &v, 8), Status::Ok);
+    ASSERT_EQ(s.opEnd(), Status::Ok);
+    // Before the fence: durable only as an op log; after: in the data
+    // area, visible to any other session's direct read.
+    EXPECT_EQ(be.nvm().read64(p.offset), 0u);
+    ASSERT_EQ(s.persistentFence(), Status::Ok);
+    EXPECT_EQ(be.nvm().read64(p.offset), 0xfeu);
+}
+
+TEST(DsEdgeTest, ValueOfStringEmbeddedNulRoundTrip)
+{
+    const std::string with_nul = std::string("ab\0cd", 5);
+    const Value v = Value::ofString(with_nul);
+    EXPECT_EQ(v.asString(), "ab") << "asString stops at the first NUL";
+    EXPECT_EQ(std::memcmp(v.bytes.data(), with_nul.data(), 5), 0);
+}
+
+} // namespace
+} // namespace asymnvm

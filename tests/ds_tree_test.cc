@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Correctness tests for the ordered structures — SkipList, Bst, BpTree,
+ * MvBst, MvBpTree — shared through typed tests: functional behaviour,
+ * randomized differential testing against std::map, vector insertion,
+ * persistence across re-open, multi-version snapshot semantics, lazy GC,
+ * and the partitioning wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "backend/backend_node.h"
+#include "common/rand.h"
+#include "ds/bptree.h"
+#include "ds/bst.h"
+#include "ds/mv_bptree.h"
+#include "ds/mv_bst.h"
+#include "ds/partitioned.h"
+#include "ds/skiplist.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+testConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 64ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 32;
+    cfg.memlog_ring_size = 1ull << 20;
+    cfg.oplog_ring_size = 1ull << 20;
+    cfg.block_size = 1024;
+    return cfg;
+}
+
+template <typename DS>
+class TreeTest : public ::testing::Test
+{
+  protected:
+    TreeTest()
+        : be(1, testConfig()),
+          session(SessionConfig::rcb(7, 2 << 20, 32))
+    {
+        EXPECT_EQ(session.connect(&be), Status::Ok);
+    }
+
+    Status createTree(std::string_view name, DS *out)
+    {
+        return DS::create(session, 1, name, out);
+    }
+
+    BackendNode be;
+    FrontendSession session;
+};
+
+using TreeTypes =
+    ::testing::Types<SkipList, Bst, BpTree, MvBst, MvBpTree>;
+
+class TreeNames
+{
+  public:
+    template <typename T>
+    static std::string GetName(int)
+    {
+        if (std::is_same_v<T, SkipList>)
+            return "SkipList";
+        if (std::is_same_v<T, Bst>)
+            return "Bst";
+        if (std::is_same_v<T, BpTree>)
+            return "BpTree";
+        if (std::is_same_v<T, MvBst>)
+            return "MvBst";
+        if (std::is_same_v<T, MvBpTree>)
+            return "MvBpTree";
+        return "Unknown";
+    }
+};
+
+TYPED_TEST_SUITE(TreeTest, TreeTypes, TreeNames);
+
+TYPED_TEST(TreeTest, InsertFindBasics)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("t", &tree), Status::Ok);
+    for (uint64_t k = 1; k <= 300; ++k)
+        ASSERT_EQ(tree.insert(k * 3, Value::ofU64(k)), Status::Ok);
+    EXPECT_EQ(tree.size(), 300u);
+    for (uint64_t k = 1; k <= 300; ++k) {
+        Value v;
+        ASSERT_EQ(tree.find(k * 3, &v), Status::Ok) << "key " << k * 3;
+        EXPECT_EQ(v.asU64(), k);
+    }
+    Value v;
+    EXPECT_EQ(tree.find(1, &v), Status::NotFound);
+    EXPECT_EQ(tree.find(4, &v), Status::NotFound);
+}
+
+TYPED_TEST(TreeTest, UpdateOverwritesValue)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("t", &tree), Status::Ok);
+    ASSERT_EQ(tree.insert(42, Value::ofU64(1)), Status::Ok);
+    ASSERT_EQ(tree.insert(42, Value::ofU64(2)), Status::Ok);
+    EXPECT_EQ(tree.size(), 1u);
+    Value v;
+    ASSERT_EQ(tree.find(42, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 2u);
+}
+
+TYPED_TEST(TreeTest, EraseRemovesOnlyTarget)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("t", &tree), Status::Ok);
+    for (uint64_t k = 1; k <= 100; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    for (uint64_t k = 2; k <= 100; k += 2)
+        ASSERT_EQ(tree.erase(k), Status::Ok) << "erase " << k;
+    EXPECT_EQ(tree.size(), 50u);
+    for (uint64_t k = 1; k <= 100; ++k)
+        EXPECT_EQ(tree.contains(k), k % 2 == 1) << "key " << k;
+    EXPECT_EQ(tree.erase(2), Status::NotFound);
+}
+
+TYPED_TEST(TreeTest, RandomizedDifferentialAgainstStdMap)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("t", &tree), Status::Ok);
+    std::map<Key, uint64_t> model;
+    Rng rng(101);
+    for (int i = 0; i < 1200; ++i) {
+        const Key key = 1 + rng.nextBounded(400);
+        const double dice = rng.nextDouble();
+        if (dice < 0.55) {
+            const uint64_t val = rng.next();
+            ASSERT_EQ(tree.insert(key, Value::ofU64(val)), Status::Ok);
+            model[key] = val;
+        } else if (dice < 0.75) {
+            const Status st = tree.erase(key);
+            EXPECT_EQ(st, model.count(key) ? Status::Ok
+                                           : Status::NotFound)
+                << "erase key " << key << " at step " << i;
+            model.erase(key);
+        } else {
+            Value v;
+            const Status st = tree.find(key, &v);
+            if (model.count(key)) {
+                ASSERT_EQ(st, Status::Ok)
+                    << "find key " << key << " at step " << i;
+                EXPECT_EQ(v.asU64(), model[key]);
+            } else {
+                EXPECT_EQ(st, Status::NotFound)
+                    << "find key " << key << " at step " << i;
+            }
+        }
+    }
+    EXPECT_EQ(tree.size(), model.size());
+    ASSERT_EQ(this->session.flushAll(), Status::Ok);
+    for (const auto &[key, val] : model) {
+        Value v;
+        ASSERT_EQ(tree.find(key, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), val);
+    }
+}
+
+TYPED_TEST(TreeTest, VectorInsertMatchesSingleInserts)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("t", &tree), Status::Ok);
+    std::vector<std::pair<Key, Value>> batch;
+    Rng rng(55);
+    for (int i = 0; i < 200; ++i)
+        batch.emplace_back(1 + rng.nextBounded(100000),
+                           Value::ofU64(rng.next()));
+    ASSERT_EQ(tree.insertBatch(batch), Status::Ok);
+    ASSERT_EQ(this->session.flushAll(), Status::Ok);
+    for (const auto &[key, val] : batch) {
+        Value v;
+        ASSERT_EQ(tree.find(key, &v), Status::Ok) << "key " << key;
+    }
+}
+
+TYPED_TEST(TreeTest, PersistsAcrossReopen)
+{
+    {
+        TypeParam tree;
+        ASSERT_EQ(this->createTree("persist", &tree), Status::Ok);
+        for (uint64_t k = 1; k <= 500; ++k)
+            ASSERT_EQ(tree.insert(k * 11, Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(this->session.flushAll(), Status::Ok);
+        this->session.disconnect(&this->be);
+    }
+    FrontendSession s2(SessionConfig::rc(8, 2 << 20));
+    ASSERT_EQ(s2.connect(&this->be), Status::Ok);
+    TypeParam tree;
+    ASSERT_EQ(TypeParam::open(s2, 1, "persist", &tree), Status::Ok);
+    EXPECT_EQ(tree.size(), 500u);
+    for (uint64_t k = 1; k <= 500; ++k) {
+        Value v;
+        ASSERT_EQ(tree.find(k * 11, &v), Status::Ok) << "key " << k * 11;
+        EXPECT_EQ(v.asU64(), k);
+    }
+}
+
+TYPED_TEST(TreeTest, LargeSequentialInsertion)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("seq", &tree), Status::Ok);
+    // Sequential keys stress B+tree splits and BST worst-case depth.
+    const uint64_t n = std::is_same_v<TypeParam, Bst> ||
+                               std::is_same_v<TypeParam, MvBst>
+                           ? 400   // unbalanced trees degrade to a list
+                           : 3000; // plenty of splits for B+trees
+    for (uint64_t k = 1; k <= n; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(this->session.flushAll(), Status::Ok);
+    EXPECT_EQ(tree.size(), n);
+    for (uint64_t k = 1; k <= n; k += 7) {
+        Value v;
+        ASSERT_EQ(tree.find(k, &v), Status::Ok) << "key " << k;
+        EXPECT_EQ(v.asU64(), k);
+    }
+}
+
+TYPED_TEST(TreeTest, RecoveryReexecutesUncoveredOps)
+{
+    TypeParam tree;
+    ASSERT_EQ(this->createTree("rec", &tree), Status::Ok);
+    for (uint64_t k = 1; k <= 10; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(this->session.flushAll(), Status::Ok);
+    // More inserts whose memory logs never flush (mid-batch crash).
+    for (uint64_t k = 11; k <= 20; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    this->session.simulateCrash();
+    TypeParam reopened;
+    ASSERT_EQ(TypeParam::open(this->session, 1, "rec", &reopened),
+              Status::Ok);
+    ASSERT_EQ(this->session.recover(), Status::Ok);
+    TypeParam verify;
+    ASSERT_EQ(TypeParam::open(this->session, 1, "rec", &verify),
+              Status::Ok);
+    for (uint64_t k = 1; k <= 20; ++k) {
+        Value v;
+        EXPECT_EQ(verify.find(k, &v), Status::Ok)
+            << "key " << k << " lost across the crash";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-version specifics
+// ---------------------------------------------------------------------
+
+class MvTest : public ::testing::Test
+{
+  protected:
+    MvTest() : be(1, testConfig()) {}
+    BackendNode be;
+};
+
+TEST_F(MvTest, ReaderSeesPublishedVersionOnly)
+{
+    FrontendSession writer(SessionConfig::rcb(1, 2 << 20, /*batch=*/64));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    MvBst wtree;
+    ASSERT_EQ(MvBst::create(writer, 1, "mv", &wtree), Status::Ok);
+    ASSERT_EQ(wtree.insert(1, Value::ofU64(100)), Status::Ok);
+    ASSERT_EQ(writer.flushAll(), Status::Ok); // publish version 1
+
+    FrontendSession reader(SessionConfig::rc(2, 2 << 20));
+    ASSERT_EQ(reader.connect(&be), Status::Ok);
+    MvBst rtree;
+    ASSERT_EQ(MvBst::open(reader, 1, "mv", &rtree), Status::Ok);
+    Value v;
+    ASSERT_EQ(rtree.find(1, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 100u);
+
+    // Unpublished write: the writer sees it, the reader must not.
+    ASSERT_EQ(wtree.insert(2, Value::ofU64(200)), Status::Ok);
+    ASSERT_EQ(wtree.find(2, &v), Status::Ok);
+    EXPECT_EQ(rtree.find(2, &v), Status::NotFound)
+        << "reader saw an unpublished version";
+    // After publication the reader converges.
+    ASSERT_EQ(writer.flushAll(), Status::Ok);
+    ASSERT_EQ(rtree.find(2, &v), Status::Ok);
+    EXPECT_EQ(v.asU64(), 200u);
+}
+
+TEST_F(MvTest, OldVersionNodesRetireThroughLazyGc)
+{
+    FrontendSession writer(SessionConfig::rcb(1, 2 << 20, 1));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    MvBst tree;
+    ASSERT_EQ(MvBst::create(writer, 1, "gc", &tree), Status::Ok);
+    for (uint64_t k = 1; k <= 32; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    // Updates supersede path nodes; retirements are queued at the
+    // back-end but must not bump gc_epoch before the n+l delay.
+    for (uint64_t k = 1; k <= 32; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k + 1)), Status::Ok);
+    EXPECT_GT(be.gcPending(), 0u);
+    EXPECT_EQ(be.namingEntry(tree.id()).gc_epoch, 0u);
+    be.processGc(writer.clock().now() + be.config().gc_delay_ns + 1);
+    EXPECT_EQ(be.gcPending(), 0u);
+    EXPECT_GT(be.namingEntry(tree.id()).gc_epoch, 0u);
+}
+
+TEST_F(MvTest, RootSwapIsAllOrNothingUnderCrash)
+{
+    FrontendSession writer(SessionConfig::rcb(1, 2 << 20, /*batch=*/64));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    MvBpTree tree;
+    ASSERT_EQ(MvBpTree::create(writer, 1, "atomic", &tree), Status::Ok);
+    for (uint64_t k = 1; k <= 50; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(writer.flushAll(), Status::Ok);
+    const uint64_t root_before =
+        be.namingEntry(tree.id()).root_raw;
+
+    // A second batch crashes before its flush: the published root must
+    // be unchanged (old version intact).
+    for (uint64_t k = 51; k <= 60; ++k)
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+    writer.simulateCrash();
+    EXPECT_EQ(be.namingEntry(tree.id()).root_raw, root_before)
+        << "unpublished batch must not move the root";
+
+    // Recovery re-executes the ops and publishes them.
+    MvBpTree reopened;
+    ASSERT_EQ(MvBpTree::open(writer, 1, "atomic", &reopened), Status::Ok);
+    ASSERT_EQ(writer.recover(), Status::Ok);
+    for (uint64_t k = 1; k <= 60; ++k) {
+        Value v;
+        EXPECT_EQ(reopened.find(k, &v), Status::Ok) << "key " << k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+TEST(PartitionedTest, RoutesAcrossMultipleBackends)
+{
+    BackendNode be1(1, testConfig());
+    BackendNode be2(2, testConfig());
+    FrontendSession s(SessionConfig::rcb(1, 2 << 20, 16));
+    ASSERT_EQ(s.connect(&be1), Status::Ok);
+    ASSERT_EQ(s.connect(&be2), Status::Ok);
+
+    const NodeId backends[] = {1, 2};
+    Partitioned<BpTree> part;
+    ASSERT_EQ(Partitioned<BpTree>::create(
+                  s, backends, "ptree", 4, &part,
+                  [](FrontendSession &sess, NodeId be,
+                     std::string_view name, BpTree *out) {
+                      return BpTree::create(sess, be, name, out);
+                  }),
+              Status::Ok);
+    EXPECT_EQ(part.partitionCount(), 4u);
+
+    for (uint64_t k = 1; k <= 400; ++k)
+        ASSERT_EQ(part.insert(k, Value::ofU64(k * 2)), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    EXPECT_EQ(part.size(), 400u);
+    for (uint64_t k = 1; k <= 400; ++k) {
+        Value v;
+        ASSERT_EQ(part.find(k, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), k * 2);
+    }
+    // Both back-ends actually hold partitions.
+    EXPECT_GE(be1.nameCount(), 2u);
+    EXPECT_GE(be2.nameCount(), 2u);
+
+    for (uint64_t k = 1; k <= 400; k += 2)
+        ASSERT_EQ(part.erase(k), Status::Ok);
+    EXPECT_EQ(part.size(), 200u);
+}
+
+TEST(PartitionedTest, ReopenRestoresPartitionMap)
+{
+    BackendNode be1(1, testConfig());
+    const NodeId backends[] = {1};
+    {
+        FrontendSession s(SessionConfig::rcb(1, 2 << 20, 16));
+        ASSERT_EQ(s.connect(&be1), Status::Ok);
+        Partitioned<BpTree> part;
+        ASSERT_EQ(Partitioned<BpTree>::create(
+                      s, backends, "pp", 3, &part,
+                      [](FrontendSession &sess, NodeId be,
+                         std::string_view name, BpTree *out) {
+                          return BpTree::create(sess, be, name, out);
+                      }),
+                  Status::Ok);
+        for (uint64_t k = 1; k <= 100; ++k)
+            ASSERT_EQ(part.insert(k, Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(s.flushAll(), Status::Ok);
+        s.disconnect(&be1);
+    }
+    FrontendSession s2(SessionConfig::rcb(2, 2 << 20, 16));
+    ASSERT_EQ(s2.connect(&be1), Status::Ok);
+    Partitioned<BpTree> part;
+    ASSERT_EQ(Partitioned<BpTree>::open(
+                  s2, backends, "pp", &part,
+                  [](FrontendSession &sess, NodeId be,
+                     std::string_view name, BpTree *out) {
+                      return BpTree::open(sess, be, name, out);
+                  }),
+              Status::Ok);
+    EXPECT_EQ(part.partitionCount(), 3u);
+    for (uint64_t k = 1; k <= 100; ++k) {
+        Value v;
+        ASSERT_EQ(part.find(k, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), k);
+    }
+}
+
+} // namespace
+} // namespace asymnvm

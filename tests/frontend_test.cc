@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Unit tests for front-end components: the page cache (all three
+ * replacement policies, write-through updates, DS-scoped invalidation),
+ * adaptive level admission, and the two-tier allocator's front tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "backend/backend_node.h"
+#include "common/rand.h"
+#include "common/zipf.h"
+#include "frontend/allocator.h"
+#include "frontend/cache.h"
+#include "rdma/rpc.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace asymnvm {
+namespace {
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    SimClock clock;
+    LatencyModel lat;
+
+    PageCache makeCache(CachePolicy policy, uint64_t capacity)
+    {
+        return PageCache(policy, capacity, &clock, &lat);
+    }
+
+    static std::vector<uint8_t> blob(uint8_t fill, size_t n = 64)
+    {
+        return std::vector<uint8_t>(n, fill);
+    }
+};
+
+TEST_F(CacheTest, HitAfterInsert)
+{
+    auto cache = makeCache(CachePolicy::Hybrid, 4096);
+    const auto data = blob(0x42);
+    cache.insert(0, RemotePtr(1, 100), data.data(), 64);
+    uint8_t out[64] = {};
+    EXPECT_TRUE(cache.lookup(RemotePtr(1, 100), out, 64));
+    EXPECT_EQ(out[0], 0x42);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(CacheTest, MissOnAbsentAndWrongLength)
+{
+    auto cache = makeCache(CachePolicy::Hybrid, 4096);
+    uint8_t out[64];
+    EXPECT_FALSE(cache.lookup(RemotePtr(1, 100), out, 64));
+    const auto data = blob(1);
+    cache.insert(0, RemotePtr(1, 100), data.data(), 64);
+    EXPECT_FALSE(cache.lookup(RemotePtr(1, 100), out, 32))
+        << "length mismatch must miss (object-granularity cache)";
+}
+
+TEST_F(CacheTest, CapacityEnforcedByEviction)
+{
+    auto cache = makeCache(CachePolicy::Hybrid, 64 * 10);
+    for (uint64_t i = 0; i < 20; ++i) {
+        const auto data = blob(static_cast<uint8_t>(i));
+        cache.insert(0, RemotePtr(1, 1000 + i * 64), data.data(), 64);
+    }
+    EXPECT_LE(cache.sizeBytes(), 64u * 10);
+    EXPECT_EQ(cache.entryCount(), 10u);
+    EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST_F(CacheTest, UpdatePatchesCachedBytes)
+{
+    auto cache = makeCache(CachePolicy::Lru, 4096);
+    const auto v1 = blob(0x01);
+    cache.insert(0, RemotePtr(1, 64), v1.data(), 64);
+    const auto v2 = blob(0x02);
+    cache.update(RemotePtr(1, 64), v2.data(), 64);
+    uint8_t out[64];
+    ASSERT_TRUE(cache.lookup(RemotePtr(1, 64), out, 64));
+    EXPECT_EQ(out[0], 0x02);
+}
+
+TEST_F(CacheTest, UpdateWithDifferentLengthInvalidates)
+{
+    auto cache = makeCache(CachePolicy::Lru, 4096);
+    const auto v1 = blob(0x01);
+    cache.insert(0, RemotePtr(1, 64), v1.data(), 64);
+    const auto v2 = blob(0x02, 32);
+    cache.update(RemotePtr(1, 64), v2.data(), 32);
+    uint8_t out[64];
+    EXPECT_FALSE(cache.lookup(RemotePtr(1, 64), out, 64));
+}
+
+TEST_F(CacheTest, InvalidateDsDropsOnlyThatStructure)
+{
+    auto cache = makeCache(CachePolicy::Hybrid, 1 << 20);
+    const auto data = blob(9);
+    cache.insert(/*ds=*/1, RemotePtr(1, 64), data.data(), 64);
+    cache.insert(/*ds=*/2, RemotePtr(1, 128), data.data(), 64);
+    cache.invalidateDs(1);
+    uint8_t out[64];
+    EXPECT_FALSE(cache.lookup(RemotePtr(1, 64), out, 64));
+    EXPECT_TRUE(cache.lookup(RemotePtr(1, 128), out, 64));
+}
+
+TEST_F(CacheTest, LruKeepsRecentlyUsedUnderEviction)
+{
+    auto cache = makeCache(CachePolicy::Lru, 64 * 4);
+    const auto data = blob(1);
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.insert(0, RemotePtr(1, i * 64), data.data(), 64);
+    uint8_t out[64];
+    // Touch entry 0 so it is MRU, then overflow by one.
+    ASSERT_TRUE(cache.lookup(RemotePtr(1, 0), out, 64));
+    cache.insert(0, RemotePtr(1, 4 * 64), data.data(), 64);
+    EXPECT_TRUE(cache.lookup(RemotePtr(1, 0), out, 64))
+        << "MRU entry must survive";
+    EXPECT_FALSE(cache.lookup(RemotePtr(1, 64), out, 64))
+        << "LRU entry must be the victim";
+}
+
+/**
+ * The Section 4.4 experiment in miniature: under a Zipf workload the
+ * hybrid policy's miss ratio should be far below random replacement and
+ * close to exact LRU.
+ */
+TEST_F(CacheTest, HybridPolicyApproachesLruMissRatio)
+{
+    const uint64_t items = 4000;
+    const uint64_t capacity = 64 * 400; // 10% of the working set
+    auto run = [&](CachePolicy policy) {
+        auto cache = makeCache(policy, capacity);
+        ZipfGenerator zipf(items, 0.9, 77);
+        const auto data = blob(5);
+        uint8_t out[64];
+        for (int i = 0; i < 60000; ++i) {
+            const RemotePtr p(1, 4096 + zipf.next() * 64);
+            if (!cache.lookup(p, out, 64))
+                cache.insert(0, p, data.data(), 64);
+        }
+        return cache.missRatio();
+    };
+    const double lru = run(CachePolicy::Lru);
+    const double rr = run(CachePolicy::Random);
+    const double hybrid = run(CachePolicy::Hybrid);
+    EXPECT_LT(lru, rr);
+    EXPECT_LT(hybrid, rr - 0.03) << "hybrid must beat random clearly";
+    EXPECT_LT(hybrid - lru, 0.08) << "hybrid must be close to LRU";
+}
+
+TEST_F(CacheTest, LruChargesMorePerHitThanHybrid)
+{
+    auto lru = makeCache(CachePolicy::Lru, 1 << 20);
+    auto hybrid = makeCache(CachePolicy::Hybrid, 1 << 20);
+    const auto data = blob(1);
+    lru.insert(0, RemotePtr(1, 0), data.data(), 64);
+    hybrid.insert(0, RemotePtr(1, 0), data.data(), 64);
+    uint8_t out[64];
+
+    SimClock before = clock;
+    (void)before;
+    const uint64_t t0 = clock.now();
+    lru.lookup(RemotePtr(1, 0), out, 64);
+    const uint64_t lru_cost = clock.now() - t0;
+    const uint64_t t1 = clock.now();
+    hybrid.lookup(RemotePtr(1, 0), out, 64);
+    const uint64_t hybrid_cost = clock.now() - t1;
+    EXPECT_GT(lru_cost, hybrid_cost);
+}
+
+TEST(LevelAdmissionTest, StartsPermissiveAndTightensOnMisses)
+{
+    LevelAdmission adm(/*initial_n=*/4, /*window=*/16);
+    EXPECT_TRUE(adm.admit(4));
+    EXPECT_FALSE(adm.admit(5));
+    for (int i = 0; i < 16; ++i)
+        adm.record(false); // all misses
+    EXPECT_EQ(adm.level(), 3u) << "miss ratio > 50% lowers N";
+}
+
+TEST(LevelAdmissionTest, LoosensWhenHitsDominate)
+{
+    LevelAdmission adm(4, 16);
+    for (int i = 0; i < 16; ++i)
+        adm.record(true);
+    EXPECT_EQ(adm.level(), 5u) << "miss ratio < 25% raises N";
+}
+
+TEST(LevelAdmissionTest, StableInTheMiddleBand)
+{
+    LevelAdmission adm(4, 10);
+    for (int i = 0; i < 10; ++i)
+        adm.record(i < 6); // 40% misses
+    EXPECT_EQ(adm.level(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Front-end allocator tier
+// ---------------------------------------------------------------------
+
+class FrontAllocTest : public ::testing::Test
+{
+  protected:
+    FrontAllocTest() : be(1, makeConfig())
+    {
+        alloc = std::make_unique<FrontendAllocator>(
+            1, be.config().block_size,
+            [this](RpcOp op, std::span<const uint64_t> args,
+                   std::span<const uint8_t>, uint64_t rets[4]) {
+                ++rpc_calls;
+                switch (op) {
+                  case RpcOp::AllocBlocks:
+                    return be.rpcAllocBlocks(args[0], &rets[0]);
+                  case RpcOp::FreeBlocks:
+                    return be.rpcFreeBlocks(args[0], args[1]);
+                  default:
+                    return Status::InvalidArgument;
+                }
+            },
+            /*reclaim_threshold=*/2);
+    }
+
+    static BackendConfig makeConfig()
+    {
+        BackendConfig cfg;
+        cfg.nvm_size = 8ull << 20;
+        cfg.memlog_ring_size = 64ull << 10;
+        cfg.oplog_ring_size = 32ull << 10;
+        cfg.block_size = 1024;
+        return cfg;
+    }
+
+    BackendNode be;
+    std::unique_ptr<FrontendAllocator> alloc;
+    uint64_t rpc_calls = 0;
+};
+
+TEST_F(FrontAllocTest, SmallAllocationsShareOneSlab)
+{
+    RemotePtr a, b;
+    ASSERT_EQ(alloc->alloc(100, &a), Status::Ok);
+    ASSERT_EQ(alloc->alloc(100, &b), Status::Ok);
+    EXPECT_EQ(rpc_calls, 1u) << "second allocation must be slab-local";
+    EXPECT_NE(a, b);
+    EXPECT_LT(b.offset - a.offset, 1024u) << "same slab expected";
+}
+
+TEST_F(FrontAllocTest, AllocationsDoNotOverlap)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t size = 16 + rng.nextBounded(200);
+        RemotePtr p;
+        ASSERT_EQ(alloc->alloc(size, &p), Status::Ok);
+        for (const auto &[off, len] : spans) {
+            EXPECT_TRUE(p.offset + size <= off || off + len <= p.offset)
+                << "overlap at " << p.offset;
+        }
+        spans.emplace_back(p.offset, size);
+    }
+}
+
+TEST_F(FrontAllocTest, LargeAllocationGoesStraightToBackend)
+{
+    RemotePtr p;
+    ASSERT_EQ(alloc->alloc(5000, &p), Status::Ok);
+    EXPECT_TRUE(be.allocator().isAllocated(p.offset));
+    EXPECT_TRUE(be.allocator().isAllocated(p.offset + 4096));
+    ASSERT_EQ(alloc->free(p, 5000), Status::Ok);
+    EXPECT_FALSE(be.allocator().isAllocated(p.offset));
+}
+
+TEST_F(FrontAllocTest, FreeCoalescesAndAllowsReuse)
+{
+    RemotePtr a, b, c;
+    ASSERT_EQ(alloc->alloc(256, &a), Status::Ok);
+    ASSERT_EQ(alloc->alloc(256, &b), Status::Ok);
+    ASSERT_EQ(alloc->alloc(256, &c), Status::Ok);
+    ASSERT_EQ(alloc->free(a, 256), Status::Ok);
+    ASSERT_EQ(alloc->free(b, 256), Status::Ok);
+    // a+b coalesced into 512 contiguous bytes; a 512B alloc must fit
+    // without a new slab.
+    const uint64_t rpcs_before = rpc_calls;
+    RemotePtr d;
+    ASSERT_EQ(alloc->alloc(512, &d), Status::Ok);
+    EXPECT_EQ(rpc_calls, rpcs_before);
+    EXPECT_EQ(d.offset, a.offset);
+}
+
+TEST_F(FrontAllocTest, EmptySlabsReclaimedPastThreshold)
+{
+    // Fill several slabs then free everything; with threshold 2 the
+    // allocator must return the excess slabs to the back-end.
+    std::vector<RemotePtr> ptrs;
+    for (int i = 0; i < 40; ++i) {
+        RemotePtr p;
+        ASSERT_EQ(alloc->alloc(512, &p), Status::Ok);
+        ptrs.push_back(p);
+    }
+    const uint64_t held_before = alloc->slabsHeld();
+    EXPECT_GE(held_before, 20u);
+    for (const RemotePtr &p : ptrs)
+        ASSERT_EQ(alloc->free(p, 512), Status::Ok);
+    EXPECT_LE(alloc->slabsHeld(), 2u);
+}
+
+TEST_F(FrontAllocTest, ZeroSizeRejected)
+{
+    RemotePtr p;
+    EXPECT_EQ(alloc->alloc(0, &p), Status::InvalidArgument);
+}
+
+TEST_F(FrontAllocTest, VolatileStateLossKeepsBackendBlocksAllocated)
+{
+    RemotePtr p;
+    ASSERT_EQ(alloc->alloc(100, &p), Status::Ok);
+    alloc->loseVolatileState();
+    // Section 5.2: recovery is slab-granularity only; the slab stays
+    // allocated at the back-end (no use-after-free of live data).
+    EXPECT_TRUE(be.allocator().isAllocated(p.offset));
+}
+
+} // namespace
+} // namespace asymnvm

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Resource-limit and exhaustion tests: naming-table and NVM exhaustion
+ * surface as clean status codes (not corruption), front-end slots run
+ * out gracefully, memory cycles through erase/insert without leaking,
+ * and promotion without a mirror is refused.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "ds/bptree.h"
+#include "ds/hash_table.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+tinyConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 8ull << 20;
+    cfg.max_frontends = 2;
+    cfg.max_names = 4;
+    cfg.memlog_ring_size = 256ull << 10;
+    cfg.oplog_ring_size = 128ull << 10;
+    return cfg;
+}
+
+TEST(LimitsTest, NamingTableExhaustion)
+{
+    BackendNode be(1, tinyConfig());
+    FrontendSession s(SessionConfig::rcb(1, 64 << 10, 8));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    DsId id;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(s.createDs(1, "name" + std::to_string(i), DsType::Bst,
+                             &id),
+                  Status::Ok);
+    EXPECT_EQ(s.createDs(1, "one-too-many", DsType::Bst, &id),
+              Status::OutOfMemory);
+    // Existing names still resolve.
+    DsType type;
+    EXPECT_EQ(s.openDs(1, "name2", &id, &type), Status::Ok);
+}
+
+TEST(LimitsTest, FrontendSlotsExhaustGracefully)
+{
+    BackendNode be(1, tinyConfig());
+    FrontendSession a(SessionConfig::r(1)), b(SessionConfig::r(2)),
+        c(SessionConfig::r(3));
+    ASSERT_EQ(a.connect(&be), Status::Ok);
+    ASSERT_EQ(b.connect(&be), Status::Ok);
+    EXPECT_EQ(c.connect(&be), Status::Unavailable);
+    // Releasing a slot admits the waiting session.
+    a.disconnect(&be);
+    EXPECT_EQ(c.connect(&be), Status::Ok);
+}
+
+TEST(LimitsTest, DataAreaExhaustionIsCleanAndRecoverable)
+{
+    BackendNode be(1, tinyConfig());
+    FrontendSession s(SessionConfig::rcb(1, 64 << 10, 16));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    BpTree tree;
+    ASSERT_EQ(BpTree::create(s, 1, "fill", &tree), Status::Ok);
+    // Fill until the device runs out.
+    uint64_t inserted = 0;
+    Status st = Status::Ok;
+    for (uint64_t k = 1; k <= 1000000; ++k) {
+        st = tree.insert(k, Value::ofU64(k));
+        if (!ok(st))
+            break;
+        ++inserted;
+    }
+    EXPECT_EQ(st, Status::OutOfMemory);
+    EXPECT_GT(inserted, 1000u);
+    // Everything inserted before the exhaustion is intact and readable.
+    (void)s.flushAll();
+    for (uint64_t k = 1; k <= inserted; k += inserted / 50 + 1) {
+        Value v;
+        ASSERT_EQ(tree.find(k, &v), Status::Ok) << "key " << k;
+    }
+    // Freeing makes room again.
+    for (uint64_t k = 1; k <= inserted / 2; ++k)
+        ASSERT_EQ(tree.erase(k), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    EXPECT_EQ(tree.insert(2000000, Value::ofU64(1)), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+}
+
+TEST(LimitsTest, EraseInsertCyclesDoNotLeak)
+{
+    BackendNode be(1, tinyConfig());
+    FrontendSession s(SessionConfig::rcb(1, 64 << 10, 16));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    HashTable ht;
+    ASSERT_EQ(HashTable::create(s, 1, "cycle", 128, &ht), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    const uint64_t free_before = be.allocator().freeBlocks();
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        for (uint64_t k = 1; k <= 200; ++k)
+            ASSERT_EQ(ht.put(k, Value::ofU64(k)), Status::Ok);
+        for (uint64_t k = 1; k <= 200; ++k)
+            ASSERT_EQ(ht.erase(k), Status::Ok);
+        ASSERT_EQ(s.flushAll(), Status::Ok);
+    }
+    const uint64_t free_after = be.allocator().freeBlocks();
+    // Steady state may hold a few slabs (reclaim threshold); no drift.
+    EXPECT_GE(free_after + 64, free_before)
+        << "blocks leaked across erase/insert cycles";
+}
+
+TEST(LimitsTest, PromotionWithoutMirrorRefused)
+{
+    ClusterConfig ccfg;
+    ccfg.num_backends = 1;
+    ccfg.mirrors_per_backend = 0;
+    ccfg.backend = tinyConfig();
+    Cluster cluster(ccfg);
+    cluster.crashBackendTransient(1);
+    EXPECT_EQ(cluster.failBackendPermanently(1, 0), Status::Unavailable);
+}
+
+TEST(LimitsTest, MaxOffsetKeysRoundTripThroughLogs)
+{
+    // RemotePtr offsets are 48-bit; keys are full 64-bit. Exercise the
+    // extremes through the whole pipeline.
+    BackendNode be(1, tinyConfig());
+    FrontendSession s(SessionConfig::rcb(1, 64 << 10, 4));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    HashTable ht;
+    ASSERT_EQ(HashTable::create(s, 1, "extreme", 16, &ht), Status::Ok);
+    const Key extremes[] = {1, UINT64_MAX, UINT64_MAX - 1,
+                            1ull << 63, 0x8000000000000001ull};
+    for (Key k : extremes)
+        ASSERT_EQ(ht.put(k, Value::ofU64(~k)), Status::Ok);
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+    for (Key k : extremes) {
+        Value v;
+        ASSERT_EQ(ht.get(k, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), ~k);
+    }
+}
+
+TEST(LimitsTest, SessionSurvivesDoubleConnectAndDisconnect)
+{
+    BackendNode be(1, tinyConfig());
+    FrontendSession s(SessionConfig::r(9));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    // Reconnecting the same session id reattaches the same slot.
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    s.disconnect(&be);
+    s.disconnect(&be); // idempotent
+    // After disconnect, operations fail cleanly.
+    RemotePtr p;
+    EXPECT_EQ(s.alloc(1, 64, &p), Status::Unavailable);
+}
+
+} // namespace
+} // namespace asymnvm

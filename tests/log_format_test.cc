@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the log wire formats (Figure 3): transaction building
+ * and parsing, torn-log detection via the checksum end mark, op-ref
+ * entries, and operation-log records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "backend/log_format.h"
+
+namespace asymnvm {
+namespace {
+
+std::vector<uint8_t>
+toVec(std::span<const uint8_t> s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(TxFormatTest, BuildAndParseRoundTrip)
+{
+    TxBuilder b;
+    b.reset(/*lpn=*/5, /*ds=*/2, /*covered_opn=*/9);
+    const uint64_t v1 = 0xaabb, v2 = 0xccdd;
+    b.addInline(RemotePtr(1, 0x1000), &v1, 8);
+    b.addInline(RemotePtr(1, 0x2000), &v2, 8);
+    const auto bytes = toVec(b.finish());
+
+    auto tx = TxParser::parse(bytes);
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_EQ(tx->header().lpn, 5u);
+    EXPECT_EQ(tx->header().ds_id, 2u);
+    EXPECT_EQ(tx->header().covered_opn, 9u);
+    ASSERT_EQ(tx->entries().size(), 2u);
+    EXPECT_EQ(tx->entries()[0].addr, RemotePtr(1, 0x1000));
+    uint64_t got;
+    std::memcpy(&got, tx->entries()[0].inline_value, 8);
+    EXPECT_EQ(got, v1);
+    std::memcpy(&got, tx->entries()[1].inline_value, 8);
+    EXPECT_EQ(got, v2);
+}
+
+TEST(TxFormatTest, EmptyTransactionParses)
+{
+    TxBuilder b;
+    b.reset(0, 0, 0);
+    auto tx = TxParser::parse(toVec(b.finish()));
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_EQ(tx->entries().size(), 0u);
+}
+
+TEST(TxFormatTest, TruncatedTailDetected)
+{
+    TxBuilder b;
+    b.reset(1, 0, 0);
+    const uint64_t v = 7;
+    b.addInline(RemotePtr(0, 64), &v, 8);
+    auto bytes = toVec(b.finish());
+    for (size_t cut = 1; cut < sizeof(TxFooter) + 8; ++cut) {
+        std::vector<uint8_t> torn(bytes.begin(), bytes.end() - cut);
+        EXPECT_FALSE(TxParser::parse(torn).has_value())
+            << "cut of " << cut << " bytes went undetected";
+    }
+}
+
+TEST(TxFormatTest, CorruptedPayloadFailsChecksum)
+{
+    TxBuilder b;
+    b.reset(1, 0, 0);
+    uint8_t blob[100];
+    std::memset(blob, 0x5a, sizeof(blob));
+    b.addInline(RemotePtr(0, 256), blob, sizeof(blob));
+    auto bytes = toVec(b.finish());
+    bytes[sizeof(TxHeader) + sizeof(MemLogEntryHeader) + 50] ^= 0xff;
+    EXPECT_FALSE(TxParser::parse(bytes).has_value());
+}
+
+TEST(TxFormatTest, MissingCommitFlagDetected)
+{
+    TxBuilder b;
+    b.reset(1, 0, 0);
+    const uint64_t v = 7;
+    b.addInline(RemotePtr(0, 64), &v, 8);
+    auto bytes = toVec(b.finish());
+    // Zero the commit flag but keep everything else.
+    std::memset(bytes.data() + bytes.size() - sizeof(TxFooter), 0, 4);
+    EXPECT_FALSE(TxParser::parse(bytes).has_value());
+}
+
+TEST(TxFormatTest, BadMagicRejected)
+{
+    std::vector<uint8_t> junk(sizeof(TxHeader) + sizeof(TxFooter), 0xab);
+    EXPECT_FALSE(TxParser::parse(junk).has_value());
+}
+
+TEST(TxFormatTest, OpRefEntryRoundTrip)
+{
+    TxBuilder b;
+    b.reset(3, 1, 4);
+    b.addOpRef(RemotePtr(1, 0x3000), /*oplog_off=*/0x40, /*val_off=*/8,
+               /*len=*/64);
+    auto tx = TxParser::parse(toVec(b.finish()));
+    ASSERT_TRUE(tx.has_value());
+    ASSERT_EQ(tx->entries().size(), 1u);
+    const ParsedMemLog &m = tx->entries()[0];
+    EXPECT_EQ(m.flag, MemLogFlag::kOpRef);
+    EXPECT_EQ(m.oplog_off, 0x40u);
+    EXPECT_EQ(m.val_off, 8u);
+    EXPECT_EQ(m.len, 64u);
+}
+
+TEST(TxFormatTest, ManyEntriesSurvive)
+{
+    TxBuilder b;
+    b.reset(10, 7, 100);
+    for (uint64_t i = 0; i < 500; ++i) {
+        const uint64_t v = i * 3;
+        b.addInline(RemotePtr(0, 4096 + i * 8), &v, 8);
+    }
+    auto tx = TxParser::parse(toVec(b.finish()));
+    ASSERT_TRUE(tx.has_value());
+    ASSERT_EQ(tx->entries().size(), 500u);
+    uint64_t got;
+    std::memcpy(&got, tx->entries()[499].inline_value, 8);
+    EXPECT_EQ(got, 499u * 3);
+}
+
+TEST(OpLogTest, EncodeDecodeRoundTrip)
+{
+    const char val[] = "value-bytes";
+    const auto rec =
+        encodeOpLog(OpType::Insert, 4, 17, 0xbeef, val, sizeof(val));
+    auto parsed = decodeOpLog(rec);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->op, OpType::Insert);
+    EXPECT_EQ(parsed->ds_id, 4u);
+    EXPECT_EQ(parsed->opn, 17u);
+    EXPECT_EQ(parsed->key, 0xbeefu);
+    EXPECT_EQ(parsed->wire_len, rec.size());
+    ASSERT_EQ(parsed->value.size(), sizeof(val));
+    EXPECT_EQ(std::memcmp(parsed->value.data(), val, sizeof(val)), 0);
+}
+
+TEST(OpLogTest, EmptyValueAllowed)
+{
+    const auto rec = encodeOpLog(OpType::Pop, 1, 2, 0, nullptr, 0);
+    auto parsed = decodeOpLog(rec);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->value.empty());
+}
+
+TEST(OpLogTest, TornRecordDetected)
+{
+    const char val[] = "torn";
+    auto rec = encodeOpLog(OpType::Update, 0, 1, 2, val, sizeof(val));
+    rec.pop_back();
+    EXPECT_FALSE(decodeOpLog(rec).has_value());
+}
+
+TEST(OpLogTest, CorruptValueDetected)
+{
+    const char val[] = "corrupt-me";
+    auto rec = encodeOpLog(OpType::Insert, 0, 1, 2, val, sizeof(val));
+    rec[sizeof(OpLogHeader) + 3] ^= 0x80;
+    EXPECT_FALSE(decodeOpLog(rec).has_value());
+}
+
+TEST(OpLogTest, DecodeFromLargerBufferUsesWireLen)
+{
+    const char val[] = "x";
+    auto rec = encodeOpLog(OpType::Erase, 9, 3, 4, val, sizeof(val));
+    const size_t wire = rec.size();
+    rec.resize(rec.size() + 100, 0xcd); // trailing garbage in the ring
+    auto parsed = decodeOpLog(rec);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->wire_len, wire);
+}
+
+} // namespace
+} // namespace asymnvm

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-writer handoff tests for the SWMR model: writers from different
+ * front-end sessions take turns under the exclusive writer lock
+ * (Section 6.1). The correctness hazards are (a) the second writer
+ * seeing the first writer's data (its shadows/caches may be stale) and
+ * (b) the first writer re-acquiring the lock after the second wrote —
+ * the writer-generation word must invalidate its cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/backend_node.h"
+#include "ds/bptree.h"
+#include "ds/hash_table.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+testConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 32ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 16;
+    cfg.memlog_ring_size = 1ull << 20;
+    cfg.oplog_ring_size = 1ull << 20;
+    return cfg;
+}
+
+TEST(MultiWriterTest, AlternatingWritersSeeEachOthersData)
+{
+    BackendNode be(1, testConfig());
+    DsOptions shared;
+    shared.shared = true;
+
+    FrontendSession sa(SessionConfig::rcb(1, 1 << 20, 8));
+    FrontendSession sb(SessionConfig::rcb(2, 1 << 20, 8));
+    ASSERT_EQ(sa.connect(&be), Status::Ok);
+    ASSERT_EQ(sb.connect(&be), Status::Ok);
+
+    HashTable a;
+    ASSERT_EQ(HashTable::create(sa, 1, "turns", 64, &a, shared),
+              Status::Ok);
+    ASSERT_EQ(sa.flushAll(), Status::Ok);
+    HashTable b;
+    ASSERT_EQ(HashTable::open(sb, 1, "turns", &b, shared), Status::Ok);
+
+    // Ten rounds of alternating ownership; each writer reads what the
+    // other wrote in the previous round, then overwrites it.
+    for (uint64_t round = 0; round < 10; ++round) {
+        HashTable &writer = round % 2 == 0 ? a : b;
+        FrontendSession &session = round % 2 == 0 ? sa : sb;
+        if (round > 0) {
+            Value v;
+            ASSERT_EQ(writer.get(77, &v), Status::Ok);
+            EXPECT_EQ(v.asU64(), round - 1)
+                << "writer missed the previous owner's update";
+        }
+        ASSERT_EQ(writer.put(77, Value::ofU64(round)), Status::Ok);
+        ASSERT_EQ(session.flushAll(), Status::Ok); // releases the lock
+    }
+}
+
+TEST(MultiWriterTest, StaleWriterCacheInvalidatedByGeneration)
+{
+    BackendNode be(1, testConfig());
+    DsOptions shared;
+    shared.shared = true;
+
+    FrontendSession sa(SessionConfig::rcb(1, 1 << 20, 8));
+    FrontendSession sb(SessionConfig::rcb(2, 1 << 20, 8));
+    ASSERT_EQ(sa.connect(&be), Status::Ok);
+    ASSERT_EQ(sb.connect(&be), Status::Ok);
+
+    BpTree a;
+    ASSERT_EQ(BpTree::create(sa, 1, "gen", &a, shared), Status::Ok);
+    // A populates and warms its cache with the whole tree.
+    for (uint64_t k = 1; k <= 200; ++k)
+        ASSERT_EQ(a.insert(k, Value::ofU64(k)), Status::Ok);
+    ASSERT_EQ(sa.flushAll(), Status::Ok);
+    Value v;
+    for (uint64_t k = 1; k <= 200; ++k)
+        ASSERT_EQ(a.find(k, &v), Status::Ok);
+
+    // B takes the lock and rewrites everything.
+    BpTree b;
+    ASSERT_EQ(BpTree::open(sb, 1, "gen", &b, shared), Status::Ok);
+    for (uint64_t k = 1; k <= 200; ++k)
+        ASSERT_EQ(b.insert(k, Value::ofU64(k + 5000)), Status::Ok);
+    ASSERT_EQ(sb.flushAll(), Status::Ok);
+
+    // A becomes the writer again: its warm cache is entirely stale, and
+    // the writer-generation check on lock acquisition must flush it.
+    ASSERT_EQ(a.insert(1000, Value::ofU64(1)), Status::Ok);
+    for (uint64_t k = 1; k <= 200; ++k) {
+        ASSERT_EQ(a.find(k, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), k + 5000)
+            << "writer A served stale cached data for key " << k;
+    }
+    ASSERT_EQ(sa.flushAll(), Status::Ok);
+}
+
+TEST(MultiWriterTest, CrashedWriterDoesNotBlockSuccessor)
+{
+    BackendNode be(1, testConfig());
+    DsOptions shared;
+    shared.shared = true;
+
+    FrontendSession sa(SessionConfig::rcb(1, 1 << 20, 64));
+    FrontendSession sb(SessionConfig::rcb(2, 1 << 20, 64));
+    ASSERT_EQ(sa.connect(&be), Status::Ok);
+    ASSERT_EQ(sb.connect(&be), Status::Ok);
+
+    HashTable a;
+    ASSERT_EQ(HashTable::create(sa, 1, "orphan", 64, &a, shared),
+              Status::Ok);
+    ASSERT_EQ(sa.flushAll(), Status::Ok);
+    // A acquires the lock (mid-batch) and dies.
+    ASSERT_EQ(a.put(1, Value::ofU64(1)), Status::Ok);
+    EXPECT_NE(be.namingEntry(a.id()).writer_lock, 0u);
+    sa.simulateCrash();
+    // A's recovery (Case 2) releases the orphaned lock...
+    HashTable re;
+    ASSERT_EQ(HashTable::open(sa, 1, "orphan", &re, shared), Status::Ok);
+    ASSERT_EQ(sa.recover(), Status::Ok);
+    // ...and B can immediately take over.
+    HashTable b;
+    ASSERT_EQ(HashTable::open(sb, 1, "orphan", &b, shared), Status::Ok);
+    ASSERT_EQ(b.put(2, Value::ofU64(2)), Status::Ok);
+    ASSERT_EQ(sb.flushAll(), Status::Ok);
+    Value v;
+    ASSERT_EQ(b.get(1, &v), Status::Ok)
+        << "A's recovered op must be visible to B";
+    ASSERT_EQ(b.get(2, &v), Status::Ok);
+}
+
+} // namespace
+} // namespace asymnvm

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: virtual clocks, the shared NIC
+ * contention model, and the failure injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/failure.h"
+#include "sim/latency.h"
+#include "sim/nic.h"
+
+namespace asymnvm {
+namespace {
+
+TEST(SimClockTest, AdvanceAccumulates)
+{
+    SimClock c;
+    EXPECT_EQ(c.now(), 0u);
+    c.advance(100);
+    c.advance(50);
+    EXPECT_EQ(c.now(), 150u);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBackwards)
+{
+    SimClock c;
+    c.advance(500);
+    c.advanceTo(300);
+    EXPECT_EQ(c.now(), 500u);
+    c.advanceTo(700);
+    EXPECT_EQ(c.now(), 700u);
+}
+
+TEST(LatencyModelTest, WireBytesScalesWithSize)
+{
+    LatencyModel lat;
+    EXPECT_EQ(lat.wireBytes(0), 0u);
+    EXPECT_GT(lat.wireBytes(4096), lat.wireBytes(64));
+}
+
+TEST(NicModelTest, IdleNicHasNoQueueing)
+{
+    NicModel nic(100);
+    EXPECT_EQ(nic.reserve(10000), 0u);
+    EXPECT_EQ(nic.verbCount(), 1u);
+}
+
+TEST(NicModelTest, SaturationProducesQueueingDelay)
+{
+    NicModel nic(100);
+    // Issue verbs at twice the NIC's capacity for several windows; once
+    // the utilization estimate converges the M/D/1 wait becomes visible.
+    uint64_t now = 0;
+    uint64_t last_delay = 0;
+    for (int i = 0; i < 20000; ++i) {
+        last_delay = nic.reserve(now);
+        now += 50; // inter-arrival 50ns << 100ns service
+    }
+    EXPECT_GT(last_delay, 0u);
+    EXPECT_GT(nic.utilization(), 0.5);
+}
+
+TEST(NicModelTest, LightLoadStaysDelayFree)
+{
+    NicModel nic(100);
+    uint64_t now = 0;
+    uint64_t max_delay = 0;
+    for (int i = 0; i < 20000; ++i) {
+        max_delay = std::max(max_delay, nic.reserve(now));
+        now += 2000; // 5% utilization
+    }
+    EXPECT_LE(max_delay, 10u);
+}
+
+TEST(NicModelTest, SkewedClocksDoNotExplodeDelays)
+{
+    // Two sessions with drifted clocks: delays must stay bounded by the
+    // utilization, not by the absolute clock difference.
+    NicModel nic(100);
+    uint64_t fast = 10'000'000, slow = 0;
+    uint64_t max_delay = 0;
+    for (int i = 0; i < 5000; ++i) {
+        max_delay = std::max(max_delay, nic.reserve(fast));
+        max_delay = std::max(max_delay, nic.reserve(slow));
+        fast += 4000;
+        slow += 4000;
+    }
+    EXPECT_LT(max_delay, 1000u) << "drift must not look like queueing";
+}
+
+TEST(NicModelTest, BusyTimeAccounted)
+{
+    NicModel nic(100);
+    nic.reserve(0);
+    nic.reserve(0);
+    EXPECT_EQ(nic.busyNs(), 200u);
+    nic.resetStats();
+    EXPECT_EQ(nic.busyNs(), 0u);
+}
+
+TEST(FailureInjectorTest, DisarmedPassesVerbs)
+{
+    FailureInjector f;
+    EXPECT_FALSE(f.onVerb(0).has_value());
+    EXPECT_FALSE(f.crashed());
+}
+
+TEST(FailureInjectorTest, FiresOnNthVerb)
+{
+    FailureInjector f;
+    f.armCrashAfterVerbs(2);
+    EXPECT_FALSE(f.onVerb(0).has_value()); // verb 0
+    EXPECT_FALSE(f.onVerb(0).has_value()); // verb 1
+    EXPECT_TRUE(f.onVerb(0).has_value());  // verb 2: crash
+    EXPECT_TRUE(f.crashed());
+}
+
+TEST(FailureInjectorTest, TornWriteKeepsAlignedPrefix)
+{
+    FailureInjector f;
+    f.armCrashAfterVerbs(0);
+    const auto kept = f.onVerb(1000);
+    ASSERT_TRUE(kept.has_value());
+    EXPECT_LE(*kept, 1000u);
+    EXPECT_EQ(*kept % 64, 0u) << "tear must land on a cache line";
+}
+
+TEST(FailureInjectorTest, CrashedDeviceRejectsAllVerbs)
+{
+    FailureInjector f;
+    f.armCrashAfterVerbs(0);
+    f.onVerb(0);
+    const auto r = f.onVerb(512);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 0u) << "no bytes land after the crash";
+}
+
+TEST(FailureInjectorTest, RecoverClearsCrashState)
+{
+    FailureInjector f;
+    f.armCrashAfterVerbs(0);
+    f.onVerb(0);
+    EXPECT_TRUE(f.crashed());
+    f.recover();
+    EXPECT_FALSE(f.crashed());
+    EXPECT_FALSE(f.onVerb(0).has_value());
+}
+
+} // namespace
+} // namespace asymnvm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized configuration sweeps: the framework must behave
+ * identically across ring sizes (many wraps vs none), block sizes,
+ * cache policies and batch sizes. Each sweep runs a fixed randomized
+ * workload plus a crash/recovery cycle and checks the same final state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "backend/backend_node.h"
+#include "common/rand.h"
+#include "ds/bptree.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+struct SweepParam
+{
+    uint64_t memlog_ring;
+    uint64_t oplog_ring;
+    uint64_t block_size;
+    uint32_t batch;
+    CachePolicy policy;
+};
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(ConfigSweepTest, SameWorkloadSameState)
+{
+    const SweepParam &p = GetParam();
+    BackendConfig cfg;
+    cfg.nvm_size = 32ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 8;
+    cfg.memlog_ring_size = p.memlog_ring;
+    cfg.oplog_ring_size = p.oplog_ring;
+    cfg.block_size = p.block_size;
+    auto be = std::make_unique<BackendNode>(1, cfg);
+
+    SessionConfig scfg = SessionConfig::rcb(77, 512 << 10, p.batch);
+    scfg.cache_policy = p.policy;
+    FrontendSession s(scfg);
+    ASSERT_EQ(s.connect(be.get()), Status::Ok);
+    BpTree tree;
+    ASSERT_EQ(BpTree::create(s, 1, "sweep", &tree), Status::Ok);
+
+    // Identical randomized workload for every configuration.
+    std::map<Key, uint64_t> model;
+    Rng rng(4242);
+    for (int i = 0; i < 3000; ++i) {
+        const Key k = 1 + rng.nextBounded(600);
+        if (rng.nextBool(0.7)) {
+            const uint64_t val = rng.next();
+            ASSERT_EQ(tree.insert(k, Value::ofU64(val)), Status::Ok);
+            model[k] = val;
+        } else {
+            const Status st = tree.erase(k);
+            ASSERT_EQ(st, model.count(k) ? Status::Ok : Status::NotFound);
+            model.erase(k);
+        }
+    }
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+
+    // Uncommitted tail + full crash/recovery cycle.
+    for (Key k = 10000; k < 10050; ++k) {
+        ASSERT_EQ(tree.insert(k, Value::ofU64(k)), Status::Ok);
+        model[k] = k;
+    }
+    auto device = be->device();
+    be = std::make_unique<BackendNode>(1, cfg, device);
+    s.simulateCrash();
+    ASSERT_EQ(s.failover(1, be.get()), Status::Ok);
+    BpTree re;
+    ASSERT_EQ(BpTree::open(s, 1, "sweep", &re), Status::Ok);
+    ASSERT_EQ(s.recover(), Status::Ok);
+
+    BpTree audit;
+    ASSERT_EQ(BpTree::open(s, 1, "sweep", &audit), Status::Ok);
+    EXPECT_EQ(audit.size(), model.size());
+    for (const auto &[k, val] : model) {
+        Value v;
+        ASSERT_EQ(audit.find(k, &v), Status::Ok) << "key " << k;
+        EXPECT_EQ(v.asU64(), val) << "key " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConfigSweepTest,
+    ::testing::Values(
+        // Tiny rings: constant wrap-around.
+        SweepParam{16ull << 10, 8ull << 10, 1024, 16, CachePolicy::Hybrid},
+        // Large rings: no wraps at all.
+        SweepParam{4ull << 20, 2ull << 20, 1024, 16, CachePolicy::Hybrid},
+        // Small slabs stress the two-tier allocator.
+        SweepParam{1ull << 20, 512ull << 10, 256, 16, CachePolicy::Hybrid},
+        // Big slabs waste space but must still work.
+        SweepParam{1ull << 20, 512ull << 10, 4096, 16,
+                   CachePolicy::Hybrid},
+        // Per-op commits vs huge batches.
+        SweepParam{1ull << 20, 512ull << 10, 1024, 1, CachePolicy::Hybrid},
+        SweepParam{1ull << 20, 512ull << 10, 1024, 2048,
+                   CachePolicy::Hybrid},
+        // Every cache policy.
+        SweepParam{1ull << 20, 512ull << 10, 1024, 16, CachePolicy::Lru},
+        SweepParam{1ull << 20, 512ull << 10, 1024, 16,
+                   CachePolicy::Random}),
+    [](const auto &info) {
+        const SweepParam &p = info.param;
+        std::string name = "ring" + std::to_string(p.memlog_ring >> 10) +
+                           "k_blk" + std::to_string(p.block_size) +
+                           "_batch" + std::to_string(p.batch);
+        name += p.policy == CachePolicy::Lru      ? "_lru"
+                : p.policy == CachePolicy::Random ? "_rr"
+                                                  : "_hybrid";
+        return name;
+    });
+
+} // namespace
+} // namespace asymnvm
