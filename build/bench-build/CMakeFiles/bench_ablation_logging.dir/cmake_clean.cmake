@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_logging"
+  "../bench/bench_ablation_logging.pdb"
+  "CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cc.o"
+  "CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_blobs"
+  "../bench/bench_ext_blobs.pdb"
+  "CMakeFiles/bench_ext_blobs.dir/bench_ext_blobs.cc.o"
+  "CMakeFiles/bench_ext_blobs.dir/bench_ext_blobs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_blobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

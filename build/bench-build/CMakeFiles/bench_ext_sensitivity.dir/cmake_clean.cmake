@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sensitivity"
+  "../bench/bench_ext_sensitivity.pdb"
+  "CMakeFiles/bench_ext_sensitivity.dir/bench_ext_sensitivity.cc.o"
+  "CMakeFiles/bench_ext_sensitivity.dir/bench_ext_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_partition"
+  "../bench/bench_fig10_partition.pdb"
+  "CMakeFiles/bench_fig10_partition.dir/bench_fig10_partition.cc.o"
+  "CMakeFiles/bench_fig10_partition.dir/bench_fig10_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

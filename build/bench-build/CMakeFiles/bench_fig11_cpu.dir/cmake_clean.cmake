@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_cpu"
+  "../bench/bench_fig11_cpu.pdb"
+  "CMakeFiles/bench_fig11_cpu.dir/bench_fig11_cpu.cc.o"
+  "CMakeFiles/bench_fig11_cpu.dir/bench_fig11_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_zipf"
+  "../bench/bench_fig12_zipf.pdb"
+  "CMakeFiles/bench_fig12_zipf.dir/bench_fig12_zipf.cc.o"
+  "CMakeFiles/bench_fig12_zipf.dir/bench_fig12_zipf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_mixes"
+  "../bench/bench_fig13_mixes.pdb"
+  "CMakeFiles/bench_fig13_mixes.dir/bench_fig13_mixes.cc.o"
+  "CMakeFiles/bench_fig13_mixes.dir/bench_fig13_mixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

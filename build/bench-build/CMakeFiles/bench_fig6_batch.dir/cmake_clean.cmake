@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_batch"
+  "../bench/bench_fig6_batch.pdb"
+  "CMakeFiles/bench_fig6_batch.dir/bench_fig6_batch.cc.o"
+  "CMakeFiles/bench_fig6_batch.dir/bench_fig6_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_readers"
+  "../bench/bench_fig8_readers.pdb"
+  "CMakeFiles/bench_fig8_readers.dir/bench_fig8_readers.cc.o"
+  "CMakeFiles/bench_fig8_readers.dir/bench_fig8_readers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

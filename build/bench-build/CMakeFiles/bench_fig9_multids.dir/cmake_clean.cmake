@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_multids"
+  "../bench/bench_fig9_multids.pdb"
+  "CMakeFiles/bench_fig9_multids.dir/bench_fig9_multids.cc.o"
+  "CMakeFiles/bench_fig9_multids.dir/bench_fig9_multids.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

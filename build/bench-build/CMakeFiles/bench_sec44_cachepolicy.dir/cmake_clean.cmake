@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec44_cachepolicy"
+  "../bench/bench_sec44_cachepolicy.pdb"
+  "CMakeFiles/bench_sec44_cachepolicy.dir/bench_sec44_cachepolicy.cc.o"
+  "CMakeFiles/bench_sec44_cachepolicy.dir/bench_sec44_cachepolicy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_cachepolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec63_lock"
+  "../bench/bench_sec63_lock.pdb"
+  "CMakeFiles/bench_sec63_lock.dir/bench_sec63_lock.cc.o"
+  "CMakeFiles/bench_sec63_lock.dir/bench_sec63_lock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_allocators"
+  "../bench/bench_table2_allocators.pdb"
+  "CMakeFiles/bench_table2_allocators.dir/bench_table2_allocators.cc.o"
+  "CMakeFiles/bench_table2_allocators.dir/bench_table2_allocators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

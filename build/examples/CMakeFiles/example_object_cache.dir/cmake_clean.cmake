@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_object_cache.dir/object_cache.cpp.o"
+  "CMakeFiles/example_object_cache.dir/object_cache.cpp.o.d"
+  "example_object_cache"
+  "example_object_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_object_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

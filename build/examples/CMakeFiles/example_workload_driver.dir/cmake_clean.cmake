@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_driver.dir/workload_driver.cpp.o"
+  "CMakeFiles/example_workload_driver.dir/workload_driver.cpp.o.d"
+  "example_workload_driver"
+  "example_workload_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/smallbank.cc" "src/CMakeFiles/asymnvm.dir/apps/smallbank.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/apps/smallbank.cc.o.d"
+  "/root/repo/src/apps/tatp.cc" "src/CMakeFiles/asymnvm.dir/apps/tatp.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/apps/tatp.cc.o.d"
+  "/root/repo/src/backend/allocator.cc" "src/CMakeFiles/asymnvm.dir/backend/allocator.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/allocator.cc.o.d"
+  "/root/repo/src/backend/backend_node.cc" "src/CMakeFiles/asymnvm.dir/backend/backend_node.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/backend_node.cc.o.d"
+  "/root/repo/src/backend/layout.cc" "src/CMakeFiles/asymnvm.dir/backend/layout.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/layout.cc.o.d"
+  "/root/repo/src/backend/log_format.cc" "src/CMakeFiles/asymnvm.dir/backend/log_format.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/log_format.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/asymnvm.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/keepalive.cc" "src/CMakeFiles/asymnvm.dir/cluster/keepalive.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/cluster/keepalive.cc.o.d"
+  "/root/repo/src/common/checksum.cc" "src/CMakeFiles/asymnvm.dir/common/checksum.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/common/checksum.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/asymnvm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/asymnvm.dir/common/types.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/common/types.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/asymnvm.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/common/zipf.cc.o.d"
+  "/root/repo/src/ds/blob_store.cc" "src/CMakeFiles/asymnvm.dir/ds/blob_store.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/blob_store.cc.o.d"
+  "/root/repo/src/ds/bptree.cc" "src/CMakeFiles/asymnvm.dir/ds/bptree.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/bptree.cc.o.d"
+  "/root/repo/src/ds/bst.cc" "src/CMakeFiles/asymnvm.dir/ds/bst.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/bst.cc.o.d"
+  "/root/repo/src/ds/hash_table.cc" "src/CMakeFiles/asymnvm.dir/ds/hash_table.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/hash_table.cc.o.d"
+  "/root/repo/src/ds/mv_bptree.cc" "src/CMakeFiles/asymnvm.dir/ds/mv_bptree.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/mv_bptree.cc.o.d"
+  "/root/repo/src/ds/mv_bst.cc" "src/CMakeFiles/asymnvm.dir/ds/mv_bst.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/mv_bst.cc.o.d"
+  "/root/repo/src/ds/queue.cc" "src/CMakeFiles/asymnvm.dir/ds/queue.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/queue.cc.o.d"
+  "/root/repo/src/ds/skiplist.cc" "src/CMakeFiles/asymnvm.dir/ds/skiplist.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/skiplist.cc.o.d"
+  "/root/repo/src/ds/stack.cc" "src/CMakeFiles/asymnvm.dir/ds/stack.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/ds/stack.cc.o.d"
+  "/root/repo/src/frontend/allocator.cc" "src/CMakeFiles/asymnvm.dir/frontend/allocator.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/frontend/allocator.cc.o.d"
+  "/root/repo/src/frontend/cache.cc" "src/CMakeFiles/asymnvm.dir/frontend/cache.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/frontend/cache.cc.o.d"
+  "/root/repo/src/frontend/session.cc" "src/CMakeFiles/asymnvm.dir/frontend/session.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/frontend/session.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/CMakeFiles/asymnvm.dir/nvm/nvm_device.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/nvm/nvm_device.cc.o.d"
+  "/root/repo/src/rdma/rpc.cc" "src/CMakeFiles/asymnvm.dir/rdma/rpc.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/rdma/rpc.cc.o.d"
+  "/root/repo/src/rdma/verbs.cc" "src/CMakeFiles/asymnvm.dir/rdma/verbs.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/rdma/verbs.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/asymnvm.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

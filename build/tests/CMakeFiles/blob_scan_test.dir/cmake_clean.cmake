@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_scan_test.dir/blob_scan_test.cc.o"
+  "CMakeFiles/blob_scan_test.dir/blob_scan_test.cc.o.d"
+  "blob_scan_test"
+  "blob_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_basic_test.dir/ds_basic_test.cc.o"
+  "CMakeFiles/ds_basic_test.dir/ds_basic_test.cc.o.d"
+  "ds_basic_test"
+  "ds_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_edge_test.dir/ds_edge_test.cc.o"
+  "CMakeFiles/ds_edge_test.dir/ds_edge_test.cc.o.d"
+  "ds_edge_test"
+  "ds_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

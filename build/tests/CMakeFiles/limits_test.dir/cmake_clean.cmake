@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limits_test.dir/limits_test.cc.o"
+  "CMakeFiles/limits_test.dir/limits_test.cc.o.d"
+  "limits_test"
+  "limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

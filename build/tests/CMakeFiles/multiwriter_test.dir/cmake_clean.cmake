@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiwriter_test.dir/multiwriter_test.cc.o"
+  "CMakeFiles/multiwriter_test.dir/multiwriter_test.cc.o.d"
+  "multiwriter_test"
+  "multiwriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiwriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

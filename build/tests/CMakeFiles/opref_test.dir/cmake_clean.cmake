@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opref_test.dir/opref_test.cc.o"
+  "CMakeFiles/opref_test.dir/opref_test.cc.o.d"
+  "opref_test"
+  "opref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_edge_test.dir/verbs_edge_test.cc.o"
+  "CMakeFiles/verbs_edge_test.dir/verbs_edge_test.cc.o.d"
+  "verbs_edge_test"
+  "verbs_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
