@@ -14,6 +14,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/backend/backend_node.cc" "src/CMakeFiles/asymnvm.dir/backend/backend_node.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/backend_node.cc.o.d"
   "/root/repo/src/backend/layout.cc" "src/CMakeFiles/asymnvm.dir/backend/layout.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/layout.cc.o.d"
   "/root/repo/src/backend/log_format.cc" "src/CMakeFiles/asymnvm.dir/backend/log_format.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/backend/log_format.cc.o.d"
+  "/root/repo/src/check/crash_explorer.cc" "src/CMakeFiles/asymnvm.dir/check/crash_explorer.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/check/crash_explorer.cc.o.d"
+  "/root/repo/src/check/invariant_checker.cc" "src/CMakeFiles/asymnvm.dir/check/invariant_checker.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/check/invariant_checker.cc.o.d"
   "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/asymnvm.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/cluster/cluster.cc.o.d"
   "/root/repo/src/cluster/keepalive.cc" "src/CMakeFiles/asymnvm.dir/cluster/keepalive.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/cluster/keepalive.cc.o.d"
   "/root/repo/src/common/checksum.cc" "src/CMakeFiles/asymnvm.dir/common/checksum.cc.o" "gcc" "src/CMakeFiles/asymnvm.dir/common/checksum.cc.o.d"

@@ -309,7 +309,15 @@ tests/CMakeFiles/frontend_test.dir/frontend_test.cc.o: \
  /root/repo/src/rdma/verbs.h /root/repo/src/sim/clock.h \
  /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
  /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h \
- /root/repo/src/common/zipf.h /root/repo/src/frontend/allocator.h \
+ /root/repo/src/common/zipf.h /root/repo/src/ds/hash_table.h \
+ /root/repo/src/ds/ds_common.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/frontend/session.h /root/repo/src/frontend/allocator.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/frontend/cache.h \
  /root/repo/src/rdma/rpc.h

@@ -605,6 +605,13 @@ BackendNode::uncoveredOps(uint32_t slot) const
     return out;
 }
 
+uint64_t
+BackendNode::opWindowSize(uint32_t slot) const
+{
+    std::lock_guard lock(mu_);
+    return op_window_[slot].size();
+}
+
 void
 BackendNode::releaseStaleLocks(uint32_t slot)
 {

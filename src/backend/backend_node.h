@@ -190,6 +190,14 @@ class BackendNode
     std::vector<ParsedOpLog> uncoveredOps(uint32_t slot) const;
 
     /**
+     * Number of op-log records currently in the uncovered window (the
+     * records recovery would replay). Crash audits cross-check this
+     * against what uncoveredOps() can actually decode: a shortfall means
+     * an undecodable record sits inside the recovery window.
+     */
+    uint64_t opWindowSize(uint32_t slot) const;
+
+    /**
      * Clear a writer lock left behind by a crashed front-end, using the
      * lock-ahead record (Section 6.1).
      */

@@ -95,10 +95,13 @@ TxParser::parse(std::span<const uint8_t> bytes)
     if (foot.checksum != crc32c(bytes.data(), body))
         return std::nullopt;
 
+    // Bounds checks below compare against the remaining byte count, never
+    // `p + len` — a torn/corrupt eh.len near UINT32_MAX would overflow the
+    // pointer arithmetic (UB) and could wrap past `end`.
     const uint8_t *p = bytes.data() + sizeof(TxHeader);
     const uint8_t *end = bytes.data() + body;
     for (uint32_t i = 0; i < tp.hdr_.num_entries; ++i) {
-        if (p + sizeof(MemLogEntryHeader) > end)
+        if (static_cast<size_t>(end - p) < sizeof(MemLogEntryHeader))
             return std::nullopt;
         MemLogEntryHeader eh;
         std::memcpy(&eh, p, sizeof(eh));
@@ -108,12 +111,12 @@ TxParser::parse(std::span<const uint8_t> bytes)
         m.addr = RemotePtr::fromRaw(eh.addr_raw);
         m.len = eh.len;
         if (m.flag == MemLogFlag::kInline) {
-            if (p + eh.len > end)
+            if (static_cast<size_t>(end - p) < eh.len)
                 return std::nullopt;
             m.inline_value = p;
             p += eh.len;
         } else {
-            if (p + 16 > end)
+            if (static_cast<size_t>(end - p) < 16)
                 return std::nullopt;
             std::memcpy(&m.oplog_off, p, 8);
             std::memcpy(&m.val_off, p + 8, 4);

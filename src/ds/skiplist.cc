@@ -319,8 +319,13 @@ SkipList::erase(Key key)
     if (!ok(st))
         return st;
 
+    // Unlink top-down: a crash mid-erase then leaves the victim still a
+    // member of the bottom list (a benign shorter-tower state). The
+    // reverse order would strand upper-level links routing through a
+    // node already gone from level 0, silently swallowing any later
+    // insert whose level-0 predecessor resolves to the dead node.
     std::unordered_map<uint64_t, Node> pred_copies;
-    for (uint32_t l = 0; l < victim.level; ++l) {
+    for (uint32_t l = victim.level; l-- > 0;) {
         if (succs[l] != target.raw())
             continue; // the tower does not reach this level's successor
         auto it = pred_copies.find(preds[l]);

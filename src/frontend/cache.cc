@@ -53,15 +53,17 @@ PageCache::insert(DsId ds, RemotePtr addr, const void *data, uint32_t len)
     const uint64_t raw = addr.raw();
     auto it = map_.find(raw);
     if (it != map_.end()) {
-        size_bytes_ -= it->second.data.size();
-        it->second.ds = ds;
-        it->second.data.assign(static_cast<const uint8_t *>(data),
-                               static_cast<const uint8_t *>(data) + len);
-        it->second.tick = ++tick_;
-        it->second.epoch = epoch_;
-        size_bytes_ += len;
-        clock_->advance(lat_->dram_access_ns);
-        return;
+        if (it->second.data.size() == len) {
+            it->second.ds = ds;
+            std::memcpy(it->second.data.data(), data, len);
+            it->second.tick = ++tick_;
+            it->second.epoch = epoch_;
+            clock_->advance(lat_->dram_access_ns);
+            return;
+        }
+        // Size changed: fall through to a fresh insert so the eviction
+        // loop keeps size_bytes_ within capacity_.
+        removeKey(raw);
     }
     while (size_bytes_ + len > capacity_ && !map_.empty())
         evictOne();

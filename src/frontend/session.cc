@@ -353,7 +353,12 @@ FrontendSession::logWriteInternal(DsId ds, RemotePtr addr,
         group.logs[idx->second].bytes.size() == len) {
         // Coalesce: a later write to the same address supersedes the
         // earlier memory log ("compacted to one NVM write", Section 8.3).
-        fill(group.logs[idx->second]);
+        BackendCtx::GroupEntry &e = group.logs[idx->second];
+        const uint64_t old_cost = e.op_ref ? 16 : e.bytes.size();
+        fill(e);
+        // Coalescing can flip the entry between op-ref (16 B on the wire)
+        // and inline (len B); track it or the spill threshold drifts.
+        group.bytes = group.bytes - old_cost + (op_ref ? 16 : len);
     } else {
         group.index[raw] = group.logs.size();
         BackendCtx::GroupEntry e;
@@ -401,7 +406,7 @@ FrontendSession::appendOpLogRecord(BackendCtx &c,
     const uint64_t ring = lay.super.oplog_ring_size;
     const uint64_t base = lay.oplogRingOff(c.slot);
     const uint64_t pos = ringReserve(&c.oplog_head, ring, base,
-                                     c.node->id(), rec.size());
+                                     c.node->id(), rec.size(), sync);
     c.last_oplog_pos = pos;
     const RemotePtr dst(c.node->id(), base + pos % ring);
     const Status st = sync ? verbs_.write(dst, rec.data(), rec.size())
@@ -415,16 +420,30 @@ FrontendSession::appendOpLogRecord(BackendCtx &c,
 
 uint64_t
 FrontendSession::ringReserve(uint64_t *head, uint64_t ring_size,
-                             uint64_t ring_base, NodeId backend, size_t len)
+                             uint64_t ring_base, NodeId backend, size_t len,
+                             bool sync)
 {
     assert(len <= ring_size);
     const uint64_t off = *head % ring_size;
     if (off + len > ring_size) {
-        // Pad the lap with a skip marker so scans can follow.
-        if (ring_size - off >= sizeof(uint32_t)) {
+        // Pad the lap tail so recovery scans cannot misparse stale bytes:
+        // a skip marker when one fits, zeroes for a sub-4-byte remainder.
+        // The pad must reach NVM no later than the record written past it,
+        // so it follows the caller's synchrony.
+        const uint64_t tail = ring_size - off;
+        const RemotePtr dst(backend, ring_base + off);
+        if (tail >= sizeof(uint32_t)) {
             const uint32_t skip = kSkipMagic;
-            verbs_.writeAsync(RemotePtr(backend, ring_base + off), &skip,
-                              sizeof(skip));
+            if (sync)
+                verbs_.write(dst, &skip, sizeof(skip));
+            else
+                verbs_.writeAsync(dst, &skip, sizeof(skip));
+        } else if (tail > 0) {
+            const uint8_t zeros[4] = {0, 0, 0, 0};
+            if (sync)
+                verbs_.write(dst, zeros, tail);
+            else
+                verbs_.writeAsync(dst, zeros, tail);
         }
         *head = (*head / ring_size + 1) * ring_size;
     }
@@ -497,8 +516,8 @@ FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
     const Layout &lay = c.node->layout();
     const uint64_t ring = lay.super.memlog_ring_size;
     const uint64_t base = lay.memlogRingOff(c.slot);
-    const uint64_t pos =
-        ringReserve(&c.memlog_head, ring, base, c.node->id(), tx.size());
+    const uint64_t pos = ringReserve(&c.memlog_head, ring, base,
+                                     c.node->id(), tx.size(), sync_commit);
     const RemotePtr dst(c.node->id(), base + pos % ring);
     const Status st =
         sync_commit ? verbs_.write(dst, tx.data(), tx.size())
@@ -590,6 +609,17 @@ FrontendSession::flushAll()
         clock_.advance(lat_.rdma_write_rtt_ns);
     }
 
+    // A failed commit must not publish roots, retire old versions, or
+    // release locks: the batch is not durable, so recovery (not this
+    // flush) decides its fate. Stale locks are released by the recovery
+    // protocol's lock-ahead scan (Section 7).
+    if (!ok(result)) {
+        overlay_.clear();
+        pinned_.clear();
+        ops_in_batch_ = 0;
+        return result;
+    }
+
     // Publish multi-version roots now that the batch is durable.
     for (auto &[ds, fn] : post_flush_hooks_)
         fn();
@@ -635,13 +665,18 @@ FrontendSession::flushAll()
         verbs_.writeAsync(namingField(ds, backend, naming_field::kAux0 +
                                                        3 * 8),
                           &gen, sizeof(gen));
+        // Release the lock word BEFORE clearing the lock-ahead record: a
+        // crash between the two leaves the lock-ahead set with the lock
+        // already free, which recovery's releaseStaleLocks handles. The
+        // reverse order would strand a held lock with no lock-ahead
+        // record to find it by.
+        verbs_.write64(namingField(ds, backend, naming_field::kWriterLock),
+                       0);
         const uint64_t zero = 0;
         verbs_.writeAsync(
             RemotePtr(backend, c->node->layout().logControlOff(c->slot) +
                                    offsetof(LogControl, lock_ahead)),
             &zero, sizeof(zero));
-        verbs_.write64(namingField(ds, backend, naming_field::kWriterLock),
-                       0);
     }
     return result;
 }
@@ -962,6 +997,10 @@ FrontendSession::simulateCrash()
     held_locks_.clear();
     writer_gen_.clear();
     gc_epoch_seen_.clear();
+    // Pre-crash seqlock observations are volatile state: a recovered
+    // front-end that trusted them would skip the cache-invalidation path
+    // in readerLock on the first post-recovery read.
+    sn_seen_.clear();
     local_retired_.clear();
     replayers_.clear();
     ops_in_batch_ = 0;

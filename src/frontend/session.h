@@ -318,6 +318,14 @@ class FrontendSession
 
     uint64_t opsStarted() const { return ops_started_; }
     uint64_t txFlushes() const { return tx_flushes_; }
+
+    /**
+     * Number of (backend, ds) pairs with a remembered seqlock SN. Volatile
+     * state: must drop to zero across simulateCrash(), or a recovered
+     * front-end would trust pre-crash SN observations and skip cache
+     * invalidation in readerLock.
+     */
+    size_t seqlockObservations() const { return sn_seen_.size(); }
     uint64_t busyNs() const { return clock_.now(); }
     void resetStats();
 
@@ -372,7 +380,8 @@ class FrontendSession
                              const std::vector<uint8_t> &rec,
                              bool sync);
     uint64_t ringReserve(uint64_t *head, uint64_t ring_size,
-                         uint64_t ring_base, NodeId backend, size_t len);
+                         uint64_t ring_base, NodeId backend, size_t len,
+                         bool sync);
     void overlayInsert(RemotePtr addr, const void *value, uint32_t len);
     bool overlayLookup(RemotePtr addr, void *dst, uint32_t len) const;
     Status symmetricRead(RemotePtr addr, void *dst, uint32_t len);

@@ -1,5 +1,6 @@
 #include "nvm/nvm_device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -111,6 +112,26 @@ NvmDevice::crashPartial(size_t keep_writes)
         pending_.pop_back();
     }
     pending_.clear(); // the surviving prefix is now durable
+}
+
+void
+NvmDevice::applyTornWrite(uint64_t off, const void *src, size_t len,
+                          size_t keep_bytes)
+{
+    std::unique_lock lock(mu_);
+    assert(off + len <= mem_.size());
+    keep_bytes = std::min(keep_bytes, len);
+    // Stage the full write as the in-flight DMA would...
+    Pending p;
+    p.off = off;
+    p.old_bytes.assign(mem_.begin() + off, mem_.begin() + off + len);
+    std::memcpy(mem_.data() + off, src, len);
+    bytes_written_ += len;
+    // ...then power fails mid-transfer: the tail beyond keep_bytes rolls
+    // back and the surviving prefix is immediately durable (no journal
+    // entry remains, so a later crash() cannot undo it).
+    std::memcpy(mem_.data() + off + keep_bytes, p.old_bytes.data() + keep_bytes,
+                len - keep_bytes);
 }
 
 } // namespace asymnvm

@@ -75,6 +75,17 @@ class NvmDevice
      */
     void crashPartial(size_t keep_writes);
 
+    /**
+     * crashPartial at single-write granularity: stage a write of @p len
+     * bytes as the DMA would, then lose power so that only the first
+     * @p keep_bytes survive durably — the tail rolls back to the previous
+     * image. Used by the verbs layer to model a torn in-flight RDMA_Write
+     * (Section 4.2). Byte-granular so crash sweeps can enumerate every
+     * 64-byte tear prefix deterministically.
+     */
+    void applyTornWrite(uint64_t off, const void *src, size_t len,
+                        size_t keep_bytes);
+
     /** Total bytes written over the device's lifetime (wear statistics). */
     uint64_t bytesWritten() const { return bytes_written_; }
 

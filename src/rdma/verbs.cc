@@ -57,12 +57,10 @@ Verbs::write(RemotePtr dst, const void *src, size_t len)
     if (t != nullptr && dst.offset + len > t->nvm->size())
         return Status::InvalidArgument;
     if (st == Status::BackendCrashed && t != nullptr) {
-        // Apply the torn prefix, then leave the device "down".
-        const uint64_t kept = partial_write_len_pending_;
-        if (kept > 0) {
-            t->nvm->write(dst.offset, src, kept);
-            t->nvm->persist();
-        }
+        // Apply the torn prefix through the device's journal, then leave
+        // the device "down".
+        t->nvm->applyTornWrite(dst.offset, src, len,
+                               partial_write_len_pending_);
         return st;
     }
     if (!ok(st))
@@ -83,11 +81,8 @@ Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
     if (t != nullptr && dst.offset + len > t->nvm->size())
         return Status::InvalidArgument;
     if (st == Status::BackendCrashed && t != nullptr) {
-        const uint64_t kept = partial_write_len_pending_;
-        if (kept > 0) {
-            t->nvm->write(dst.offset, src, kept);
-            t->nvm->persist();
-        }
+        t->nvm->applyTornWrite(dst.offset, src, len,
+                               partial_write_len_pending_);
         return st;
     }
     if (!ok(st))

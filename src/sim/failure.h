@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/rand.h"
 
@@ -36,12 +37,62 @@ class FailureInjector
     void armCrashAfterVerbs(uint64_t nth, uint64_t seed = 7)
     {
         rng_ = Rng(seed);
+        fixed_tear_ = false;
+        verbs_seen_.store(0, std::memory_order_relaxed);
+        fired_at_ = UINT64_MAX;
+        countdown_.store(nth, std::memory_order_relaxed);
+        armed_.store(true, std::memory_order_relaxed);
+    }
+
+    /**
+     * Deterministic variant for crash-point sweeps: crash on the @p nth
+     * verb from now, keeping exactly @p keep_bytes of the in-flight write
+     * (clamped to the write length; reads always keep 0).
+     */
+    void armCrashAtVerb(uint64_t nth, uint64_t keep_bytes)
+    {
+        fixed_tear_ = true;
+        fixed_keep_ = keep_bytes;
+        verbs_seen_.store(0, std::memory_order_relaxed);
+        fired_at_ = UINT64_MAX;
         countdown_.store(nth, std::memory_order_relaxed);
         armed_.store(true, std::memory_order_relaxed);
     }
 
     /** Disarm any pending trigger. */
     void disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+    /**
+     * Start recording the write length of every verb that passes through
+     * onVerb (0 for reads/atomics). A crash-point sweep records one clean
+     * run, then re-runs the workload once per recorded index.
+     */
+    void startRecording()
+    {
+        recorded_.clear();
+        recording_ = true;
+        verbs_seen_.store(0, std::memory_order_relaxed);
+    }
+
+    void stopRecording() { recording_ = false; }
+
+    /** Per-verb write lengths captured since startRecording(). */
+    const std::vector<uint64_t> &recordedWriteLens() const
+    {
+        return recorded_;
+    }
+
+    /**
+     * 0-based verb index (counted from the last arm/startRecording call)
+     * at which the trigger fired, or nullopt if it has not fired.
+     */
+    std::optional<uint64_t> firedAtVerb() const
+    {
+        const uint64_t v = fired_at_;
+        if (v == UINT64_MAX)
+            return std::nullopt;
+        return v;
+    }
 
     /** True once a trigger has fired and the "device" is down. */
     bool crashed() const
@@ -59,6 +110,10 @@ class FailureInjector
      */
     std::optional<uint64_t> onVerb(uint64_t write_len)
     {
+        if (recording_)
+            recorded_.push_back(write_len);
+        const uint64_t idx =
+            verbs_seen_.fetch_add(1, std::memory_order_relaxed);
         if (crashed())
             return 0;
         if (!armed_.load(std::memory_order_relaxed))
@@ -67,8 +122,11 @@ class FailureInjector
             return std::nullopt;
         armed_.store(false, std::memory_order_relaxed);
         crashed_.store(true, std::memory_order_release);
+        fired_at_ = idx;
         if (write_len == 0)
             return 0;
+        if (fixed_tear_)
+            return std::min(fixed_keep_, write_len);
         // Tear at a cache-line boundary: a prefix of the payload lands.
         const uint64_t lines = (write_len + 63) / 64;
         const uint64_t kept = rng_.nextBounded(lines); // 0..lines-1 lines
@@ -79,6 +137,12 @@ class FailureInjector
     std::atomic<bool> armed_{false};
     std::atomic<bool> crashed_{false};
     std::atomic<uint64_t> countdown_{0};
+    std::atomic<uint64_t> verbs_seen_{0};
+    uint64_t fired_at_ = UINT64_MAX;
+    bool fixed_tear_ = false;
+    uint64_t fixed_keep_ = 0;
+    bool recording_ = false;
+    std::vector<uint64_t> recorded_;
     Rng rng_;
 };
 

@@ -230,6 +230,57 @@ TEST_P(CrashPropertyTest, SkipListSurvivesRandomizedCrash)
     runCrashAudit<SkipList>(GetParam());
 }
 
+/**
+ * simulateCrash() models a front-end reboot: every piece of volatile
+ * session state dies with the process, including the per-structure
+ * seqlock SN shadow. A survivor there would make the reborn front-end
+ * skip the cache invalidation a concurrent replay demands.
+ */
+TEST(FrontendCrashStateTest, SimulateCrashDropsSeqlockObservations)
+{
+    Cluster cl(propCluster());
+    auto s = cl.makeSession(SessionConfig::rc(1, 256ull << 10));
+    HashTable ht;
+    ASSERT_EQ(HashTable::create(*s, 1, "sn", 16, &ht), Status::Ok);
+    ASSERT_EQ(ht.put(1, Value::ofU64(42)), Status::Ok);
+
+    uint64_t sn = 0;
+    ASSERT_EQ(s->readerLock(ht.id(), 1, &sn), Status::Ok);
+    ASSERT_TRUE(s->readerValidate(ht.id(), 1, sn));
+    ASSERT_GT(s->seqlockObservations(), 0u);
+
+    s->simulateCrash();
+    EXPECT_EQ(s->seqlockObservations(), 0u);
+}
+
+/**
+ * A group commit that fails mid-flight (back-end died under the
+ * transaction write) must NOT act committed: the writer locks stay
+ * held for the recovery protocol to account for, and the post-flush
+ * publication hooks (the MV root swap) must not run — running them
+ * would publish a root whose backing batch never became durable.
+ */
+TEST(FrontendCrashStateTest, FailedCommitKeepsLocksAndSkipsPublish)
+{
+    Cluster cl(propCluster());
+    auto s = cl.makeSession(SessionConfig::rcb(1, 256ull << 10, 64));
+    HashTable ht;
+    DsOptions shared;
+    shared.shared = true; // writer locks engage only on shared handles
+    ASSERT_EQ(HashTable::create(*s, 1, "fc", 16, &ht, shared), Status::Ok);
+    ASSERT_EQ(s->persistentFence(), Status::Ok);
+
+    ASSERT_EQ(ht.put(7, Value::ofU64(7)), Status::Ok);
+    ASSERT_TRUE(s->holdsWriterLock(ht.id(), 1));
+    bool published = false;
+    s->setPostFlushHook(ht.id(), 1, [&] { published = true; });
+
+    cl.backend(1)->failure().armCrashAfterVerbs(0);
+    EXPECT_NE(s->flushAll(), Status::Ok);
+    EXPECT_FALSE(published);
+    EXPECT_TRUE(s->holdsWriterLock(ht.id(), 1));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, CrashPropertyTest,
     ::testing::Values(CrashParam{1, 1, false}, CrashParam{2, 16, false},

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Systematic crash-point sweep (Section 7 recovery matrix) plus the
+ * op-log ring-wrap hygiene regressions.
+ *
+ * The sweep test drives every workload kind through all four front-end
+ * presets, crashing the back-end at a budgeted sample of RDMA verb
+ * indices (and, for logged modes, at interior 64-byte tear prefixes of
+ * the in-flight write), then recovering and auditing the durable image
+ * with InvariantChecker. Any violation string is a real recovery bug.
+ *
+ * ASYMNVM_SWEEP_BUDGET=<n> shrinks the per-preset verb sample (useful
+ * under sanitizers); the >= 200 distinct-crash-point floor is only
+ * asserted at the default budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "backend/backend_node.h"
+#include "backend/log_format.h"
+#include "check/crash_explorer.h"
+#include "ds/stack.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+uint32_t
+sweepBudget()
+{
+    if (const char *env = std::getenv("ASYMNVM_SWEEP_BUDGET")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<uint32_t>(v);
+    }
+    return 56;
+}
+
+bool
+budgetOverridden()
+{
+    return std::getenv("ASYMNVM_SWEEP_BUDGET") != nullptr;
+}
+
+struct PresetParam
+{
+    const char *name;
+    SessionConfig (*make)();
+};
+
+SessionConfig
+presetNaive()
+{
+    return SessionConfig::naive(1);
+}
+SessionConfig
+presetR()
+{
+    return SessionConfig::r(1);
+}
+SessionConfig
+presetRc()
+{
+    return SessionConfig::rc(1, 256ull << 10);
+}
+SessionConfig
+presetRcb()
+{
+    return SessionConfig::rcb(1, 256ull << 10, 13);
+}
+
+constexpr PresetParam kPresets[] = {
+    {"naive", presetNaive},
+    {"r", presetR},
+    {"rc", presetRc},
+    {"rcb", presetRcb},
+};
+
+class CrashSweepTest : public ::testing::TestWithParam<WorkloadKind>
+{};
+
+TEST_P(CrashSweepTest, RecoversAtEverySampledCrashPoint)
+{
+    uint64_t total_points = 0;
+    for (const PresetParam &preset : kPresets) {
+        SCOPED_TRACE(preset.name);
+        ExplorerOptions opt;
+        opt.kind = GetParam();
+        opt.session = preset.make();
+        opt.max_points = sweepBudget();
+        const ExplorerResult res = exploreCrashPoints(opt);
+
+        EXPECT_GT(res.workload_verbs, 0u);
+        EXPECT_GT(res.points_run, 0u);
+        // Every sampled point must actually crash the back-end and
+        // complete the recovery protocol.
+        EXPECT_EQ(res.crashes_fired, res.points_run);
+        EXPECT_EQ(res.recoveries, res.points_run);
+        EXPECT_TRUE(res.violations.empty()) << res.violationText();
+        total_points += res.points_run;
+    }
+    if (!budgetOverridden()) {
+        EXPECT_GE(total_points, 200u)
+            << "sweep breadth regressed below the acceptance floor";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CrashSweepTest,
+    ::testing::Values(WorkloadKind::Stack, WorkloadKind::Queue,
+                      WorkloadKind::HashTable, WorkloadKind::SkipList),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        return workloadName(info.param);
+    });
+
+/**
+ * Tear-prefix fan-out: with a generous per-point tear budget a logged
+ * session must enumerate interior 64-byte prefixes of large writes, so
+ * the number of executed (verb, tear) points exceeds the number of
+ * sampled verb indices.
+ */
+TEST(CrashTearTest, InteriorPrefixesEnumeratedForLoggedModes)
+{
+    ExplorerOptions opt;
+    opt.kind = WorkloadKind::Stack;
+    opt.session = presetRcb();
+    opt.max_points = 16;
+    opt.max_tears_per_point = 64;
+    const ExplorerResult res = exploreCrashPoints(opt);
+    EXPECT_TRUE(res.violations.empty()) << res.violationText();
+    // 16 indices, each contributing keep-0 and keep-all plus interior
+    // prefixes for any multi-chunk write: strictly more points than
+    // indices proves the tear enumeration is live.
+    EXPECT_GT(res.points_run, 16u);
+}
+
+// ---------------------------------------------------------------------
+// Op-log ring-wrap hygiene (satellite regression).
+// ---------------------------------------------------------------------
+
+BackendConfig
+wrapConfig(uint64_t oplog_ring)
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 32ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 16;
+    cfg.memlog_ring_size = 256ull << 10;
+    cfg.oplog_ring_size = oplog_ring;
+    cfg.block_size = 1024;
+    return cfg;
+}
+
+// One stack-push op-log record: OpLogHeader(40) + Value(64) + CRC(4).
+constexpr uint64_t kPushRecLen = 108;
+
+/**
+ * When the lap tail is smaller than a skip marker (< 4 bytes), the
+ * wrap must still overwrite the stale bytes (with zeroes) so a
+ * recovery scan cannot misparse leftovers from the previous lap.
+ */
+TEST(OpLogRingWrapTest, SubMarkerTailIsZeroFilled)
+{
+    // 9 pushes end at offset 972; a 975-byte ring leaves a 3-byte tail.
+    BackendNode be(1, wrapConfig(975));
+    FrontendSession s(SessionConfig::r(1));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    Stack st;
+    ASSERT_EQ(Stack::create(s, 1, "wrap", &st), Status::Ok);
+
+    // Poison the ring to stand in for stale records of a previous lap.
+    const uint64_t base = be.layout().oplogRingOff(0);
+    std::vector<uint8_t> junk(975, 0xAA);
+    be.nvm().write(base, junk.data(), junk.size());
+    be.nvm().persist();
+
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_EQ(st.push(Value::ofU64(i)), Status::Ok);
+    ASSERT_EQ(s.persistentFence(), Status::Ok);
+
+    uint8_t tail[3] = {0xFF, 0xFF, 0xFF};
+    be.nvm().read(base + 9 * kPushRecLen, tail, sizeof(tail));
+    EXPECT_EQ(tail[0], 0u);
+    EXPECT_EQ(tail[1], 0u);
+    EXPECT_EQ(tail[2], 0u);
+}
+
+/** A tail with room for a marker gets kSkipMagic, not stale bytes. */
+TEST(OpLogRingWrapTest, MarkerWrittenWhenTailFitsOne)
+{
+    // 9 pushes end at offset 972; a 976-byte ring leaves a 4-byte tail.
+    BackendNode be(1, wrapConfig(976));
+    FrontendSession s(SessionConfig::r(1));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+    Stack st;
+    ASSERT_EQ(Stack::create(s, 1, "wrap", &st), Status::Ok);
+
+    const uint64_t base = be.layout().oplogRingOff(0);
+    std::vector<uint8_t> junk(976, 0xAA);
+    be.nvm().write(base, junk.data(), junk.size());
+    be.nvm().persist();
+
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_EQ(st.push(Value::ofU64(i)), Status::Ok);
+    ASSERT_EQ(s.persistentFence(), Status::Ok);
+
+    uint32_t marker = 0;
+    be.nvm().read(base + 9 * kPushRecLen, &marker, sizeof(marker));
+    EXPECT_EQ(marker, kSkipMagic);
+}
+
+} // namespace
+} // namespace asymnvm

@@ -14,8 +14,10 @@
 #include "backend/backend_node.h"
 #include "common/rand.h"
 #include "common/zipf.h"
+#include "ds/hash_table.h"
 #include "frontend/allocator.h"
 #include "frontend/cache.h"
+#include "frontend/session.h"
 #include "rdma/rpc.h"
 #include "sim/clock.h"
 #include "sim/latency.h"
@@ -95,6 +97,41 @@ TEST_F(CacheTest, UpdateWithDifferentLengthInvalidates)
     cache.update(RemotePtr(1, 64), v2.data(), 32);
     uint8_t out[64];
     EXPECT_FALSE(cache.lookup(RemotePtr(1, 64), out, 64));
+}
+
+TEST_F(CacheTest, OverwriteWithNewLengthRespectsCapacity)
+{
+    const uint64_t capacity = 64 * 10;
+    auto cache = makeCache(CachePolicy::Lru, capacity);
+    for (uint64_t i = 0; i < 10; ++i) {
+        const auto data = blob(static_cast<uint8_t>(i));
+        cache.insert(0, RemotePtr(1, 1000 + i * 64), data.data(), 64);
+    }
+    ASSERT_EQ(cache.sizeBytes(), capacity);
+    // Re-inserting the same key with a larger object must evict to make
+    // room, not silently grow the footprint past the configured budget.
+    for (uint64_t rep = 0; rep < 8; ++rep) {
+        const auto grown = blob(static_cast<uint8_t>(0xE0 + rep), 128);
+        cache.insert(0, RemotePtr(1, 1000), grown.data(), 128);
+        EXPECT_LE(cache.sizeBytes(), capacity)
+            << "overwrite " << rep << " blew the capacity";
+    }
+    uint8_t out[128];
+    EXPECT_TRUE(cache.lookup(RemotePtr(1, 1000), out, 128));
+}
+
+TEST_F(CacheTest, SameLengthOverwriteIsStable)
+{
+    auto cache = makeCache(CachePolicy::Lru, 4096);
+    for (uint64_t rep = 0; rep < 50; ++rep) {
+        const auto data = blob(static_cast<uint8_t>(rep));
+        cache.insert(0, RemotePtr(1, 64), data.data(), 64);
+        EXPECT_EQ(cache.entryCount(), 1u);
+        EXPECT_EQ(cache.sizeBytes(), 64u);
+    }
+    uint8_t out[64];
+    ASSERT_TRUE(cache.lookup(RemotePtr(1, 64), out, 64));
+    EXPECT_EQ(out[0], 49);
 }
 
 TEST_F(CacheTest, InvalidateDsDropsOnlyThatStructure)
@@ -325,6 +362,55 @@ TEST_F(FrontAllocTest, VolatileStateLossKeepsBackendBlocksAllocated)
     // Section 5.2: recovery is slab-granularity only; the slab stays
     // allocated at the back-end (no use-after-free of live data).
     EXPECT_TRUE(be.allocator().isAllocated(p.offset));
+}
+
+/**
+ * Coalescing can flip a buffered memory log from an op-ref (16 B on
+ * the wire) to an inline entry (len B). The spill accounting must see
+ * the flip: a batch of flipped entries whose true wire size crosses
+ * memlog_buffer_cap has to spill (visible as a tx flush) even though
+ * the op-ref sizes alone would fit.
+ */
+TEST(SpillThresholdTest, OpRefToInlineCoalesceCountsTowardSpill)
+{
+    BackendConfig bc;
+    bc.nvm_size = 8ull << 20;
+    bc.max_frontends = 2;
+    bc.max_names = 8;
+    bc.memlog_ring_size = 64ull << 10;
+    bc.oplog_ring_size = 32ull << 10;
+    BackendNode be(1, bc);
+
+    SessionConfig sc = SessionConfig::rcb(1, 256ull << 10, 1000);
+    // Four flipped entries at 16 (header) + 64 (inline) = 80 B cross
+    // the cap; their op-ref encodings (4 x 32 B) would not.
+    sc.memlog_buffer_cap = 300;
+    FrontendSession s(sc);
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+
+    HashTable ht;
+    ASSERT_EQ(HashTable::create(s, 1, "spill", 16, &ht), Status::Ok);
+    ASSERT_EQ(s.persistentFence(), Status::Ok);
+    const uint64_t base_flushes = s.txFlushes();
+
+    uint8_t val[64];
+    std::memset(val, 0x5a, sizeof(val));
+    for (uint64_t i = 0; i < 4; ++i) {
+        RemotePtr buf;
+        ASSERT_EQ(s.alloc(1, sizeof(val), &buf), Status::Ok);
+        ASSERT_EQ(s.opBegin(ht.id(), 1, OpType::Update, i, val,
+                            sizeof(val)),
+                  Status::Ok);
+        ASSERT_EQ(s.logWriteFromOp(ht.id(), buf, val, sizeof(val)),
+                  Status::Ok);
+        // A second write to the same address coalesces and flips the
+        // entry to inline (the value no longer matches the op log).
+        ASSERT_EQ(s.logWrite(ht.id(), buf, val, sizeof(val)), Status::Ok);
+        ASSERT_EQ(s.opEnd(), Status::Ok);
+    }
+    EXPECT_GT(s.txFlushes(), base_flushes)
+        << "coalesced op-ref->inline flips never crossed the spill "
+           "threshold";
 }
 
 } // namespace

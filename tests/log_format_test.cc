@@ -47,7 +47,8 @@ TEST(TxFormatTest, EmptyTransactionParses)
 {
     TxBuilder b;
     b.reset(0, 0, 0);
-    auto tx = TxParser::parse(toVec(b.finish()));
+    const auto bytes = toVec(b.finish()); // parse() aliases the buffer
+    auto tx = TxParser::parse(bytes);
     ASSERT_TRUE(tx.has_value());
     EXPECT_EQ(tx->entries().size(), 0u);
 }
@@ -102,7 +103,8 @@ TEST(TxFormatTest, OpRefEntryRoundTrip)
     b.reset(3, 1, 4);
     b.addOpRef(RemotePtr(1, 0x3000), /*oplog_off=*/0x40, /*val_off=*/8,
                /*len=*/64);
-    auto tx = TxParser::parse(toVec(b.finish()));
+    const auto bytes = toVec(b.finish()); // parse() aliases the buffer
+    auto tx = TxParser::parse(bytes);
     ASSERT_TRUE(tx.has_value());
     ASSERT_EQ(tx->entries().size(), 1u);
     const ParsedMemLog &m = tx->entries()[0];
@@ -120,12 +122,87 @@ TEST(TxFormatTest, ManyEntriesSurvive)
         const uint64_t v = i * 3;
         b.addInline(RemotePtr(0, 4096 + i * 8), &v, 8);
     }
-    auto tx = TxParser::parse(toVec(b.finish()));
+    const auto bytes = toVec(b.finish()); // parse() aliases the buffer
+    auto tx = TxParser::parse(bytes);
     ASSERT_TRUE(tx.has_value());
     ASSERT_EQ(tx->entries().size(), 500u);
     uint64_t got;
     std::memcpy(&got, tx->entries()[499].inline_value, 8);
     EXPECT_EQ(got, 499u * 3);
+}
+
+/**
+ * An entry header whose len field is near UINT32_MAX must be rejected
+ * by a length comparison, not by `p + eh.len` pointer arithmetic — the
+ * latter overflows past one-past-the-end (undefined behaviour, and a
+ * wild read wherever it happens to wrap). The footer checksum is
+ * recomputed after patching so the parser actually reaches the bounds
+ * check instead of bailing at the end mark.
+ */
+TEST(TxFormatTest, HugeEntryLenRejectedWithoutOverflow)
+{
+    TxBuilder b;
+    b.reset(1, 0, 0);
+    const uint64_t v = 7;
+    b.addInline(RemotePtr(0, 64), &v, 8);
+    auto bytes = toVec(b.finish());
+
+    for (const uint32_t evil :
+         {UINT32_MAX, UINT32_MAX - 7, UINT32_MAX - 15, 1u << 31}) {
+        auto patched = bytes;
+        auto *eh = reinterpret_cast<MemLogEntryHeader *>(
+            patched.data() + sizeof(TxHeader));
+        eh->len = evil;
+        auto *foot = reinterpret_cast<TxFooter *>(
+            patched.data() + patched.size() - sizeof(TxFooter));
+        foot->checksum = crc32c(patched.data(),
+                                patched.size() - sizeof(TxFooter));
+        EXPECT_FALSE(TxParser::parse(patched).has_value())
+            << "len=" << evil;
+    }
+}
+
+/** Same hazard on the op-log side: val_len near UINT32_MAX. */
+TEST(OpLogTest, HugeValLenRejectedWithoutOverflow)
+{
+    const char val[] = "tiny";
+    auto rec = encodeOpLog(OpType::Insert, 1, 2, 3, val, sizeof(val));
+    for (const uint32_t evil : {UINT32_MAX, UINT32_MAX - 3, 1u << 31}) {
+        auto patched = rec;
+        auto *hdr = reinterpret_cast<OpLogHeader *>(patched.data());
+        hdr->val_len = evil;
+        EXPECT_FALSE(decodeOpLog(patched).has_value()) << "len=" << evil;
+    }
+}
+
+/**
+ * Deterministic structured fuzz: every single-byte corruption and every
+ * truncation of a valid transaction must parse cleanly (to a value or
+ * to nullopt) without touching memory outside the buffer. Run under
+ * ASYMNVM_SANITIZE=ON this is the torn-header safety net.
+ */
+TEST(TxFormatTest, ByteFlipAndTruncationFuzz)
+{
+    TxBuilder b;
+    b.reset(2, 3, 4);
+    uint8_t blob[48];
+    std::memset(blob, 0x11, sizeof(blob));
+    b.addInline(RemotePtr(1, 0x100), blob, sizeof(blob));
+    b.addOpRef(RemotePtr(1, 0x200), 0x80, 8, 64);
+    const auto bytes = toVec(b.finish());
+
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        for (const uint8_t delta : {0x01, 0x80, 0xff}) {
+            auto mut = bytes;
+            mut[i] ^= delta;
+            (void)TxParser::parse(mut); // must not crash
+        }
+    }
+    for (size_t cut = 1; cut <= bytes.size(); ++cut) {
+        std::vector<uint8_t> torn(bytes.begin(), bytes.end() - cut);
+        EXPECT_FALSE(TxParser::parse(torn).has_value())
+            << "truncation of " << cut << " bytes went undetected";
+    }
 }
 
 TEST(OpLogTest, EncodeDecodeRoundTrip)
