@@ -15,6 +15,7 @@
  */
 
 #include <cinttypes>
+#include <cstdlib>
 #include <thread>
 #include <cstdio>
 #include <memory>
@@ -200,6 +201,31 @@ inline void
 printHeader(const std::string &title, const std::string &columns)
 {
     std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+/**
+ * One line of the per-verb traffic profile (reads/writes/posted/atomics
+ * with byte volumes, plus WQE and doorbell counts). The doorbell column
+ * is the one the coalescing work optimizes: batched modes should show
+ * doorbells far below the posted-verb count.
+ */
+inline void
+printVerbCounters(const char *label, const VerbCounters &c)
+{
+    std::printf("%-14s reads %8" PRIu64 " (%6.1f KB)  writes %8" PRIu64
+                " (%6.1f KB)  posted %8" PRIu64 " (%6.1f KB)  atomics %6" PRIu64
+                "  wqes %8" PRIu64 "  doorbells %8" PRIu64 "\n",
+                label, c.reads, c.read_bytes / 1024.0, c.writes,
+                c.write_bytes / 1024.0, c.posted, c.posted_bytes / 1024.0,
+                c.atomics, c.wqes, c.doorbells);
+}
+
+/** True when ASYMNVM_BENCH_TINY requests smoke-test parameters. */
+inline bool
+benchTiny()
+{
+    const char *v = std::getenv("ASYMNVM_BENCH_TINY");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
 } // namespace asymnvm::bench

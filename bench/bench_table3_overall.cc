@@ -18,9 +18,12 @@
 namespace asymnvm::bench {
 namespace {
 
-constexpr uint64_t kPreload = 50000;
-constexpr uint64_t kOps = 12000;
-constexpr uint64_t kTxOps = 4000;
+// Full-size parameters reproduce the paper's shape; ASYMNVM_BENCH_TINY
+// shrinks them so the bench_smoke ctest target exercises every cell in
+// seconds (the numbers are then meaningless, only the plumbing counts).
+uint64_t kPreload = 50000;
+uint64_t kOps = 12000;
+uint64_t kTxOps = 4000;
 
 uint64_t session_counter = 1000;
 
@@ -36,7 +39,7 @@ freshSession(Mode mode, BackendNode &be)
 
 template <typename DS>
 double
-kvCell(Mode mode, const char *name)
+kvCell(Mode mode, const char *name, VerbCounters *out = nullptr)
 {
     BackendNode be(1, benchBackendConfig());
     auto s = std::make_unique<FrontendSession>(sessionFor(
@@ -64,6 +67,8 @@ kvCell(Mode mode, const char *name)
     Workload w(mcfg);
     const auto ops = w.generate(kOps);
     const Throughput t = runKvWorkload(*s, ds, ops);
+    if (out != nullptr)
+        *out = s->verbs().counters();
     return t.kops();
 }
 
@@ -148,41 +153,105 @@ printCell(double kops)
         std::printf("%9.1f", kops);
 }
 
+constexpr const char *kColumns[] = {
+    "SmallBank", "TATP",     "Queue", "Stack", "HashTbl",
+    "SkipList",  "BST",      "BPT",   "MV-BST", "MV-BPT"};
+
+/**
+ * Machine-readable companion of the printed table: blank cells are JSON
+ * null, everything else KOPS. Format documented in EXPERIMENTS.md.
+ */
+void
+writeJson(const Mode *modes, size_t nmodes,
+          const std::vector<std::vector<double>> &rows, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"table3_overall\",\n"
+                    "  \"unit\": \"kops\",\n"
+                    "  \"params\": {\"preload\": %" PRIu64
+                    ", \"ops\": %" PRIu64 ", \"tx_ops\": %" PRIu64
+                    ", \"tiny\": %s},\n",
+                 kPreload, kOps, kTxOps, benchTiny() ? "true" : "false");
+    std::fprintf(f, "  \"columns\": [");
+    for (size_t i = 0; i < std::size(kColumns); ++i)
+        std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", kColumns[i]);
+    std::fprintf(f, "],\n  \"rows\": [\n");
+    for (size_t m = 0; m < nmodes; ++m) {
+        std::fprintf(f, "    {\"system\": \"%s\", \"cells\": [",
+                     modeName(modes[m]));
+        for (size_t i = 0; i < rows[m].size(); ++i) {
+            if (rows[m][i] < 0)
+                std::fprintf(f, "%snull", i == 0 ? "" : ", ");
+            else
+                std::fprintf(f, "%s%.1f", i == 0 ? "" : ", ", rows[m][i]);
+        }
+        std::fprintf(f, "]}%s\n", m + 1 == nmodes ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
 void
 run()
 {
     const Mode modes[] = {Mode::Symmetric, Mode::SymmetricB, Mode::Naive,
                           Mode::R,         Mode::RC,         Mode::RCB};
+    if (benchTiny()) {
+        kPreload = 2000;
+        kOps = 600;
+        kTxOps = 200;
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<VerbCounters> profiles;
     printHeader("Table 3: overall performance comparison (KOPS, 100% "
                 "write, 1 front-end : 1 back-end)",
                 "System         SmallBank      TATP     Queue     Stack"
                 "  HashTbl  SkipList       BST       BPT    MV-BST"
                 "    MV-BPT");
     for (Mode mode : modes) {
-        std::printf("%-14s", modeName(mode));
         // Empty cells follow the paper's footnote: O(1) structures
         // (hash table, SmallBank) cannot apply batching, and the
         // queue/stack implementation combines batching with caching
         // (no cache-only cell).
         const bool batch_row =
             mode == Mode::RCB || mode == Mode::SymmetricB;
-        printCell(batch_row ? -1 : smallBankCell(mode));
-        printCell(tatpCell(mode));
-        printCell(mode == Mode::RC ? -1 : queueCell(mode));
-        printCell(mode == Mode::RC ? -1 : stackCell(mode));
-        printCell(batch_row ? -1 : kvCell<HashTable>(mode, "h"));
-        printCell(kvCell<SkipList>(mode, "sl"));
-        printCell(kvCell<Bst>(mode, "bst"));
-        printCell(kvCell<BpTree>(mode, "bpt"));
-        printCell(kvCell<MvBst>(mode, "mvbst"));
-        printCell(kvCell<MvBpTree>(mode, "mvbpt"));
+        VerbCounters profile;
+        std::vector<double> cells;
+        cells.push_back(batch_row ? -1 : smallBankCell(mode));
+        cells.push_back(tatpCell(mode));
+        cells.push_back(mode == Mode::RC ? -1 : queueCell(mode));
+        cells.push_back(mode == Mode::RC ? -1 : stackCell(mode));
+        cells.push_back(batch_row ? -1 : kvCell<HashTable>(mode, "h"));
+        cells.push_back(kvCell<SkipList>(mode, "sl"));
+        cells.push_back(kvCell<Bst>(mode, "bst"));
+        cells.push_back(kvCell<BpTree>(mode, "bpt", &profile));
+        cells.push_back(kvCell<MvBst>(mode, "mvbst"));
+        cells.push_back(kvCell<MvBpTree>(mode, "mvbpt"));
+        std::printf("%-14s", modeName(mode));
+        for (double c : cells)
+            printCell(c);
         std::printf("\n");
+        rows.push_back(std::move(cells));
+        profiles.push_back(profile);
     }
     std::printf(
         "\nPaper (Table 3) reference shape: RCB improves Naive by 5-12x;"
         "\nRCB is comparable to Symmetric overall and beats it on"
         "\nQueue/Stack/BST/MV-BST/MV-BPT; MV variants trail their"
         "\nlock-based counterparts under 100%% write.\n");
+
+    std::printf("\nPer-verb traffic of the BPT column (%" PRIu64
+                " ops, measurement phase only):\n",
+                kOps);
+    for (size_t m = 0; m < std::size(modes); ++m)
+        printVerbCounters(modeName(modes[m]), profiles[m]);
+
+    writeJson(modes, std::size(modes), rows, "BENCH_table3.json");
 }
 
 } // namespace

@@ -232,16 +232,16 @@ bench-build/CMakeFiles/bench_table2_allocators.dir/bench_table2_allocators.cc.o:
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/rdma/verbs.h /root/repo/src/sim/clock.h \
+ /root/repo/src/rdma/verbs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/clock.h \
  /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
  /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h \
  /root/repo/src/ds/bptree.h /root/repo/src/ds/ds_common.h \
- /root/repo/src/frontend/session.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/frontend/allocator.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/frontend/session.h /root/repo/src/frontend/allocator.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/frontend/cache.h \
  /root/repo/src/rdma/rpc.h /root/repo/src/ds/bst.h \
  /root/repo/src/ds/hash_table.h /root/repo/src/ds/mv_bptree.h \

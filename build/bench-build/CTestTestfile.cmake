@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build/bench/bench_table3_overall")
+set_tests_properties(bench_smoke PROPERTIES  ENVIRONMENT "ASYMNVM_BENCH_TINY=1" WORKING_DIRECTORY "/root/repo/build/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -224,7 +224,10 @@ src/CMakeFiles/asymnvm.dir/backend/backend_node.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/atomic /root/repo/src/rdma/verbs.h \
- /root/repo/src/sim/clock.h /root/repo/src/sim/failure.h \
- /root/repo/src/common/rand.h /root/repo/src/sim/latency.h \
- /root/repo/src/sim/nic.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/rdma/rpc.h
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/clock.h \
+ /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
+ /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/rdma/rpc.h

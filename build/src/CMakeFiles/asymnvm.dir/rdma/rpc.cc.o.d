@@ -227,6 +227,8 @@ src/CMakeFiles/asymnvm.dir/rdma/rpc.cc.o: /root/repo/src/rdma/rpc.cc \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/atomic /root/repo/src/rdma/verbs.h \
- /root/repo/src/sim/clock.h /root/repo/src/sim/failure.h \
- /root/repo/src/common/rand.h /root/repo/src/sim/latency.h \
- /root/repo/src/sim/nic.h
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/clock.h \
+ /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
+ /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doorbell_order_test.dir/doorbell_order_test.cc.o"
+  "CMakeFiles/doorbell_order_test.dir/doorbell_order_test.cc.o.d"
+  "doorbell_order_test"
+  "doorbell_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doorbell_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

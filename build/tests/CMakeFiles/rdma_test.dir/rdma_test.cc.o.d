@@ -297,10 +297,10 @@ tests/CMakeFiles/rdma_test.dir/rdma_test.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/rdma/verbs.h \
- /root/repo/src/common/types.h /root/repo/src/sim/clock.h \
- /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
- /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/stats.h
+ /root/repo/src/common/types.h /root/repo/src/sim/clock.h \
+ /root/repo/src/sim/failure.h /root/repo/src/common/rand.h \
+ /root/repo/src/sim/latency.h /root/repo/src/sim/nic.h

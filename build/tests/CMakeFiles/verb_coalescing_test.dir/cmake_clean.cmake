@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verb_coalescing_test.dir/verb_coalescing_test.cc.o"
+  "CMakeFiles/verb_coalescing_test.dir/verb_coalescing_test.cc.o.d"
+  "verb_coalescing_test"
+  "verb_coalescing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verb_coalescing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

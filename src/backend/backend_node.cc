@@ -306,7 +306,7 @@ BackendNode::ringReadAbs(uint64_t ring_base, uint64_t ring_size,
 
 Status
 BackendNode::onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
-                             uint64_t now_ns)
+                             uint64_t now_ns, bool fenced)
 {
     std::lock_guard lock(mu_);
     if (slot >= cfg_.max_frontends || slot_session_[slot] == 0)
@@ -330,7 +330,14 @@ BackendNode::onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
     op_window_[slot].push_back({rec->opn, pos, len});
     c.oplog_head = pos + len;
     c.opn = rec->opn + 1;
-    writeControl(slot);
+    // A doorbell-batched (unfenced) append defers the control-block
+    // persist to the batch commit: the next onTxAppended (or fenced
+    // append) writes the accumulated positions in one NVM write instead
+    // of one per record. Restart recovery rolls any decodable records
+    // beyond a stale persisted head forward, and unfenced records were
+    // never individually acked, so nothing durable is promised early.
+    if (fenced)
+        writeControl(slot);
 
     busy_ns_.add(lat_.cpu_op_overhead_ns + len / 8);
     processGcLocked(now_ns, false);
@@ -648,6 +655,13 @@ BackendNode::processGc(uint64_t now_ns, bool force)
 void
 BackendNode::processGcLocked(uint64_t now_ns, bool force)
 {
+    // Doorbell-batched log appends arrive with one shared timestamp; a
+    // rescan at an unchanged virtual time can only find work if the queue
+    // front is actually due (retire delays may be zero in tests).
+    if (!force && now_ns == last_gc_scan_ns_ &&
+        (gc_queue_.empty() || gc_queue_.front().reclaim_at_ns > now_ns))
+        return;
+    last_gc_scan_ns_ = now_ns;
     bool bumped[64] = {};
     bool any = false;
     while (!gc_queue_.empty() &&

@@ -131,9 +131,21 @@ class BackendNode
     Status onTxAppended(uint32_t slot, uint64_t pos, uint32_t len,
                         uint64_t now_ns);
 
-    /** An operation log record was appended (validate + replicate). */
+    /**
+     * An operation log record was appended (validate + replicate).
+     *
+     * @p fenced distinguishes a synchronous append (the op's durability
+     * point in per-op modes: the control block persists immediately) from
+     * a doorbell-batched posted append, whose control-block update is
+     * deferred to the batch's commit (the next onTxAppended or fenced
+     * append persists the accumulated positions). Deferred records are
+     * safe: a back-end restart rolls decodable records beyond the
+     * persisted head forward (rollTailsForward), and unfenced appends
+     * were never acked as durable to the application anyway. Batched
+     * appends also share one @p now_ns timestamp — the doorbell's.
+     */
     Status onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
-                           uint64_t now_ns);
+                           uint64_t now_ns, bool fenced = true);
 
     // ------------------------------------------------------------------
     // RFP-RPC handlers (the memory-management interface of Table 1)
@@ -275,6 +287,10 @@ class BackendNode
 
     std::deque<GcItem> gc_queue_;
     uint64_t layoutEpoch_ = 0;
+    /** Last virtual time the GC queue was scanned. Doorbell-batched log
+     *  appends all carry the batch's timestamp, so repeat scans at an
+     *  unchanged time are skipped unless an item is actually due. */
+    uint64_t last_gc_scan_ns_ = UINT64_MAX;
 
     Counter busy_ns_;
     Counter replayed_txs_;

@@ -72,6 +72,37 @@ class Histogram
 };
 
 /**
+ * Per-verb-type traffic counters kept by an RDMA endpoint (src/rdma).
+ *
+ * Benchmarks print these next to throughput so a verb-count regression on
+ * the critical path (the quantity the paper's optimizations attack) is
+ * visible even when virtual-time KOPS still looks plausible. `wqes` counts
+ * work-queue entries after scatter-gather merging, so `posted - wqes` is
+ * the number of writes coalesced away, and `doorbells` counts NIC kicks
+ * (every synchronous verb rings its own; a flushed post-list chain rings
+ * one per target).
+ */
+struct VerbCounters
+{
+    uint64_t reads = 0;        //!< synchronous RDMA_Read round trips
+    uint64_t read_bytes = 0;
+    uint64_t writes = 0;       //!< synchronous RDMA_Write round trips
+    uint64_t write_bytes = 0;
+    uint64_t posted = 0;       //!< posted (asynchronous) writes
+    uint64_t posted_bytes = 0;
+    uint64_t atomics = 0;      //!< CAS / fetch-add / atomic 8-byte r/w
+    uint64_t atomic_bytes = 0;
+    uint64_t doorbells = 0;    //!< NIC doorbell (MMIO) rings
+    uint64_t wqes = 0;         //!< posted WQEs after sge coalescing
+
+    uint64_t totalVerbs() const { return reads + writes + posted + atomics; }
+    uint64_t totalBytes() const
+    {
+        return read_bytes + write_bytes + posted_bytes + atomic_bytes;
+    }
+};
+
+/**
  * Throughput computed against *virtual* time: the simulator measures
  * operations against the per-session SimClock rather than wall time, so
  * results reproduce the paper's shape deterministically.

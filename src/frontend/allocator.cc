@@ -90,6 +90,13 @@ FrontendAllocator::alloc(uint64_t size, RemotePtr *out)
     if (size > slab_size_)
         return allocLarge(size, out);
 
+    // First allocation after a free phase opens a new demand cycle.
+    if (in_free_phase_) {
+        in_free_phase_ = false;
+        prev_cycle_consumed_ = cycle_consumed_;
+        cycle_consumed_ = 0;
+    }
+
     // Best fit: the partial slab hole with the least leftover wins.
     // Scanning is bounded to keep host cost O(1): allocation sizes are
     // few in practice, so an exact hit appears within a few slabs.
@@ -126,8 +133,10 @@ FrontendAllocator::alloc(uint64_t size, RemotePtr *out)
     best_slab->holes.erase(best_off);
     if (hole_len > size)
         best_slab->holes[best_off + size] = hole_len - size;
-    if (best_slab->free_bytes == slab_size_)
+    if (best_slab->free_bytes == slab_size_) {
         --empty_count_;
+        ++cycle_consumed_; // the empty list met demand this cycle
+    }
     best_slab->free_bytes -= size;
     reindex(*best_slab);
     ++local_allocs_;
@@ -174,6 +183,7 @@ FrontendAllocator::free(RemotePtr p, uint64_t size)
             reindex(slab);
             if (slab.free_bytes == slab_size_)
                 ++empty_count_;
+            in_free_phase_ = true;
             maybeReclaim();
             return Status::Ok;
         }
@@ -190,14 +200,23 @@ FrontendAllocator::free(RemotePtr p, uint64_t size)
 void
 FrontendAllocator::maybeReclaim()
 {
-    if (empty_count_ <= reclaim_threshold_)
+    // Adaptive hysteresis: keep enough empty slabs to absorb the demand
+    // the last two alloc/free cycles actually drew from the empty list,
+    // so burst-retire/burst-alloc workloads (group commit, Section 8.3)
+    // do not ping-pong the same slabs through FreeBlocks/AllocBlocks
+    // round trips. A workload whose demand collapses sees keep follow
+    // it down one cycle later and the surplus drains to the floor.
+    const uint64_t keep =
+        std::max<uint64_t>(reclaim_threshold_ / 2,
+                           std::max(cycle_consumed_,
+                                    prev_cycle_consumed_));
+    if (empty_count_ <= std::max<uint64_t>(reclaim_threshold_, keep))
         return;
-    // Collect fully free slabs (top of the hole-size index), keep half
-    // the threshold's worth around, and return the rest — contiguous
+    // Collect fully free slabs (top of the hole-size index), keep the
+    // hysteresis level's worth around, and return the rest — contiguous
     // runs coalesce into single FreeBlocks calls so a burst of frees
     // costs O(runs) round trips, not O(slabs).
     std::vector<uint64_t> bases;
-    const uint32_t keep = reclaim_threshold_ / 2;
     for (auto it = by_hole_.lower_bound({slab_size_, 0});
          it != by_hole_.end() && it->first == slab_size_ &&
          empty_count_ - bases.size() > keep;
@@ -231,6 +250,9 @@ FrontendAllocator::loseVolatileState()
     slabs_.clear();
     by_hole_.clear();
     empty_count_ = 0;
+    cycle_consumed_ = 0;
+    prev_cycle_consumed_ = 0;
+    in_free_phase_ = false;
 }
 
 } // namespace asymnvm

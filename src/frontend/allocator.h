@@ -8,11 +8,20 @@
  * The back-end hands out fixed-size slabs; the front-end subdivides them
  * at finer granularity. Slabs are organized in full-, partial-, and
  * empty-lists according to consumption, sub-slab allocation is best-fit,
- * and when the number of free (empty) slabs exceeds a threshold the
- * front-end reclaims them to the back-end via RPC. Table 2 of the paper
- * compares this design against an RPC-per-allocation strawman and the
- * local-only NVML/glibc allocators — bench/bench_table2_allocators.cc
- * regenerates that comparison.
+ * and surplus empty slabs are reclaimed to the back-end via RPC. Table 2
+ * of the paper compares this design against an RPC-per-allocation
+ * strawman and the local-only NVML/glibc allocators —
+ * bench/bench_table2_allocators.cc regenerates that comparison.
+ *
+ * Reclaim hysteresis adapts to the workload: the allocator keeps as many
+ * empty slabs as the last two alloc/free cycles actually drew from the
+ * empty list. Group-commit retirement (MV structures under batching)
+ * frees slabs in batch-sized bursts that the very next batch
+ * re-allocates; a fixed keep level turns that cycle into a
+ * FreeBlocks/AllocBlocks RPC ping-pong with the back-end — the dominant
+ * RPC traffic of the MV benches before this was measured. When demand
+ * collapses, the keep level follows it down with one cycle of lag and
+ * the surplus drains to the static threshold.
  *
  * Sub-slab allocation metadata is volatile (it lives in front-end DRAM);
  * after a front-end crash the allocation state is recovered only at slab
@@ -50,7 +59,9 @@ class FrontendAllocator
      * @param backend          Back-end node id (for RemotePtr stamping).
      * @param slab_size        Back-end block size in bytes.
      * @param rpc              Transport to the back-end allocator.
-     * @param reclaim_threshold Empty slabs kept before reclaiming.
+     * @param reclaim_threshold Static floor of the reclaim hysteresis:
+     *                          surplus above max(threshold, measured
+     *                          cycle demand) is returned to the back-end.
      */
     FrontendAllocator(NodeId backend, uint64_t slab_size, RpcFn rpc,
                       uint32_t reclaim_threshold = 32);
@@ -68,6 +79,8 @@ class FrontendAllocator
     uint64_t rpcAllocs() const { return rpc_allocs_; }
     uint64_t localAllocs() const { return local_allocs_; }
     uint64_t leakedForeignFrees() const { return leaked_foreign_; }
+    /** Empty slabs the adaptive hysteresis currently retains. */
+    uint64_t emptySlabsHeld() const { return empty_count_; }
 
   private:
     struct Slab
@@ -93,6 +106,14 @@ class FrontendAllocator
     /** (largest hole, base): best-fit slab lookup is one lower_bound. */
     std::set<std::pair<uint64_t, uint64_t>> by_hole_;
     uint32_t empty_count_ = 0;
+    /**
+     * Demand estimate for the adaptive hysteresis: empty slabs consumed
+     * (turned partial, including fresh refills) during the current and
+     * the previous alloc phase. A free after an alloc closes the cycle.
+     */
+    uint64_t cycle_consumed_ = 0;
+    uint64_t prev_cycle_consumed_ = 0;
+    bool in_free_phase_ = false;
     uint64_t rpc_allocs_ = 0;
     uint64_t local_allocs_ = 0;
     uint64_t leaked_foreign_ = 0;

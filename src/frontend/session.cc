@@ -339,31 +339,34 @@ FrontendSession::logWriteInternal(DsId ds, RemotePtr addr,
 
     auto &group = c->groups[ds];
     const uint64_t raw = addr.raw();
-    auto fill = [&](BackendCtx::GroupEntry &e) {
-        e.addr = addr;
-        e.bytes.assign(static_cast<const uint8_t *>(value),
-                       static_cast<const uint8_t *>(value) + len);
+    auto idx = cfg_.coalesce_memlogs ? group.index.find(raw)
+                                     : group.index.end();
+    if (idx != group.index.end() && group.logs[idx->second].len == len) {
+        // Coalesce: a later write to the same address supersedes the
+        // earlier memory log ("compacted to one NVM write", Section 8.3).
+        // Same length, so the value overwrites its arena slot in place.
+        BackendCtx::GroupEntry &e = group.logs[idx->second];
+        const uint64_t old_cost = e.op_ref ? 16 : e.len;
+        std::memcpy(group.arena.data() + e.arena_off, value, len);
         e.op_ref = op_ref;
         e.oplog_pos = c->last_oplog_pos;
         e.val_off = val_off;
-    };
-    auto idx = cfg_.coalesce_memlogs ? group.index.find(raw)
-                                     : group.index.end();
-    if (idx != group.index.end() &&
-        group.logs[idx->second].bytes.size() == len) {
-        // Coalesce: a later write to the same address supersedes the
-        // earlier memory log ("compacted to one NVM write", Section 8.3).
-        BackendCtx::GroupEntry &e = group.logs[idx->second];
-        const uint64_t old_cost = e.op_ref ? 16 : e.bytes.size();
-        fill(e);
         // Coalescing can flip the entry between op-ref (16 B on the wire)
         // and inline (len B); track it or the spill threshold drifts.
         group.bytes = group.bytes - old_cost + (op_ref ? 16 : len);
     } else {
         group.index[raw] = group.logs.size();
         BackendCtx::GroupEntry e;
-        fill(e);
-        group.logs.push_back(std::move(e));
+        e.addr = addr;
+        e.arena_off = static_cast<uint32_t>(group.arena.size());
+        e.len = len;
+        e.op_ref = op_ref;
+        e.oplog_pos = c->last_oplog_pos;
+        e.val_off = val_off;
+        group.arena.insert(group.arena.end(),
+                           static_cast<const uint8_t *>(value),
+                           static_cast<const uint8_t *>(value) + len);
+        group.logs.push_back(e);
         group.bytes += (op_ref ? 16 : len) + sizeof(MemLogEntryHeader);
     }
     if (group.bytes >= cfg_.memlog_buffer_cap) {
@@ -409,13 +412,16 @@ FrontendSession::appendOpLogRecord(BackendCtx &c,
                                      c.node->id(), rec.size(), sync);
     c.last_oplog_pos = pos;
     const RemotePtr dst(c.node->id(), base + pos % ring);
+    // Batched appends join the doorbell chain, where consecutive ring
+    // positions merge into one RDMA_Write; the group commit's synchronous
+    // transaction write is the fence that launches and covers them.
     const Status st = sync ? verbs_.write(dst, rec.data(), rec.size())
-                           : verbs_.writeAsync(dst, rec.data(), rec.size());
+                           : verbs_.postWrite(dst, rec.data(), rec.size());
     if (!ok(st))
         return st;
     return c.node->onOpLogAppended(c.slot, pos,
                                    static_cast<uint32_t>(rec.size()),
-                                   clock_.now());
+                                   clock_.now(), /*fenced=*/sync);
 }
 
 uint64_t
@@ -437,13 +443,13 @@ FrontendSession::ringReserve(uint64_t *head, uint64_t ring_size,
             if (sync)
                 verbs_.write(dst, &skip, sizeof(skip));
             else
-                verbs_.writeAsync(dst, &skip, sizeof(skip));
+                verbs_.postWrite(dst, &skip, sizeof(skip));
         } else if (tail > 0) {
             const uint8_t zeros[4] = {0, 0, 0, 0};
             if (sync)
                 verbs_.write(dst, zeros, tail);
             else
-                verbs_.writeAsync(dst, zeros, tail);
+                verbs_.postWrite(dst, zeros, tail);
         }
         *head = (*head / ring_size + 1) * ring_size;
     }
@@ -503,11 +509,11 @@ FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
         const bool ref_ok =
             e.op_ref && c.oplog_head - e.oplog_pos < oplog_ring;
         if (ref_ok) {
-            builder.addOpRef(e.addr, e.oplog_pos, e.val_off,
-                             static_cast<uint32_t>(e.bytes.size()));
+            builder.addOpRef(e.addr, e.oplog_pos, e.val_off, e.len);
         } else {
-            builder.addInline(e.addr, e.bytes.data(),
-                              static_cast<uint32_t>(e.bytes.size()));
+            builder.addInline(e.addr,
+                              git->second.arena.data() + e.arena_off,
+                              e.len);
         }
     }
     const auto tx = builder.finish();
@@ -519,9 +525,12 @@ FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
     const uint64_t pos = ringReserve(&c.memlog_head, ring, base,
                                      c.node->id(), tx.size(), sync_commit);
     const RemotePtr dst(c.node->id(), base + pos % ring);
+    // Non-commit transaction writes ride the doorbell chain with the op
+    // logs; the synchronous commit write drains the chain first (queue-
+    // pair ordering), making it the whole batch's persistence point.
     const Status st =
         sync_commit ? verbs_.write(dst, tx.data(), tx.size())
-                    : verbs_.writeAsync(dst, tx.data(), tx.size());
+                    : verbs_.postWrite(dst, tx.data(), tx.size());
     c.groups.erase(git);
     if (!ok(st))
         return st;
@@ -604,8 +613,9 @@ FrontendSession::flushAll()
     }
     if (plan.empty() && need_sync && ops_in_batch_ > 0 && cfg_.use_oplog) {
         // Read-annulled batches (stack/queue) may commit with no memory
-        // logs at all; the op logs were still posted, so fence with one
-        // synchronous RTT to make the batch durable.
+        // logs at all; the op logs still sit on the doorbell chain, so
+        // launch it and fence with one synchronous RTT.
+        verbs_.ringDoorbell();
         clock_.advance(lat_.rdma_write_rtt_ns);
     }
 
@@ -614,6 +624,7 @@ FrontendSession::flushAll()
     // flush) decides its fate. Stale locks are released by the recovery
     // protocol's lock-ahead scan (Section 7).
     if (!ok(result)) {
+        verbs_.dropPosted(); // the chain died with the back-end
         overlay_.clear();
         pinned_.clear();
         ops_in_batch_ = 0;
@@ -651,7 +662,11 @@ FrontendSession::flushAll()
     pinned_.clear();
     ops_in_batch_ = 0;
 
-    // Release writer locks only after the batch is durable.
+    // Release writer locks only after the batch is durable. The three
+    // release records are posted onto the doorbell chain *behind* the
+    // commit write: the queue pair executes WQEs in order, so another
+    // front-end can only observe the lock free after the batch's logs
+    // are in NVM.
     auto locks = held_locks_;
     held_locks_.clear();
     for (const auto &[key, held] : locks) {
@@ -662,22 +677,26 @@ FrontendSession::flushAll()
         if (c == nullptr)
             continue;
         const uint64_t gen = ++writer_gen_[key];
-        verbs_.writeAsync(namingField(ds, backend, naming_field::kAux0 +
-                                                       3 * 8),
-                          &gen, sizeof(gen));
+        verbs_.postWrite(namingField(ds, backend, naming_field::kAux0 +
+                                                      3 * 8),
+                         &gen, sizeof(gen));
         // Release the lock word BEFORE clearing the lock-ahead record: a
         // crash between the two leaves the lock-ahead set with the lock
         // already free, which recovery's releaseStaleLocks handles. The
         // reverse order would strand a held lock with no lock-ahead
-        // record to find it by.
-        verbs_.write64(namingField(ds, backend, naming_field::kWriterLock),
-                       0);
+        // record to find it by. Chain order preserves exactly this.
         const uint64_t zero = 0;
-        verbs_.writeAsync(
+        verbs_.postWrite(namingField(ds, backend,
+                                     naming_field::kWriterLock),
+                         &zero, sizeof(zero));
+        verbs_.postWrite(
             RemotePtr(backend, c->node->layout().logControlOff(c->slot) +
                                    offsetof(LogControl, lock_ahead)),
             &zero, sizeof(zero));
     }
+    // One trailing doorbell launches whatever is still chained (lock
+    // releases, posted transactions of non-final groups, aux updates).
+    verbs_.ringDoorbell();
     return result;
 }
 
@@ -1005,6 +1024,7 @@ FrontendSession::simulateCrash()
     replayers_.clear();
     ops_in_batch_ = 0;
     cache_->clear();
+    verbs_.dropPosted(); // pending WQE chains die with the process
     for (auto &[id, c] : backends_) {
         c.groups.clear();
         c.retired.clear();

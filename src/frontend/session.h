@@ -347,10 +347,13 @@ class FrontendSession
         uint64_t last_oplog_pos = 0; //!< position of this op's log record
         uint32_t last_oplog_len = 0; //!< its payload length
         // Buffered memory logs per data structure (group-commit unit).
+        // Entry values live in the group's bump arena so the logWrite hot
+        // path never heap-allocates per modification.
         struct GroupEntry
         {
             RemotePtr addr;
-            std::vector<uint8_t> bytes;
+            uint32_t arena_off = 0; //!< value bytes: group arena offset
+            uint32_t len = 0;       //!< value length
             bool op_ref = false;    //!< value lives in the op-log ring
             uint64_t oplog_pos = 0; //!< monotonic ring position
             uint32_t val_off = 0;   //!< offset within the op's payload
@@ -358,6 +361,7 @@ class FrontendSession
         struct Group
         {
             std::vector<GroupEntry> logs;
+            std::vector<uint8_t> arena; //!< entry value bytes, appended
             std::unordered_map<uint64_t, size_t> index; //!< addr -> slot
             uint64_t bytes = 0;
             /** Coverage override (multi-version structures). */

@@ -1,6 +1,26 @@
 #include "rdma/verbs.h"
 
+#include <cassert>
+
 namespace asymnvm {
+
+void
+Verbs::flushChain(NodeId id, PostChain &chain, bool own_doorbell)
+{
+    if (chain.wqes == 0)
+        return;
+    uint64_t cost = lat_->doorbell_batch_wqe_ns * chain.wqes;
+    if (own_doorbell) {
+        cost += lat_->post_overhead_ns;
+        ++counters_.doorbells;
+    }
+    clock_->advance(cost);
+    auto it = targets_.find(id);
+    if (it != targets_.end() && it->second.nic != nullptr)
+        clock_->advance(
+            it->second.nic->reserveBatch(chain.wqes, clock_->now()));
+    chain = PostChain{};
+}
 
 Status
 Verbs::begin(NodeId id, uint64_t write_len, RdmaTarget **out)
@@ -8,6 +28,15 @@ Verbs::begin(NodeId id, uint64_t write_len, RdmaTarget **out)
     auto it = targets_.find(id);
     if (it == targets_.end())
         return Status::Unavailable;
+    // Queue-pair ordering: this verb executes after every pending posted
+    // write on the same target, so the chain's deferred cost is settled
+    // here, riding this verb's doorbell.
+    auto cit = chains_.find(id);
+    if (cit != chains_.end()) {
+        flushChain(id, cit->second, /*own_doorbell=*/false);
+        assert(cit->second.wqes == 0 &&
+               "posted chain must drain before a later verb completes");
+    }
     RdmaTarget &t = it->second;
     if (t.fail != nullptr) {
         const auto partial = t.fail->onVerb(write_len);
@@ -31,6 +60,7 @@ Verbs::charge(uint64_t base_rtt, uint64_t payload)
 {
     clock_->advance(base_rtt + lat_->wireBytes(payload));
     ++verbs_issued_;
+    ++counters_.doorbells; // every synchronous verb kicks the NIC itself
     bytes_moved_ += payload;
 }
 
@@ -40,6 +70,8 @@ Verbs::read(RemotePtr src, void *dst, size_t len)
     RdmaTarget *t = nullptr;
     const Status st = begin(src.backend, 0, &t);
     charge(lat_->rdma_read_rtt_ns, len);
+    ++counters_.reads;
+    counters_.read_bytes += len;
     if (!ok(st))
         return st;
     if (src.offset + len > t->nvm->size())
@@ -54,6 +86,8 @@ Verbs::write(RemotePtr dst, const void *src, size_t len)
     RdmaTarget *t = nullptr;
     const Status st = begin(dst.backend, len, &t);
     charge(lat_->rdma_write_rtt_ns, len);
+    ++counters_.writes;
+    counters_.write_bytes += len;
     if (t != nullptr && dst.offset + len > t->nvm->size())
         return Status::InvalidArgument;
     if (st == Status::BackendCrashed && t != nullptr) {
@@ -78,6 +112,10 @@ Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
     clock_->advance(lat_->post_overhead_ns);
     ++verbs_issued_;
     bytes_moved_ += len;
+    ++counters_.posted;
+    counters_.posted_bytes += len;
+    ++counters_.wqes;
+    ++counters_.doorbells; // posted alone: its own doorbell kicks the NIC
     if (t != nullptr && dst.offset + len > t->nvm->size())
         return Status::InvalidArgument;
     if (st == Status::BackendCrashed && t != nullptr) {
@@ -93,11 +131,75 @@ Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
 }
 
 Status
+Verbs::postWrite(RemotePtr dst, const void *src, size_t len)
+{
+    auto it = targets_.find(dst.backend);
+    if (it == targets_.end())
+        return Status::Unavailable;
+    RdmaTarget &t = it->second;
+    // No NIC reservation and no doorbell here: the WQE only joins the
+    // post list. Failure injection still sees one verb — a crash tears
+    // this WQE and the rest of the chain never posts.
+    std::optional<uint64_t> partial;
+    if (t.fail != nullptr)
+        partial = t.fail->onVerb(len);
+
+    ++counters_.posted;
+    counters_.posted_bytes += len;
+    bytes_moved_ += len;
+
+    if (dst.offset + len > t.nvm->size())
+        return Status::InvalidArgument;
+    if (partial.has_value()) {
+        partial_write_len_pending_ = *partial;
+        t.nvm->applyTornWrite(dst.offset, src, len, *partial);
+        return Status::BackendCrashed;
+    }
+
+    PostChain &chain = chains_[dst.backend];
+    if (!chain.has_tail || dst.offset != chain.next_off) {
+        // A gap in the destination starts a new WQE; a continuation is
+        // one more scatter-gather entry of the running one.
+        ++chain.wqes;
+        ++counters_.wqes;
+        ++verbs_issued_;
+    }
+    chain.has_tail = true;
+    chain.next_off = dst.offset + len;
+    chain.bytes += len;
+
+    // The payload lands in post order; durability is guaranteed no later
+    // than the completion of the next flushed verb on this queue pair.
+    t.nvm->write(dst.offset, src, len);
+    t.nvm->persist();
+    return Status::Ok;
+}
+
+Status
+Verbs::ringDoorbell()
+{
+    for (auto &[id, chain] : chains_)
+        flushChain(id, chain, /*own_doorbell=*/true);
+    return Status::Ok;
+}
+
+uint64_t
+Verbs::pendingWqes() const
+{
+    uint64_t n = 0;
+    for (const auto &[id, chain] : chains_)
+        n += chain.wqes;
+    return n;
+}
+
+Status
 Verbs::read64(RemotePtr src, uint64_t *out)
 {
     RdmaTarget *t = nullptr;
     const Status st = begin(src.backend, 0, &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    ++counters_.atomics;
+    counters_.atomic_bytes += sizeof(uint64_t);
     if (!ok(st))
         return st;
     if (src.offset + 8 > t->nvm->size())
@@ -112,6 +214,8 @@ Verbs::write64(RemotePtr dst, uint64_t v)
     RdmaTarget *t = nullptr;
     const Status st = begin(dst.backend, sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    ++counters_.atomics;
+    counters_.atomic_bytes += sizeof(uint64_t);
     if (!ok(st))
         return st;
     t->nvm->write64Atomic(dst.offset, v);
@@ -125,6 +229,8 @@ Verbs::compareAndSwap(RemotePtr dst, uint64_t expected, uint64_t desired,
     RdmaTarget *t = nullptr;
     const Status st = begin(dst.backend, sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    ++counters_.atomics;
+    counters_.atomic_bytes += sizeof(uint64_t);
     if (!ok(st))
         return st;
     *old = t->nvm->compareAndSwap64(dst.offset, expected, desired);
@@ -137,6 +243,8 @@ Verbs::fetchAdd(RemotePtr dst, uint64_t delta, uint64_t *old)
     RdmaTarget *t = nullptr;
     const Status st = begin(dst.backend, sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
+    ++counters_.atomics;
+    counters_.atomic_bytes += sizeof(uint64_t);
     if (!ok(st))
         return st;
     *old = t->nvm->fetchAdd64(dst.offset, delta);

@@ -24,8 +24,10 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "nvm/nvm_device.h"
 #include "sim/clock.h"
@@ -55,7 +57,11 @@ class Verbs
     void attach(NodeId id, RdmaTarget target) { targets_[id] = target; }
 
     /** Drop a back-end (permanent failure / decommission). */
-    void detach(NodeId id) { targets_.erase(id); }
+    void detach(NodeId id)
+    {
+        targets_.erase(id);
+        chains_.erase(id); // pending WQEs die with the queue pair
+    }
 
     bool isAttached(NodeId id) const { return targets_.count(id) != 0; }
 
@@ -73,6 +79,35 @@ class Verbs
      * persistency (Section 4.2).
      */
     Status writeAsync(RemotePtr dst, const void *src, size_t len);
+
+    /**
+     * Append a write WQE to the target queue pair's post list WITHOUT
+     * ringing the doorbell. A write whose destination continues exactly
+     * where the previous posted write ended merges into the running WQE
+     * as another scatter-gather entry (contiguous ring appends become one
+     * RDMA_Write on the wire). The accumulated chain launches with a
+     * single doorbell at the next ringDoorbell() — or rides the doorbell
+     * of the next verb to the same target, which is also the queue-pair
+     * ordering guarantee: every pending posted write is durable before a
+     * later synchronous verb on the same target completes.
+     */
+    Status postWrite(RemotePtr dst, const void *src, size_t len);
+
+    /**
+     * Flush every pending post-list chain: one doorbell per target,
+     * charging post_overhead_ns plus doorbell_batch_wqe_ns per WQE and
+     * reserving the whole chain at the target NIC as a single arrival.
+     */
+    Status ringDoorbell();
+
+    /** WQEs pending (posted, doorbell not yet rung) across all targets. */
+    uint64_t pendingWqes() const;
+
+    /**
+     * Forget pending chains without charging (front-end crash: the WQEs
+     * die with the process; their payloads already landed or never will).
+     */
+    void dropPosted() { chains_.clear(); }
 
     /** Atomic 8-byte read. */
     Status read64(RemotePtr src, uint64_t *out);
@@ -93,25 +128,54 @@ class Verbs
     /** Payload bytes moved by this endpoint. */
     uint64_t bytesMoved() const { return bytes_moved_; }
 
+    /** Per-verb-type traffic breakdown (reads/writes/posted/atomics). */
+    const VerbCounters &counters() const { return counters_; }
+
     void resetStats()
     {
         verbs_issued_ = 0;
         bytes_moved_ = 0;
+        counters_ = VerbCounters{};
     }
 
     SimClock *clock() { return clock_; }
     const LatencyModel &latency() const { return *lat_; }
 
   private:
+    /**
+     * One queue pair's pending post list. Only accounting lives here: the
+     * payloads land in NVM eagerly at postWrite (the simulator's posted
+     * writes are durable in post order, which is what queue-pair ordering
+     * guarantees by the time any flush completes); the chain defers the
+     * *cost* — per-WQE CPU time and the NIC reservation — to the doorbell.
+     */
+    struct PostChain
+    {
+        uint64_t wqes = 0;     //!< WQEs pending after sge merging
+        uint64_t bytes = 0;
+        uint64_t next_off = 0; //!< merge point: one past the last sge
+        bool has_tail = false; //!< next_off is valid
+    };
+
     /** Common preamble: resolve target, inject failure, charge NIC. */
     Status begin(NodeId id, uint64_t write_len, RdmaTarget **out);
 
     /** Charge one round trip of @p base_rtt plus @p payload bytes. */
     void charge(uint64_t base_rtt, uint64_t payload);
 
+    /**
+     * Charge @p chain's deferred cost. With @p own_doorbell the chain is
+     * launched by an explicit doorbell (ringDoorbell); without, it rides
+     * the doorbell of a following verb to the same target and only pays
+     * the amortized per-WQE cost.
+     */
+    void flushChain(NodeId id, PostChain &chain, bool own_doorbell);
+
     SimClock *clock_;
     const LatencyModel *lat_;
     std::unordered_map<NodeId, RdmaTarget> targets_;
+    std::map<NodeId, PostChain> chains_;
+    VerbCounters counters_;
     uint64_t verbs_issued_ = 0;
     uint64_t bytes_moved_ = 0;
     uint64_t partial_write_len_pending_ = 0;

@@ -44,6 +44,15 @@ struct LatencyModel
      */
     uint64_t post_overhead_ns = 150;
 
+    /**
+     * Amortized CPU cost per WQE in a doorbell-batched post list: linked
+     * WQE chains let one doorbell launch many posted writes, so each
+     * additional WQE costs a fraction of a standalone post. The chain's
+     * flush pays post_overhead_ns once plus this per WQE (the mechanism
+     * FaRM-style systems and the paper's batching lean on, Section 4.3).
+     */
+    uint64_t doorbell_batch_wqe_ns = 40;
+
     /** Doorbell/MMIO cost of kicking the NIC once (symmetric log ship). */
     uint64_t doorbell_ns = 400;
 

@@ -42,14 +42,26 @@ class NicModel
      * Account one verb issued at session-local time @p now_ns and return
      * the modeled queueing delay (0 when the NIC is mostly idle).
      */
-    uint64_t reserve(uint64_t now_ns)
+    uint64_t reserve(uint64_t now_ns) { return reserveBatch(1, now_ns); }
+
+    /**
+     * Account @p n verbs that arrive as one doorbell-batched WQE chain at
+     * session-local time @p now_ns. The chain occupies the NIC for n
+     * service times (it still bounds aggregate IOPS) but enters the queue
+     * as a single arrival, so the issuing session waits at most one
+     * M/D/1 queueing delay — the cost structure that makes doorbell
+     * batching worthwhile on real RNICs.
+     */
+    uint64_t reserveBatch(uint64_t n, uint64_t now_ns)
     {
-        verbs_.add();
+        if (n == 0)
+            return 0;
+        verbs_.add(n);
         const uint64_t busy =
-            busy_since_reset_.fetch_add(service_ns_,
+            busy_since_reset_.fetch_add(n * service_ns_,
                                         std::memory_order_relaxed) +
-            service_ns_;
-        busy_ns_.add(service_ns_);
+            n * service_ns_;
+        busy_ns_.add(n * service_ns_);
 
         uint64_t maxn = max_now_ns_.load(std::memory_order_relaxed);
         while (now_ns > maxn &&

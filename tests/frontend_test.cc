@@ -331,21 +331,55 @@ TEST_F(FrontAllocTest, FreeCoalescesAndAllowsReuse)
     EXPECT_EQ(d.offset, a.offset);
 }
 
-TEST_F(FrontAllocTest, EmptySlabsReclaimedPastThreshold)
+TEST_F(FrontAllocTest, SteadyAllocFreeCycleStaysRpcFree)
 {
-    // Fill several slabs then free everything; with threshold 2 the
-    // allocator must return the excess slabs to the back-end.
-    std::vector<RemotePtr> ptrs;
-    for (int i = 0; i < 40; ++i) {
-        RemotePtr p;
-        ASSERT_EQ(alloc->alloc(512, &p), Status::Ok);
-        ptrs.push_back(p);
-    }
-    const uint64_t held_before = alloc->slabsHeld();
-    EXPECT_GE(held_before, 20u);
-    for (const RemotePtr &p : ptrs)
-        ASSERT_EQ(alloc->free(p, 512), Status::Ok);
-    EXPECT_LE(alloc->slabsHeld(), 2u);
+    // Burst-alloc / burst-free (the shape group-commit retirement
+    // produces): after warm-up, the adaptive hysteresis must hold the
+    // empty slabs locally instead of ping-ponging them through
+    // FreeBlocks/AllocBlocks round trips every cycle.
+    auto cycle = [&](int n) {
+        std::vector<RemotePtr> ptrs;
+        for (int i = 0; i < n; ++i) {
+            RemotePtr p;
+            ASSERT_EQ(alloc->alloc(512, &p), Status::Ok);
+            ptrs.push_back(p);
+        }
+        for (const RemotePtr &p : ptrs)
+            ASSERT_EQ(alloc->free(p, 512), Status::Ok);
+    };
+    cycle(40);
+    cycle(40);
+    const uint64_t rpcs_before = rpc_calls;
+    cycle(40);
+    cycle(40);
+    EXPECT_EQ(rpc_calls, rpcs_before)
+        << "steady-state cycles must be slab-local";
+    EXPECT_GE(alloc->emptySlabsHeld(), 20u);
+}
+
+TEST_F(FrontAllocTest, SurplusDrainsWhenDemandCollapses)
+{
+    // Big cycles establish a high keep level; once demand shrinks, the
+    // measured-demand hysteresis follows it down and the surplus slabs
+    // return to the back-end within a couple of cycles.
+    auto cycle = [&](int n) {
+        std::vector<RemotePtr> ptrs;
+        for (int i = 0; i < n; ++i) {
+            RemotePtr p;
+            ASSERT_EQ(alloc->alloc(512, &p), Status::Ok);
+            ptrs.push_back(p);
+        }
+        for (const RemotePtr &p : ptrs)
+            ASSERT_EQ(alloc->free(p, 512), Status::Ok);
+    };
+    cycle(40);
+    cycle(40);
+    EXPECT_GE(alloc->slabsHeld(), 20u);
+    cycle(2);
+    cycle(2);
+    cycle(2);
+    EXPECT_LE(alloc->slabsHeld(), 4u)
+        << "keep level must track collapsed demand";
 }
 
 TEST_F(FrontAllocTest, ZeroSizeRejected)
