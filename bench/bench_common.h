@@ -220,6 +220,26 @@ printVerbCounters(const char *label, const VerbCounters &c)
                 c.atomics, c.wqes, c.doorbells);
 }
 
+/**
+ * One line of the retry/failover profile that accompanies the verb
+ * counters: how much transient-fault absorption (re-issued verbs,
+ * timeouts, QP resets, backoff time) and failover work a run performed.
+ * A fault-free run prints all zeros — any other value on a clean
+ * configuration is a silent retry storm worth investigating.
+ */
+inline void
+printRetryCounters(const char *label, const RetryStats &r)
+{
+    std::printf("%-14s retries %6" PRIu64 " (r %4" PRIu64 " w %4" PRIu64
+                " p %4" PRIu64 " a %4" PRIu64 ")  timeouts %5" PRIu64
+                "  qp-resets %3" PRIu64 "  backoff %7.1f us  resends %4"
+                PRIu64 "  failovers %2" PRIu64 "\n",
+                label, r.totalRetries(), r.retries_read, r.retries_write,
+                r.retries_posted, r.retries_atomic, r.timeouts,
+                r.qp_resets, r.backoff_ns / 1000.0, r.rpc_resends,
+                r.failovers);
+}
+
 /** True when ASYMNVM_BENCH_TINY requests smoke-test parameters. */
 inline bool
 benchTiny()

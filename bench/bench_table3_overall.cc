@@ -39,7 +39,8 @@ freshSession(Mode mode, BackendNode &be)
 
 template <typename DS>
 double
-kvCell(Mode mode, const char *name, VerbCounters *out = nullptr)
+kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
+       RetryStats *retry_out = nullptr)
 {
     BackendNode be(1, benchBackendConfig());
     auto s = std::make_unique<FrontendSession>(sessionFor(
@@ -69,6 +70,8 @@ kvCell(Mode mode, const char *name, VerbCounters *out = nullptr)
     const Throughput t = runKvWorkload(*s, ds, ops);
     if (out != nullptr)
         *out = s->verbs().counters();
+    if (retry_out != nullptr)
+        *retry_out = s->stats().retry;
     return t.kops();
 }
 
@@ -208,6 +211,7 @@ run()
     }
     std::vector<std::vector<double>> rows;
     std::vector<VerbCounters> profiles;
+    std::vector<RetryStats> retry_profiles;
     printHeader("Table 3: overall performance comparison (KOPS, 100% "
                 "write, 1 front-end : 1 back-end)",
                 "System         SmallBank      TATP     Queue     Stack"
@@ -221,6 +225,7 @@ run()
         const bool batch_row =
             mode == Mode::RCB || mode == Mode::SymmetricB;
         VerbCounters profile;
+        RetryStats retry_profile;
         std::vector<double> cells;
         cells.push_back(batch_row ? -1 : smallBankCell(mode));
         cells.push_back(tatpCell(mode));
@@ -229,7 +234,8 @@ run()
         cells.push_back(batch_row ? -1 : kvCell<HashTable>(mode, "h"));
         cells.push_back(kvCell<SkipList>(mode, "sl"));
         cells.push_back(kvCell<Bst>(mode, "bst"));
-        cells.push_back(kvCell<BpTree>(mode, "bpt", &profile));
+        cells.push_back(
+            kvCell<BpTree>(mode, "bpt", &profile, &retry_profile));
         cells.push_back(kvCell<MvBst>(mode, "mvbst"));
         cells.push_back(kvCell<MvBpTree>(mode, "mvbpt"));
         std::printf("%-14s", modeName(mode));
@@ -238,6 +244,7 @@ run()
         std::printf("\n");
         rows.push_back(std::move(cells));
         profiles.push_back(profile);
+        retry_profiles.push_back(retry_profile);
     }
     std::printf(
         "\nPaper (Table 3) reference shape: RCB improves Naive by 5-12x;"
@@ -250,6 +257,11 @@ run()
                 kOps);
     for (size_t m = 0; m < std::size(modes); ++m)
         printVerbCounters(modeName(modes[m]), profiles[m]);
+
+    std::printf("\nRetry/failover profile of the same runs (all-zero on "
+                "a fault-free configuration):\n");
+    for (size_t m = 0; m < std::size(modes); ++m)
+        printRetryCounters(modeName(modes[m]), retry_profiles[m]);
 
     writeJson(modes, std::size(modes), rows, "BENCH_table3.json");
 }

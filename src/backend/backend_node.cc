@@ -50,6 +50,8 @@ BackendNode::BackendNode(NodeId id, const BackendConfig &cfg,
     slot_session_.assign(cfg_.max_frontends, 0);
     names_.assign(cfg_.max_names, NamingEntry{});
     op_window_.assign(cfg_.max_frontends, {});
+    rpc_served_seq_.assign(cfg_.max_frontends, 0);
+    rpc_last_resp_.assign(cfg_.max_frontends, RpcResponse{});
     // The allocator writes bitmap words through writeLocal so mirror
     // replication sees every allocation-state change.
     allocator_ = std::make_unique<BackendAllocator>(
@@ -142,6 +144,8 @@ BackendNode::loadVolatileState()
     slot_session_.assign(cfg_.max_frontends, 0);
     names_.assign(cfg_.max_names, NamingEntry{});
     op_window_.assign(cfg_.max_frontends, {});
+    rpc_served_seq_.assign(cfg_.max_frontends, 0);
+    rpc_last_resp_.assign(cfg_.max_frontends, RpcResponse{});
 
     for (uint32_t i = 0; i < cfg_.max_names; ++i)
         device_->read(layout_.namingEntryOff(i), &names_[i],
@@ -433,10 +437,25 @@ BackendNode::handleRpc(uint32_t slot)
     device_->read(req_off, &req, sizeof(req));
     if (req.magic != kRpcReqMagic)
         return Status::Corruption;
+    if (sizeof(req) + req.payload_len > layout_.super.rpc_ring_size)
+        return Status::Corruption; // length torn: don't trust it
     std::vector<uint8_t> payload(req.payload_len);
     if (req.payload_len > 0)
         device_->read(req_off + sizeof(req), payload.data(),
                       req.payload_len);
+    // A torn or corrupt request must not execute: reject, and let the
+    // client rewrite it (same seq) and poke again.
+    if (rpcRequestChecksum(req, {payload.data(), payload.size()}) !=
+        req.checksum)
+        return Status::Corruption;
+    // Idempotent resend: the client lost our response, not the request.
+    // Serve the repeat from the stored response without re-executing.
+    if (req.seq != 0 && rpc_served_seq_[slot] == req.seq) {
+        device_->write(layout_.rpcRespRingOff(slot), &rpc_last_resp_[slot],
+                       sizeof(RpcResponse));
+        device_->persist();
+        return Status::Ok;
+    }
 
     RpcResponse resp{};
     resp.magic = kRpcRespMagic;
@@ -483,6 +502,8 @@ BackendNode::handleRpc(uint32_t slot)
         break;
     }
     resp.status = static_cast<uint32_t>(st);
+    rpc_served_seq_[slot] = req.seq;
+    rpc_last_resp_[slot] = resp;
     // Response rings are volatile scratch; no mirror replication needed.
     device_->write(layout_.rpcRespRingOff(slot), &resp, sizeof(resp));
     device_->persist();

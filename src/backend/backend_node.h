@@ -33,8 +33,10 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "nvm/nvm_device.h"
+#include "rdma/rpc.h"
 #include "rdma/verbs.h"
 #include "sim/failure.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/nic.h"
 
@@ -85,12 +87,13 @@ class BackendNode
     std::shared_ptr<NvmDevice> device() { return device_; }
     NicModel &nic() { return nic_; }
     FailureInjector &failure() { return fail_; }
+    FaultModel &faults() { return fault_model_; }
     BackendAllocator &allocator() { return *allocator_; }
 
     /** What a front-end NIC needs to reach this node. */
     RdmaTarget rdmaTarget()
     {
-        return RdmaTarget{device_.get(), &nic_, &fail_};
+        return RdmaTarget{device_.get(), &nic_, &fail_, &fault_model_};
     }
 
     /** Attach a mirror node; subsequent durable writes replicate to it. */
@@ -266,6 +269,7 @@ class BackendNode
     std::shared_ptr<NvmDevice> device_;
     NicModel nic_;
     FailureInjector fail_;
+    FaultModel fault_model_;
     std::unique_ptr<BackendAllocator> allocator_;
     std::vector<MirrorNode *> mirrors_;
 
@@ -284,6 +288,17 @@ class BackendNode
         uint32_t len;
     };
     std::vector<std::deque<OpWindowItem>> op_window_;
+
+    /**
+     * Volatile RPC dedup state (idempotent resend): last sequence number
+     * served per slot and the response it produced. A resent request with
+     * the same seq is answered from the stored response without
+     * re-executing. Deliberately NOT persisted: a back-end restart clears
+     * it, and the worst a post-restart re-execution can do is leak an
+     * allocation — which recovery's heap audit tolerates by design.
+     */
+    std::vector<uint64_t> rpc_served_seq_;
+    std::vector<RpcResponse> rpc_last_resp_;
 
     std::deque<GcItem> gc_queue_;
     uint64_t layoutEpoch_ = 0;

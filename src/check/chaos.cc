@@ -1,0 +1,251 @@
+#include "check/chaos.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "check/invariant_checker.h"
+#include "cluster/cluster.h"
+#include "common/rand.h"
+#include "ds/hash_table.h"
+#include "ds/stack.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+
+namespace {
+
+/** Workload key space: small enough to exercise chains and erases. */
+constexpr uint64_t kKeySpace = 64;
+
+std::string
+describe(const char *what, Status st)
+{
+    return std::string(what) + " -> " + statusName(st);
+}
+
+} // namespace
+
+ChaosResult
+runChaosSoak(const ChaosConfig &cfg)
+{
+    ChaosResult res;
+    auto fail = [&res](std::string why) -> ChaosResult & {
+        if (res.ok) {
+            res.ok = false;
+            res.error = std::move(why);
+        }
+        return res;
+    };
+
+    ClusterConfig ccfg;
+    ccfg.num_backends = 1;
+    ccfg.mirrors_per_backend = cfg.mirrors;
+    ccfg.backend.nvm_size = 16ull << 20;
+    ccfg.backend.max_frontends = 4;
+    ccfg.backend.max_names = 16;
+    ccfg.backend.memlog_ring_size = 256ull << 10;
+    ccfg.backend.oplog_ring_size = 256ull << 10;
+    ccfg.transparent_failover = true;
+    Cluster cluster(ccfg);
+
+    auto s = cluster.makeSession(
+        SessionConfig::rcb(1, 1ull << 20, cfg.batch_size));
+    if (s == nullptr)
+        return fail("makeSession failed");
+
+    HashTable ht;
+    Status st = HashTable::create(*s, 1, "chaos_hash", 64, &ht);
+    if (!ok(st))
+        return fail(describe("HashTable::create", st));
+    Stack stk;
+    st = Stack::create(*s, 1, "chaos_stack", &stk);
+    if (!ok(st))
+        return fail(describe("Stack::create", st));
+    st = s->flushAll();
+    if (!ok(st))
+        return fail(describe("initial flushAll", st));
+
+    // In-DRAM shadow models of the acknowledged operations.
+    std::map<Key, uint64_t> shadow_hash;
+    std::vector<uint64_t> shadow_stack; // top at the back
+
+    // Audit the raw NVM image against the shadows (quiesced first).
+    auto audit = [&](const char *when) -> bool {
+        const Status fst = s->flushAll();
+        if (!ok(fst)) {
+            fail(describe("audit flushAll", fst) + " (" + when + ")");
+            return false;
+        }
+        BackendNode *be = cluster.backend(1);
+        InvariantChecker chk(be, /*strict=*/true);
+        AuditReport rep;
+        chk.checkLogControl(/*slot=*/0, &rep);
+        chk.checkQuiescent(ht.id(), &rep);
+        chk.checkQuiescent(stk.id(), &rep);
+        chk.checkHeap(ht.id(), &rep);
+        chk.checkHeap(stk.id(), &rep);
+        const auto hc = chk.hashContents(ht.id(), &rep);
+        const auto sc = chk.stackContents(stk.id(), &rep);
+        if (!rep.clean()) {
+            fail(std::string("invariants (") + when + "): " + rep.str());
+            return false;
+        }
+        if (!hc.has_value() || *hc != shadow_hash) {
+            fail(std::string("hash contents diverge from shadow (") +
+                 when + "): NVM has " +
+                 std::to_string(hc.has_value() ? hc->size() : 0) +
+                 " keys, shadow has " +
+                 std::to_string(shadow_hash.size()));
+            return false;
+        }
+        std::vector<uint64_t> want(shadow_stack.rbegin(),
+                                   shadow_stack.rend());
+        if (!sc.has_value() || *sc != want) {
+            fail(std::string("stack contents diverge from shadow (") +
+                 when + "): NVM depth " +
+                 std::to_string(sc.has_value() ? sc->size() : 0) +
+                 ", shadow depth " + std::to_string(want.size()));
+            return false;
+        }
+        ++res.audits;
+        return true;
+    };
+
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 1);
+    bool condemned = false;
+    uint32_t fault_ops_left = 0;
+    FaultConfig window_cfg;
+
+    for (uint32_t i = 0; res.ok && i < cfg.num_ops; ++i) {
+        const uint64_t now = s->clock().now();
+
+        // Keepalive heartbeats: a live primary renews (a condemned one,
+        // by definition, never will again); surviving mirrors renew.
+        if (!condemned)
+            cluster.keepAlive().renew(1, now);
+        for (MirrorNode *m : cluster.mirrorsOf(1))
+            cluster.keepAlive().renew(m->id(), now);
+
+        // Maintain the transient-network-fault window across failovers:
+        // a replacement back-end arrives with a fresh, disarmed model.
+        BackendNode *be = cluster.backend(1);
+        if (fault_ops_left > 0) {
+            --fault_ops_left;
+            if (fault_ops_left == 0)
+                be->faults().disarm();
+            else if (!be->faults().armed())
+                be->faults().configure(window_cfg,
+                                       cfg.seed ^ (i * 0x100000001b3ULL));
+        }
+
+        // Inject at most one chaos event per operation boundary.
+        if (rng.nextBool(cfg.p_transient)) {
+            cluster.crashBackendTransient(1);
+            ++res.transient_crashes;
+        } else if (!condemned && rng.nextBool(cfg.p_permanent) &&
+                   !cluster.mirrorsOf(1).empty()) {
+            cluster.condemnBackend(1);
+            condemned = true;
+            ++res.permanent_failures;
+        } else if (rng.nextBool(cfg.p_mirror_crash) &&
+                   cluster.mirrorsOf(1).size() > 1) {
+            // Keep at least one mirror so the availability promise holds.
+            cluster.crashMirror(
+                1, rng.nextBounded(cluster.mirrorsOf(1).size()), now);
+            ++res.mirror_crashes;
+        } else if (fault_ops_left == 0 &&
+                   rng.nextBool(cfg.p_fault_window)) {
+            window_cfg = FaultConfig{};
+            window_cfg.drop_rate = 0.02;
+            window_cfg.delay_rate = 0.05;
+            window_cfg.qp_error_rate = 0.01;
+            be->faults().configure(window_cfg,
+                                   cfg.seed ^ (i * 0x9e3779b9ULL));
+            fault_ops_left = cfg.fault_window_ops;
+            ++res.fault_windows;
+        } else if (rng.nextBool(cfg.p_gray)) {
+            be->faults().slowDownUntil(now + 200000, /*extra_ns=*/500);
+            ++res.gray_bursts;
+        }
+
+        // One workload operation. Every outcome other than Ok (or a
+        // shadow-consistent NotFound) is an availability violation: a
+        // promotable mirror or a restartable node always exists here.
+        const uint64_t fo_before = s->failoversCompleted();
+        const uint32_t kind = static_cast<uint32_t>(rng.nextBounded(100));
+        const Key key = rng.nextBounded(kKeySpace) + 1;
+        if (kind < 30) {
+            const uint64_t v = rng.next();
+            st = ht.put(key, Value::ofU64(v));
+            if (!ok(st)) {
+                fail(describe("hash put", st));
+                break;
+            }
+            shadow_hash[key] = v;
+        } else if (kind < 55) {
+            Value v;
+            st = ht.get(key, &v);
+            const auto it = shadow_hash.find(key);
+            if (it == shadow_hash.end()) {
+                if (st != Status::NotFound) {
+                    fail(describe("hash get of absent key", st));
+                    break;
+                }
+            } else if (!ok(st) || v.asU64() != it->second) {
+                fail(describe("hash get", st) + " (value mismatch)");
+                break;
+            }
+        } else if (kind < 70) {
+            st = ht.erase(key);
+            const bool present = shadow_hash.erase(key) != 0;
+            if (present ? !ok(st) : st != Status::NotFound) {
+                fail(describe("hash erase", st));
+                break;
+            }
+        } else if (kind < 85) {
+            const uint64_t v = rng.next();
+            st = stk.push(Value::ofU64(v));
+            if (!ok(st)) {
+                fail(describe("stack push", st));
+                break;
+            }
+            shadow_stack.push_back(v);
+        } else {
+            Value v;
+            st = stk.pop(&v);
+            if (shadow_stack.empty()) {
+                if (st != Status::NotFound) {
+                    fail(describe("stack pop of empty stack", st));
+                    break;
+                }
+            } else if (!ok(st) || v.asU64() != shadow_stack.back()) {
+                fail(describe("stack pop", st) + " (value mismatch)");
+                break;
+            } else {
+                shadow_stack.pop_back();
+            }
+        }
+        ++res.ops_done;
+
+        // A transparent heal ran inside the op: the condemned node (if
+        // any) was replaced by promotion. Audit the recovered image.
+        const uint64_t fo_after = s->failoversCompleted();
+        if (fo_after > fo_before) {
+            res.failovers += fo_after - fo_before;
+            condemned = false;
+            if (!audit("after recovery"))
+                break;
+        }
+    }
+
+    if (res.ok)
+        audit("end of run");
+
+    const SessionStats stats = s->stats();
+    res.verb_retries = stats.retry.totalRetries();
+    res.rpc_resends = stats.retry.rpc_resends;
+    return res;
+}
+
+} // namespace asymnvm

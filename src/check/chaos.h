@@ -1,0 +1,73 @@
+#ifndef ASYMNVM_CHECK_CHAOS_H_
+#define ASYMNVM_CHECK_CHAOS_H_
+
+/**
+ * @file
+ * Chaos-soak harness: mixed data-structure workloads under a seeded
+ * schedule of transient back-end crashes, permanent failures with mirror
+ * promotion, mirror deaths, network-fault windows (dropped / delayed /
+ * duplicated verb completions, QP errors) and gray slowdowns — all in
+ * virtual time, fully deterministic per seed.
+ *
+ * The harness drives a transparent-failover cluster (Section 7.2) and
+ * holds it to two promises:
+ *
+ *  1. *Availability*: while a promotable NVM mirror (or the restartable
+ *     node itself) exists, no operation may fail — transient faults are
+ *     absorbed by the verb retry policy and back-end failures by
+ *     session-level failover. Unavailable must never escape.
+ *  2. *Durability / SWMR*: after every recovery, and at the end of the
+ *     run, the raw NVM image must pass the InvariantChecker audits and
+ *     its logical contents must equal an in-DRAM shadow model replaying
+ *     the acknowledged operations.
+ *
+ * Back-end crashes fire between operations (at operation boundaries,
+ * where every first primitive of the next op is idempotent); transient
+ * network faults fire anywhere, including mid-operation, because the
+ * verbs layer absorbs them below op granularity.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace asymnvm {
+
+/** One seeded chaos run's knobs. Probabilities are per operation. */
+struct ChaosConfig
+{
+    uint64_t seed = 1;
+    uint32_t num_ops = 240;
+    uint32_t mirrors = 2;
+    uint32_t batch_size = 16;     //!< RCB group-commit size
+    double p_transient = 0.02;    //!< transient back-end crash (Case 3)
+    double p_permanent = 0.008;   //!< condemned back-end (Case 4)
+    double p_mirror_crash = 0.006; //!< mirror death (Case 5)
+    double p_fault_window = 0.05; //!< open a transient-network-fault window
+    uint32_t fault_window_ops = 12; //!< its length, in operations
+    double p_gray = 0.02;         //!< gray slowdown burst
+};
+
+/** Outcome + observability counters of one chaos run. */
+struct ChaosResult
+{
+    bool ok = true;
+    std::string error; //!< first violation, empty when ok
+
+    uint64_t ops_done = 0;
+    uint64_t failovers = 0; //!< transparent heals the session completed
+    uint64_t transient_crashes = 0;
+    uint64_t permanent_failures = 0;
+    uint64_t mirror_crashes = 0;
+    uint64_t fault_windows = 0;
+    uint64_t gray_bursts = 0;
+    uint64_t verb_retries = 0; //!< transient faults absorbed by retries
+    uint64_t rpc_resends = 0;
+    uint64_t audits = 0; //!< invariant audits that ran (and passed)
+};
+
+/** Run one seeded chaos soak; see the file comment for the contract. */
+ChaosResult runChaosSoak(const ChaosConfig &cfg);
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_CHECK_CHAOS_H_

@@ -61,6 +61,13 @@ Cluster::makeSession(SessionConfig scfg)
         if (!ok(s->connect(be.get())))
             return nullptr;
     }
+    if (cfg_.transparent_failover) {
+        // Sessions are owned by the caller but never outlive the cluster
+        // in this harness, so capturing `this` is safe.
+        s->setBackendResolver([this](NodeId id, uint64_t now_ns) {
+            return resolveBackend(id, now_ns);
+        });
+    }
     return s;
 }
 
@@ -78,11 +85,13 @@ Cluster::crashBackendTransient(NodeId id)
 }
 
 Status
-Cluster::restartBackend(NodeId id)
+Cluster::restartBackend(NodeId id, uint64_t now_ns)
 {
     auto it = backends_.find(id);
     if (it == backends_.end())
         return Status::InvalidArgument;
+    if (condemned_.count(id) != 0)
+        return Status::Unavailable; // permanently dead; promotion only
     auto device = it->second->device();
     auto replacement = std::make_unique<BackendNode>(id, cfg_.backend,
                                                      device, cfg_.latency);
@@ -90,6 +99,8 @@ Cluster::restartBackend(NodeId id)
     for (auto &m : mirrors_[id])
         replacement->addMirror(m.get());
     it->second = std::move(replacement);
+    // A restarted node re-registers for a fresh lease.
+    keepalive_.join(id, NodeRole::BackEnd, now_ns);
     return Status::Ok;
 }
 
@@ -118,13 +129,72 @@ Cluster::failBackendPermanently(NodeId id, uint64_t now_ns)
     auto replacement = std::make_unique<BackendNode>(
         id, cfg_.backend, promoted->releaseDevice(), cfg_.latency);
     keepalive_.leave(promoted->id());
-    // Remaining mirrors now replicate the new primary.
-    for (auto &m : mirror_list) {
-        if (m.get() != promoted)
-            replacement->addMirror(m.get());
+    // Remaining mirrors now replicate the new primary; the promoted
+    // mirror's shell (its device was released) leaves the roster.
+    for (auto it2 = mirror_list.begin(); it2 != mirror_list.end();) {
+        if (it2->get() == promoted) {
+            it2 = mirror_list.erase(it2);
+        } else {
+            replacement->addMirror(it2->get());
+            ++it2;
+        }
     }
     it->second = std::move(replacement);
+    // The id is serving again: give it a fresh lease (the old incarnation
+    // may have been evicted) and clear any death sentence.
+    keepalive_.join(id, NodeRole::BackEnd, now_ns);
+    condemned_.erase(id);
     return Status::Ok;
+}
+
+void
+Cluster::condemnBackend(NodeId id)
+{
+    if (backend(id) == nullptr)
+        return;
+    condemned_.insert(id);
+    crashBackendTransient(id);
+}
+
+BackendNode *
+Cluster::resolveBackend(NodeId id, uint64_t now_ns)
+{
+    // Surviving mirrors are independent machines whose keepalive agents
+    // renew regardless of the primary's fate; the single-threaded
+    // simulation models that here, or every mirror lease would lapse in
+    // lockstep with the primary's while a session waits out promotion.
+    for (auto &m : mirrors_[id])
+        keepalive_.renew(m->id(), now_ns);
+
+    BackendNode *be = backend(id);
+    if (be == nullptr)
+        return nullptr;
+    if (!be->failure().crashed())
+        return be; // healthy, or another session already healed it
+    if (condemned_.count(id) != 0) {
+        // Permanently dead: promotion must wait out the lease so the
+        // group's vote is unambiguous (a condemned node never renews).
+        if (keepalive_.isAlive(id, now_ns))
+            return nullptr;
+        if (!ok(failBackendPermanently(id, now_ns)))
+            return nullptr;
+        return backend(id);
+    }
+    if (keepalive_.isAlive(id, now_ns)) {
+        // Lease still current: the group treats this as a transient blip
+        // (Case 3) and the node restarts from its own NVM.
+        if (!ok(restartBackend(id, now_ns)))
+            return nullptr;
+        return backend(id);
+    }
+    // Lease lapsed: the group declared it dead (Case 4) — promote. When
+    // no promotable mirror survives, slow detection must not strand a
+    // restartable node: fall back to a Case 3 restart.
+    if (ok(failBackendPermanently(id, now_ns)))
+        return backend(id);
+    if (!ok(restartBackend(id, now_ns)))
+        return nullptr;
+    return backend(id);
 }
 
 void

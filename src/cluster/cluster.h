@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "backend/backend_node.h"
@@ -33,6 +34,14 @@ struct ClusterConfig
     uint32_t mirrors_per_backend = 2;
     BackendConfig backend;
     LatencyModel latency;
+
+    /**
+     * Wire every session made by makeSession() with a backend resolver so
+     * that back-end failures heal transparently (Section 7.2 Cases 3/4)
+     * instead of surfacing BackendCrashed to the caller. Off by default:
+     * the recovery unit tests drive the failure cases by hand.
+     */
+    bool transparent_failover = false;
 };
 
 /** A simulated AsymNVM deployment. */
@@ -66,8 +75,11 @@ class Cluster
      */
     void crashBackendTransient(NodeId id);
 
-    /** Restart after a transient failure (recovery constructor). */
-    Status restartBackend(NodeId id);
+    /**
+     * Restart after a transient failure (recovery constructor). The
+     * reborn node re-registers with the keepAlive service at @p now_ns.
+     */
+    Status restartBackend(NodeId id, uint64_t now_ns = 0);
 
     /**
      * Case 4: permanent back-end failure at virtual time @p now_ns. The
@@ -81,11 +93,37 @@ class Cluster
     void crashMirror(NodeId backend_id, size_t mirror_index,
                      uint64_t now_ns);
 
+    /**
+     * Mark a crashed back-end as permanently dead: it will never restart,
+     * so the only way forward is mirror promotion once the keepAlive
+     * lease lapses (or immediately if it already has).
+     */
+    void condemnBackend(NodeId id);
+
+    /**
+     * Resolver consulted by sessions during transparent failover: returns
+     * the serving node for @p id, healing it if necessary.
+     *
+     *  - not crashed            -> return it as-is (promotion already ran)
+     *  - crashed + condemned    -> lease still alive? nullptr (the vote
+     *                              cannot run until the lease lapses);
+     *                              else promote a mirror (Case 4)
+     *  - crashed + lease alive  -> transient blip: restart from its own
+     *                              device (Case 3)
+     *  - crashed + lease lapsed -> the group declared it dead: promote
+     *                              (Case 4)
+     *
+     * Returns nullptr when the node cannot be healed *yet* (caller backs
+     * off and retries) or at all (no promotable mirror survives).
+     */
+    BackendNode *resolveBackend(NodeId id, uint64_t now_ns);
+
   private:
     ClusterConfig cfg_;
     KeepAliveService keepalive_;
     std::map<NodeId, std::unique_ptr<BackendNode>> backends_;
     std::map<NodeId, std::vector<std::unique_ptr<MirrorNode>>> mirrors_;
+    std::set<NodeId> condemned_;
     uint64_t next_session_id_ = 1000;
 };
 

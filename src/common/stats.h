@@ -103,6 +103,58 @@ struct VerbCounters
 };
 
 /**
+ * Retry / failover observability kept alongside VerbCounters.
+ *
+ * The verbs layer counts every transient-fault event it absorbed (lost
+ * completions, injected delays, QP error transitions) and the work it
+ * spent recovering (re-issued verbs by type, accumulated backoff time,
+ * QP resets); the RPC and session layers add duplicate-response drops,
+ * idempotent resends, and completed back-end failovers. Benchmarks print
+ * these next to the verb counters so a fault-rate knob's cost — and a
+ * silent retry storm — is visible in virtual-time profiles.
+ */
+struct RetryStats
+{
+    uint64_t retries_read = 0;    //!< re-issued synchronous reads
+    uint64_t retries_write = 0;   //!< re-issued synchronous writes
+    uint64_t retries_posted = 0;  //!< re-issued posted writes
+    uint64_t retries_atomic = 0;  //!< re-issued atomics
+    uint64_t timeouts = 0;        //!< completions lost (verb timeout paid)
+    uint64_t delayed = 0;         //!< completions delayed by a fault
+    uint64_t qp_errors = 0;       //!< QP error-state transitions observed
+    uint64_t qp_resets = 0;       //!< QP reset/reconnect cycles performed
+    uint64_t backoff_ns = 0;      //!< virtual time spent backing off
+    uint64_t rpc_resends = 0;     //!< RPC requests re-written (same seq)
+    uint64_t rpc_dup_responses = 0; //!< stale/duplicate responses dropped
+    uint64_t failovers = 0;         //!< back-end failovers completed
+    uint64_t failover_wait_ns = 0;  //!< virtual time waiting on promotion
+
+    uint64_t totalRetries() const
+    {
+        return retries_read + retries_write + retries_posted +
+               retries_atomic;
+    }
+
+    /** Merge another layer's counters into this snapshot. */
+    void merge(const RetryStats &o)
+    {
+        retries_read += o.retries_read;
+        retries_write += o.retries_write;
+        retries_posted += o.retries_posted;
+        retries_atomic += o.retries_atomic;
+        timeouts += o.timeouts;
+        delayed += o.delayed;
+        qp_errors += o.qp_errors;
+        qp_resets += o.qp_resets;
+        backoff_ns += o.backoff_ns;
+        rpc_resends += o.rpc_resends;
+        rpc_dup_responses += o.rpc_dup_responses;
+        failovers += o.failovers;
+        failover_wait_ns += o.failover_wait_ns;
+    }
+};
+
+/**
  * Throughput computed against *virtual* time: the simulator measures
  * operations against the per-session SimClock rather than wall time, so
  * results reproduce the paper's shape deterministically.

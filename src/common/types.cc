@@ -15,6 +15,8 @@ statusName(Status s)
       case Status::Conflict: return "Conflict";
       case Status::InvalidArgument: return "InvalidArgument";
       case Status::Unavailable: return "Unavailable";
+      case Status::Timeout: return "Timeout";
+      case Status::QpError: return "QpError";
     }
     return "Unknown";
 }

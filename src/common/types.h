@@ -153,7 +153,20 @@ enum class Status : uint8_t
     Conflict,        //!< optimistic read raced a writer and retries expired
     InvalidArgument,
     Unavailable,     //!< no live back-end serves the request
+    Timeout,         //!< verb completion lost; retries exhausted
+    QpError,         //!< queue pair in error state; reset did not help
 };
+
+/**
+ * True for the transient verb-level failures the RDMA retry policy may
+ * legally re-issue (dropped/duplicated completions, QP error states).
+ * Everything else is either success, a logical error, or a fail-stop
+ * condition handled by the recovery/failover layer above the verbs.
+ */
+inline bool isTransient(Status s)
+{
+    return s == Status::Timeout || s == Status::QpError;
+}
 
 /** Human-readable name of a status code (for logs and test output). */
 const char *statusName(Status s);

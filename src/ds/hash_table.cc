@@ -89,6 +89,9 @@ HashTable::open(FrontendSession &s, NodeId backend, std::string_view name,
 void
 HashTable::install()
 {
+    // Transparent failover with a live handle: resync the count shadow to
+    // the recovered NVM image before replay re-executes uncovered ops.
+    s_->setFailoverHook(id_, backend_, [this] { return loadShadows(); });
     s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
         Value v;
         if (!op.value.empty())

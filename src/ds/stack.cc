@@ -40,6 +40,12 @@ void
 Stack::install()
 {
     s_->setFlushHook(id_, backend_, [this] { materializePending(); });
+    s_->setFailoverHook(id_, backend_, [this] {
+        // Transparent failover with a live handle: drop pending pushes
+        // (replay re-executes their ops) and resync to the recovered NVM.
+        pending_.clear();
+        return loadShadows();
+    });
     s_->setReplayer(id_, backend_, [this](const ParsedOpLog &op) {
         if (op.op == OpType::Push) {
             Value v;

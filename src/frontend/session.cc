@@ -188,7 +188,11 @@ FrontendSession::rpcCall(BackendCtx &c, RpcOp op,
         }
         return Status::InvalidArgument;
     }
-    return c.rpc->call(op, args, payload, rets);
+    // The RPC channel is exactly-once under transient faults (seq-based
+    // dedup), and a failover rebuilds c.rpc against the replacement, so
+    // the re-run goes through the fresh channel.
+    const NodeId id = c.node->id();
+    return guarded(id, [&] { return c.rpc->call(op, args, payload, rets); });
 }
 
 // ---------------------------------------------------------------------
@@ -229,6 +233,17 @@ FrontendSession::symmetricRead(RemotePtr addr, void *dst, uint32_t len)
 Status
 FrontendSession::read(RemotePtr addr, void *dst, uint32_t len,
                       const ReadHint &hint)
+{
+    // Reads are idempotent, so the whole lookup path (overlay, pins,
+    // cache, remote) can transparently re-run after a failover heals the
+    // back-end under it.
+    return guarded(addr.backend,
+                   [&] { return readInner(addr, dst, len, hint); });
+}
+
+Status
+FrontendSession::readInner(RemotePtr addr, void *dst, uint32_t len,
+                           const ReadHint &hint)
 {
     if (tracking_)
         tracked_reads_.push_back(addr);
@@ -325,8 +340,10 @@ FrontendSession::logWriteInternal(DsId ds, RemotePtr addr,
     if (cfg_.symmetric)
         return symmetricWrite(addr, value, len);
     if (!cfg_.use_txlog) {
-        // Naive: a synchronous RDMA_Write per modification.
-        return verbs_.write(addr, value, len);
+        // Naive: a synchronous RDMA_Write per modification (idempotent
+        // payload, so a healed back-end can transparently take a rerun).
+        return guarded(addr.backend,
+                       [&] { return verbs_.write(addr, value, len); });
     }
     BackendCtx *c = ctx(addr.backend);
     if (c == nullptr)
@@ -381,23 +398,36 @@ FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
                          const void *value, uint32_t val_len)
 {
     ++ops_started_;
+    in_op_ = false; // a previous op may have aborted without opEnd
     clock_.advance(lat_.cpu_op_overhead_ns);
-    if (cfg_.symmetric || !cfg_.use_oplog)
+    if (cfg_.symmetric || !cfg_.use_oplog) {
+        in_op_ = true;
         return Status::Ok;
-    BackendCtx *c = ctx(backend);
-    if (c == nullptr)
-        return Status::Unavailable;
-    const auto rec = encodeOpLog(op, ds, c->opn, key, value, val_len);
-    // Per-op persistence (batch == 1) makes the op log the write's
-    // durability point: one synchronous RDMA_Write (Section 4.3). Inside
-    // a batch, op logs are posted and the group commit is the fence.
-    const bool sync = cfg_.batch_size <= 1;
-    const Status st = appendOpLogRecord(*c, rec, sync);
-    if (!ok(st))
-        return st;
-    c->last_oplog_len = val_len;
-    c->opn += 1;
-    return Status::Ok;
+    }
+    // Re-resolve the context on every attempt: a failover in between
+    // refreshes the log-position shadows (and the OPN) from the
+    // replacement's control block. A first attempt that died mid-write
+    // left at most a torn record, which recovery's decode skips.
+    const Status st = guarded(backend, [&]() -> Status {
+        BackendCtx *c = ctx(backend);
+        if (c == nullptr)
+            return Status::Unavailable;
+        const auto rec = encodeOpLog(op, ds, c->opn, key, value, val_len);
+        // Per-op persistence (batch == 1) makes the op log the write's
+        // durability point: one synchronous RDMA_Write (Section 4.3).
+        // Inside a batch, op logs are posted and the group commit is the
+        // fence.
+        const bool sync = cfg_.batch_size <= 1;
+        const Status ast = appendOpLogRecord(*c, rec, sync);
+        if (!ok(ast))
+            return ast;
+        c->last_oplog_len = val_len;
+        c->opn += 1;
+        return Status::Ok;
+    });
+    if (ok(st))
+        in_op_ = true;
+    return st;
 }
 
 Status
@@ -461,6 +491,7 @@ FrontendSession::ringReserve(uint64_t *head, uint64_t ring_size,
 Status
 FrontendSession::opEnd()
 {
+    in_op_ = false; // batch flush below happens at a safe boundary
     ++ops_in_batch_;
     if (cfg_.symmetric) {
         if (!cfg_.symmetric_batch) {
@@ -576,6 +607,21 @@ FrontendSession::currentOpn(NodeId backend) const
 Status
 FrontendSession::flushAll()
 {
+    const Status st = flushAllInner();
+    if (!needsFailover(st) || resolver_ == nullptr || in_failover_)
+        return st;
+    // The commit write died with the back-end. Heal — and that is all:
+    // every op of the interrupted batch persisted (and replicated) its
+    // operation log before being acked, so the replacement's recovery
+    // re-executed and re-flushed the whole batch during failover.
+    if (!ok(handleBackendFailure(last_failed_node_)))
+        return st;
+    return Status::Ok;
+}
+
+Status
+FrontendSession::flushAllInner()
+{
     if (in_flush_)
         return Status::Ok;
     in_flush_ = true;
@@ -608,8 +654,10 @@ FrontendSession::flushAll()
     for (size_t i = 0; i < plan.size(); ++i) {
         const bool sync = need_sync && i + 1 == plan.size();
         const Status st = flushGroup(*plan[i].first, plan[i].second, sync);
-        if (!ok(st))
+        if (!ok(st)) {
             result = st;
+            last_failed_node_ = plan[i].first->node->id();
+        }
     }
     if (plan.empty() && need_sync && ops_in_batch_ > 0 && cfg_.use_oplog) {
         // Read-annulled batches (stack/queue) may commit with no memory
@@ -763,39 +811,52 @@ FrontendSession::writerLock(DsId ds, NodeId backend)
         held_locks_[key] = true;
         return Status::Ok;
     }
-    const RemotePtr lock_ptr =
-        namingField(ds, backend, naming_field::kWriterLock);
-    const uint64_t self = static_cast<uint64_t>(c->slot) + 1;
-    while (true) {
-        uint64_t old = 0;
-        const Status st = verbs_.compareAndSwap(lock_ptr, 0, self, &old);
-        if (!ok(st))
-            return st;
-        if (old == 0)
-            break;
-        std::this_thread::yield(); // another writer holds the lock
-    }
-    // Lock-ahead record: lets recovery identify and release the lock if
-    // we crash while holding it (Section 6.1). Posted before any logs.
-    const uint64_t ahead = static_cast<uint64_t>(ds) + 1;
-    verbs_.writeAsync(
-        RemotePtr(backend, c->node->layout().logControlOff(c->slot) +
-                               offsetof(LogControl, lock_ahead)),
-        &ahead, sizeof(ahead));
+    // Acquisition is re-runnable after a failover: the replacement's
+    // recovery released any lock this session's previous target recorded
+    // for it, so a fresh CAS starts over cleanly.
+    return guarded(backend, [&]() -> Status {
+        BackendCtx *gc = ctx(backend);
+        if (gc == nullptr)
+            return Status::Unavailable;
+        const RemotePtr lock_ptr =
+            namingField(ds, backend, naming_field::kWriterLock);
+        const uint64_t self = static_cast<uint64_t>(gc->slot) + 1;
+        while (true) {
+            uint64_t old = 0;
+            const Status st =
+                verbs_.compareAndSwap(lock_ptr, 0, self, &old);
+            if (!ok(st))
+                return st;
+            if (old == 0 || old == self)
+                break;
+            std::this_thread::yield(); // another writer holds the lock
+        }
+        // Lock-ahead record: lets recovery identify and release the lock
+        // if we crash while holding it (Section 6.1). Posted before any
+        // logs.
+        const uint64_t ahead = static_cast<uint64_t>(ds) + 1;
+        verbs_.writeAsync(
+            RemotePtr(backend, gc->node->layout().logControlOff(gc->slot) +
+                                   offsetof(LogControl, lock_ahead)),
+            &ahead, sizeof(ahead));
 
-    // Another writer may have modified the structure since we last held
-    // the lock; a changed writer generation invalidates our cache.
-    uint64_t gen = 0;
-    verbs_.read64(namingField(ds, backend, naming_field::kAux0 + 3 * 8),
-                  &gen);
-    auto git = writer_gen_.find(key);
-    if (git == writer_gen_.end() || git->second != gen) {
-        if (cfg_.use_cache)
-            cache_->invalidateDs(ds);
-        writer_gen_[key] = gen;
-    }
-    held_locks_[key] = true;
-    return Status::Ok;
+        // Another writer may have modified the structure since we last
+        // held the lock; a changed writer generation invalidates our
+        // cache.
+        uint64_t gen = 0;
+        const Status gst = verbs_.read64(
+            namingField(ds, backend, naming_field::kAux0 + 3 * 8), &gen);
+        if (!ok(gst))
+            return gst;
+        auto git = writer_gen_.find(key);
+        if (git == writer_gen_.end() || git->second != gen) {
+            if (cfg_.use_cache)
+                cache_->invalidateDs(ds);
+            writer_gen_[key] = gen;
+        }
+        held_locks_[key] = true;
+        return Status::Ok;
+    });
 }
 
 Status
@@ -825,7 +886,8 @@ FrontendSession::readerLock(DsId ds, NodeId backend, uint64_t *sn)
         clock_.advance(lat_.nvm_read_ns);
     } else {
         while (true) {
-            const Status st = verbs_.read64(sn_ptr, sn);
+            const Status st = guarded(
+                backend, [&] { return verbs_.read64(sn_ptr, sn); });
             if (!ok(st))
                 return st;
             if ((*sn & 1) == 0)
@@ -860,11 +922,12 @@ FrontendSession::readerValidate(DsId ds, NodeId backend, uint64_t sn)
             namingField(ds, backend, naming_field::kSeqNum).offset);
         clock_.advance(lat_.nvm_read_ns);
     } else {
-        if (!ok(verbs_.read64(namingField(ds, backend,
-                                          naming_field::kSeqNum),
-                              &now_sn))) {
+        const Status st = guarded(backend, [&] {
+            return verbs_.read64(
+                namingField(ds, backend, naming_field::kSeqNum), &now_sn);
+        });
+        if (!ok(st))
             return false;
-        }
     }
     if (now_sn == sn)
         return true;
@@ -926,7 +989,8 @@ FrontendSession::readDsMeta(DsId ds, NodeId backend, DsMeta *out)
         c->node->nvm().read(base.offset, buf, sizeof(buf));
         clock_.advance(lat_.nvm_read_ns);
     } else {
-        const Status st = verbs_.read(base, buf, sizeof(buf));
+        const Status st = guarded(
+            backend, [&] { return verbs_.read(base, buf, sizeof(buf)); });
         if (!ok(st))
             return st;
     }
@@ -960,7 +1024,10 @@ FrontendSession::casRoot(DsId ds, NodeId backend, uint64_t expected_raw,
         clock_.advance(lat_.nvm_write_ns);
         return Status::Ok;
     }
-    return verbs_.compareAndSwap(root, expected_raw, desired_raw, old_raw);
+    return guarded(backend, [&] {
+        return verbs_.compareAndSwap(root, expected_raw, desired_raw,
+                                     old_raw);
+    });
 }
 
 Status
@@ -974,7 +1041,7 @@ FrontendSession::readAux(DsId ds, NodeId backend, uint32_t idx, uint64_t *v)
     }
     if (cfg_.symmetric)
         return symmetricRead(p, v, sizeof(*v));
-    return verbs_.read64(p, v);
+    return guarded(backend, [&] { return verbs_.read64(p, v); });
 }
 
 Status
@@ -1005,10 +1072,18 @@ FrontendSession::setReplayer(DsId ds, NodeId backend, Replayer fn)
 }
 
 void
+FrontendSession::setFailoverHook(DsId ds, NodeId backend,
+                                 std::function<Status()> fn)
+{
+    failover_hooks_[{backend, ds}] = std::move(fn);
+}
+
+void
 FrontendSession::simulateCrash()
 {
     flush_hooks_.clear();
     post_flush_hooks_.clear();
+    failover_hooks_.clear();
     overlay_.clear();
     pinned_.clear();
     tracked_reads_.clear();
@@ -1023,6 +1098,7 @@ FrontendSession::simulateCrash()
     local_retired_.clear();
     replayers_.clear();
     ops_in_batch_ = 0;
+    in_op_ = false;
     cache_->clear();
     verbs_.dropPosted(); // pending WQE chains die with the process
     for (auto &[id, c] : backends_) {
@@ -1094,7 +1170,73 @@ FrontendSession::failover(NodeId failed, BackendNode *replacement)
     if (!ok(st))
         return st;
     c.slot = slot;
+    // Live data structure handles reset their volatile shadows to the
+    // recovered NVM image before replay re-executes uncovered ops.
+    for (auto &[key, hook] : failover_hooks_) {
+        if (key.first == failed) {
+            const Status hst = hook();
+            if (!ok(hst))
+                return hst;
+        }
+    }
     return recover();
+}
+
+Status
+FrontendSession::handleBackendFailure(NodeId id)
+{
+    if (resolver_ == nullptr)
+        return Status::BackendCrashed;
+    in_failover_ = true;
+    // Writer locks held on the failed incarnation died with it: the
+    // replacement releases them from the lock-ahead records during
+    // recovery, and op-log replay re-executes the operations that held
+    // them — so forget them here rather than re-releasing stale state.
+    for (auto it = held_locks_.begin(); it != held_locks_.end();) {
+        if (it->first.first == id)
+            it = held_locks_.erase(it);
+        else
+            ++it;
+    }
+    Status result = Status::Unavailable;
+    for (uint32_t i = 0; i < fo_cfg_.max_attempts; ++i) {
+        BackendNode *node = resolver_(id, clock_.now());
+        if (node != nullptr && !node->failure().crashed()) {
+            const Status st = failover(id, node);
+            if (ok(st)) {
+                ++failovers_completed_;
+                result = Status::Ok;
+                break;
+            }
+            // The replacement died under recovery; poll again.
+        }
+        // The cluster is still waiting out the failed node's lease (the
+        // mirror must not be promoted while the old incarnation might
+        // still serve writes) — burn a quantum of virtual time.
+        clock_.advance(fo_cfg_.wait_quantum_ns);
+        failover_wait_ns_ += fo_cfg_.wait_quantum_ns;
+    }
+    in_failover_ = false;
+    return result;
+}
+
+SessionStats
+FrontendSession::stats() const
+{
+    SessionStats s;
+    s.ops_started = ops_started_;
+    s.tx_flushes = tx_flushes_;
+    s.verbs = verbs_.counters();
+    s.retry = verbs_.retryStats();
+    s.retry.failovers += failovers_completed_;
+    s.retry.failover_wait_ns += failover_wait_ns_;
+    for (const auto &[id, c] : backends_) {
+        if (c.rpc != nullptr) {
+            s.retry.rpc_resends += c.rpc->resends();
+            s.retry.rpc_dup_responses += c.rpc->dupResponsesDropped();
+        }
+    }
+    return s;
 }
 
 void
@@ -1102,6 +1244,8 @@ FrontendSession::resetStats()
 {
     ops_started_ = 0;
     tx_flushes_ = 0;
+    failovers_completed_ = 0;
+    failover_wait_ns_ = 0;
     verbs_.resetStats();
     cache_->resetStats();
 }

@@ -108,6 +108,28 @@ struct DsMeta
     uint64_t gc_epoch;
 };
 
+/**
+ * Transparent-failover knobs. When a verb-level failure outlives the
+ * retry policy (or the back-end fail-stops), the session polls its
+ * resolver for a serving replacement every @p wait_quantum_ns of virtual
+ * time — the cluster needs the failed node's lease to expire before it
+ * promotes a mirror — up to @p max_attempts polls.
+ */
+struct FailoverConfig
+{
+    uint32_t max_attempts = 16;
+    uint64_t wait_quantum_ns = 2000000; //!< ~ lease-expiry granularity
+};
+
+/** Aggregated per-session observability snapshot. */
+struct SessionStats
+{
+    uint64_t ops_started = 0;
+    uint64_t tx_flushes = 0;
+    VerbCounters verbs; //!< traffic by verb type (reads/writes/atomics)
+    RetryStats retry;   //!< transient-fault absorption + failover work
+};
+
 /** The client-side AsymNVM runtime for one front-end thread. */
 class FrontendSession
 {
@@ -312,12 +334,58 @@ class FrontendSession
     /** Back-end failover: clear caches and retarget to @p replacement. */
     Status failover(NodeId failed, BackendNode *replacement);
 
+    /**
+     * Hook a structure registers to survive *transparent* failover with a
+     * live handle: runs after the session retargets to the replacement
+     * back-end, before op-log replay. The structure must reset its
+     * volatile shadows to the recovered NVM image (reload aux words, drop
+     * pending annulment queues) — exactly what re-open()ing does in the
+     * manual recovery flow — or replay would double-apply into shadows
+     * that already reflect the uncovered operations.
+     */
+    void setFailoverHook(DsId ds, NodeId backend,
+                         std::function<Status()> fn);
+
+    // ------------------------------------------------------------------
+    // Transparent failover (Section 7.2, Cases 3/4, without app help)
+    // ------------------------------------------------------------------
+
+    /**
+     * Resolves a node id to its current serving BackendNode at virtual
+     * time now_ns — the restarted node, or the mirror promoted under the
+     * same id — or nullptr while the cluster still waits out the failed
+     * node's lease. Clusters install this via Cluster::makeSession when
+     * ClusterConfig::transparent_failover is set.
+     */
+    using BackendResolver = std::function<BackendNode *(NodeId, uint64_t)>;
+
+    /**
+     * Arm transparent failover: when a back-end fail-stops under a verb
+     * (or a transient storm outlives the verb retry policy), the session
+     * heals itself — waits out the promotion, retargets to the resolved
+     * replacement, replays its shadow state (recover()) — and, when the
+     * failure hit at an operation boundary, transparently re-issues the
+     * failed primitive. A failure in the middle of a write operation
+     * still heals but surfaces the error: the interrupted operation is
+     * already covered by op-log replay, so the caller retries it whole.
+     */
+    void setBackendResolver(BackendResolver fn)
+    {
+        resolver_ = std::move(fn);
+    }
+
+    void setFailoverConfig(const FailoverConfig &c) { fo_cfg_ = c; }
+
     // ------------------------------------------------------------------
     // Statistics
     // ------------------------------------------------------------------
 
     uint64_t opsStarted() const { return ops_started_; }
     uint64_t txFlushes() const { return tx_flushes_; }
+    uint64_t failoversCompleted() const { return failovers_completed_; }
+
+    /** Merged observability: verbs traffic, retries, RPC dedup, failover. */
+    SessionStats stats() const;
 
     /**
      * Number of (backend, ds) pairs with a remembered seqlock SN. Volatile
@@ -378,6 +446,52 @@ class FrontendSession
     Status rpcCall(BackendCtx &c, RpcOp op, std::span<const uint64_t> args,
                    std::span<const uint8_t> payload, uint64_t rets[4]);
     Status flushGroup(BackendCtx &c, DsId ds, bool sync_commit);
+
+    /** Failure classes the session heals by failover (everything the
+     *  verbs layer could not absorb with retries). */
+    static bool needsFailover(Status st)
+    {
+        return st == Status::BackendCrashed || isTransient(st);
+    }
+
+    /**
+     * Heal a failed back-end: poll the resolver (waiting out the lease /
+     * promotion in virtual time), retarget to the replacement, and run
+     * the recovery protocol against it. Held writer locks on the failed
+     * node are forgotten first — the replacement releases them from the
+     * lock-ahead records, and op-log replay re-executes their owners.
+     */
+    Status handleBackendFailure(NodeId id);
+
+    /**
+     * Run @p fn, and on an unhealed back-end failure heal and — at an
+     * operation boundary, where the primitive is idempotent — re-issue
+     * it. Inside a write operation the original error is surfaced after
+     * healing (replay already covers the interrupted operation).
+     */
+    template <typename Fn>
+    Status guarded(NodeId id, Fn &&fn)
+    {
+        Status st = fn();
+        if (resolver_ == nullptr || in_failover_)
+            return st;
+        // Capture the op-boundary flag *before* healing: recovery replays
+        // whole operations, which toggle in_op_ themselves and leave it
+        // clear — the retry decision belongs to the failed call site.
+        const bool was_in_op = in_op_;
+        for (uint32_t round = 0; round < 4 && needsFailover(st); ++round) {
+            if (!ok(handleBackendFailure(id)))
+                return st;
+            if (was_in_op)
+                return st; // healed; caller must restart the operation
+            st = fn();
+        }
+        return st;
+    }
+
+    Status flushAllInner();
+    Status readInner(RemotePtr addr, void *dst, uint32_t len,
+                     const ReadHint &hint);
     Status logWriteInternal(DsId ds, RemotePtr addr, const void *value,
                             uint32_t len, bool op_ref, uint32_t val_off);
     Status appendOpLogRecord(BackendCtx &c,
@@ -423,6 +537,8 @@ class FrontendSession
     bool tracking_ = false;
 
     std::map<std::pair<NodeId, DsId>, Replayer> replayers_;
+    std::map<std::pair<NodeId, DsId>, std::function<Status()>>
+        failover_hooks_;
     std::map<std::pair<NodeId, DsId>, std::function<void()>> flush_hooks_;
     std::map<std::pair<NodeId, DsId>, std::function<void()>>
         post_flush_hooks_;
@@ -440,6 +556,15 @@ class FrontendSession
     uint32_t ops_in_batch_ = 0;
     uint64_t ops_started_ = 0;
     uint64_t tx_flushes_ = 0;
+
+    // Transparent-failover state.
+    BackendResolver resolver_;
+    FailoverConfig fo_cfg_;
+    bool in_failover_ = false; //!< guards re-entry from recovery's flush
+    bool in_op_ = false;       //!< between opBegin and opEnd
+    NodeId last_failed_node_ = 0; //!< set when a flush fails
+    uint64_t failovers_completed_ = 0;
+    uint64_t failover_wait_ns_ = 0;
 
     // Symmetric baseline: a private local "back-end" priced at NVM cost.
     std::unique_ptr<BackendNode> local_backend_;

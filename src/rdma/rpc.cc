@@ -3,9 +3,20 @@
 #include <cstring>
 
 #include "backend/backend_node.h"
+#include "common/checksum.h"
 #include "rdma/verbs.h"
 
 namespace asymnvm {
+
+uint32_t
+rpcRequestChecksum(RpcRequest req, std::span<const uint8_t> payload)
+{
+    req.checksum = 0;
+    uint32_t c = crc32c(&req, sizeof(req));
+    if (!payload.empty())
+        c = crc32c(payload.data(), payload.size(), c);
+    return c;
+}
 
 RfpRpc::RfpRpc(Verbs *verbs, BackendNode *backend, uint32_t slot)
     : verbs_(verbs), backend_(backend), slot_(slot)
@@ -28,6 +39,7 @@ RfpRpc::call(RpcOp op, std::span<const uint64_t> args,
     for (size_t i = 0; i < args.size() && i < 4; ++i)
         req.args[i] = args[i];
     req.payload_len = static_cast<uint32_t>(payload.size());
+    req.checksum = rpcRequestChecksum(req, payload);
 
     scratch_.resize(sizeof(req) + payload.size());
     std::memcpy(scratch_.data(), &req, sizeof(req));
@@ -36,25 +48,49 @@ RfpRpc::call(RpcOp op, std::span<const uint64_t> args,
                     payload.size());
 
     const RemotePtr req_ptr(backend_->id(), req_off);
-    Status st = verbs_->write(req_ptr, scratch_.data(), scratch_.size());
-    if (!ok(st))
-        return st;
-
-    // The passive back-end notices the doorbell and serves the request.
-    backend_->handleRpc(slot_);
-
-    RpcResponse resp{};
     const RemotePtr resp_ptr(backend_->id(), resp_off);
-    st = verbs_->read(resp_ptr, &resp, sizeof(resp));
-    if (!ok(st))
-        return st;
-    if (resp.magic != kRpcRespMagic || resp.seq != req.seq)
-        return Status::Corruption;
-    if (rets != nullptr) {
-        for (int i = 0; i < 4; ++i)
-            rets[i] = resp.rets[i];
+
+    // Idempotent resend loop: every rewrite carries the same seq, so the
+    // back-end's dedup executes the operation at most once and answers
+    // repeats from its stored response.
+    constexpr uint32_t kMaxTries = 8;
+    bool in_ring = false; //!< request known intact in the request ring
+    for (uint32_t attempt = 0; attempt < kMaxTries; ++attempt) {
+        if (!in_ring) {
+            const Status wst =
+                verbs_->write(req_ptr, scratch_.data(), scratch_.size());
+            if (!ok(wst))
+                return wst;
+            if (attempt > 0)
+                ++resends_;
+            in_ring = true;
+        }
+
+        // The passive back-end notices the doorbell and serves the
+        // request — unless it finds the request torn, in which case it
+        // refuses to execute and we rewrite it.
+        if (backend_->handleRpc(slot_) == Status::Corruption) {
+            in_ring = false;
+            continue;
+        }
+
+        RpcResponse resp{};
+        const Status rst = verbs_->read(resp_ptr, &resp, sizeof(resp));
+        if (!ok(rst))
+            return rst;
+        if (resp.magic != kRpcRespMagic || resp.seq != req.seq) {
+            // Stale response from an earlier call still in the ring (or
+            // garbage): drop it and poke the back-end again.
+            ++dup_dropped_;
+            continue;
+        }
+        if (rets != nullptr) {
+            for (int i = 0; i < 4; ++i)
+                rets[i] = resp.rets[i];
+        }
+        return static_cast<Status>(resp.status);
     }
-    return static_cast<Status>(resp.status);
+    return Status::Timeout; // resend budget spent without a valid answer
 }
 
 } // namespace asymnvm

@@ -14,6 +14,17 @@
  *
  * Requests are synchronous and one-at-a-time per session, so each request
  * simply occupies the start of its ring.
+ *
+ * Transient faults complicate the simple write/serve/read exchange: the
+ * request write may land torn (detected by the header checksum — the
+ * back-end refuses to execute and the client rewrites), or the response
+ * may be read stale after a lost completion forced a resend. Both sides
+ * lean on the sequence number: the client resends *the same seq*, and the
+ * back-end serves each seq at most once, answering repeats from a stored
+ * response (idempotent resend). RPCs therefore stay exactly-once as long
+ * as the back-end does not lose its volatile dedup state — i.e. across
+ * transient faults, though not across a back-end crash, where the
+ * recovery protocol (Section 7.2) takes over anyway.
  */
 
 #include <cstdint>
@@ -46,8 +57,13 @@ struct RpcRequest
     uint64_t seq;     //!< matches request to response
     uint64_t args[4];
     uint32_t payload_len;
-    uint32_t pad;
+    /** CRC32-C over the header (this field zeroed) and the payload. */
+    uint32_t checksum;
 };
+
+/** Checksum of @p req (its checksum field ignored) plus @p payload. */
+uint32_t rpcRequestChecksum(RpcRequest req,
+                            std::span<const uint8_t> payload);
 
 /** Fixed response header written into the response ring. */
 struct RpcResponse
@@ -70,18 +86,29 @@ class RfpRpc
     /**
      * Issue one RPC: write the request, let the passive back-end consume
      * it, and fetch the response. Costs one RDMA_Write plus one RDMA_Read
-     * round trip on the caller's virtual clock.
+     * round trip on the caller's virtual clock in the fault-free case; a
+     * request the back-end rejects as torn is rewritten under the same
+     * sequence number, and a stale response is dropped and re-polled,
+     * bounded by a small budget before giving up with Timeout.
      */
     Status call(RpcOp op, std::span<const uint64_t> args,
                 std::span<const uint8_t> payload, uint64_t rets[4]);
 
     uint64_t callsIssued() const { return seq_; }
 
+    /** Requests rewritten (same seq) after a torn-request rejection. */
+    uint64_t resends() const { return resends_; }
+
+    /** Stale/duplicate responses dropped before the matching one. */
+    uint64_t dupResponsesDropped() const { return dup_dropped_; }
+
   private:
     Verbs *verbs_;
     BackendNode *backend_;
     uint32_t slot_;
     uint64_t seq_ = 0;
+    uint64_t resends_ = 0;
+    uint64_t dup_dropped_ = 0;
     std::vector<uint8_t> scratch_;
 };
 

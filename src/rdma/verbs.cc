@@ -1,5 +1,6 @@
 #include "rdma/verbs.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace asymnvm {
@@ -23,8 +24,9 @@ Verbs::flushChain(NodeId id, PostChain &chain, bool own_doorbell)
 }
 
 Status
-Verbs::begin(NodeId id, uint64_t write_len, RdmaTarget **out)
+Verbs::begin(NodeId id, VerbKind kind, uint64_t write_len, RdmaTarget **out)
 {
+    lost_completion_ = false;
     auto it = targets_.find(id);
     if (it == targets_.end())
         return Status::Unavailable;
@@ -43,15 +45,45 @@ Verbs::begin(NodeId id, uint64_t write_len, RdmaTarget **out)
         if (partial.has_value()) {
             // The back-end crashed under this verb. For a write, a torn
             // prefix may still land in NVM; the caller sees the failure
-            // through the (simulated) RNIC completion error.
+            // through the (simulated) RNIC completion error. Fail-stop
+            // outranks any transient fault the model would have injected.
             partial_write_len_pending_ = *partial;
             *out = &t;
             return Status::BackendCrashed;
         }
     }
+    *out = &t;
+    if (qp_error_.count(id) != 0)
+        return Status::QpError; // endpoint must reset the QP first
+    if (t.faults != nullptr && t.faults->armed()) {
+        const FaultVerb fv = kind == VerbKind::Read     ? FaultVerb::Read
+                             : kind == VerbKind::Atomic ? FaultVerb::Atomic
+                                                        : FaultVerb::Write;
+        const FaultAction a = t.faults->onVerb(fv, clock_->now());
+        if (a.slow_ns != 0)
+            clock_->advance(a.slow_ns); // gray node: degraded service
+        if (a.qp_error) {
+            qp_error_.insert(id);
+            ++retry_stats_.qp_errors;
+            return Status::QpError;
+        }
+        if (a.drop) {
+            // The issuing session waits the full verb timeout before it
+            // declares the completion lost.
+            clock_->advance(policy_.verb_timeout_ns);
+            ++retry_stats_.timeouts;
+            if (a.drop_after)
+                lost_completion_ = true; // executes, then reports the loss
+            else
+                return Status::Timeout;
+        }
+        if (a.delay_ns != 0) {
+            clock_->advance(a.delay_ns);
+            ++retry_stats_.delayed;
+        }
+    }
     if (t.nic != nullptr)
         clock_->advance(t.nic->reserve(clock_->now()));
-    *out = &t;
     return Status::Ok;
 }
 
@@ -64,11 +96,64 @@ Verbs::charge(uint64_t base_rtt, uint64_t payload)
     bytes_moved_ += payload;
 }
 
+void
+Verbs::resetQp(NodeId id)
+{
+    if (qp_error_.erase(id) == 0)
+        return;
+    clock_->advance(policy_.qp_reset_ns);
+    ++retry_stats_.qp_resets;
+}
+
+bool
+Verbs::nextAttempt(VerbKind kind, NodeId id, Status st, uint32_t *attempt,
+                   uint64_t *backoff)
+{
+    if (!isTransient(st))
+        return false; // fail-stop (or success) escapes to the caller
+    if (++*attempt >= policy_.max_attempts)
+        return false; // budget spent: the storm outlived every retry
+    if (st == Status::QpError)
+        resetQp(id); // RESET -> INIT -> RTR -> RTS before re-issuing
+    switch (kind) {
+      case VerbKind::Read: ++retry_stats_.retries_read; break;
+      case VerbKind::Write: ++retry_stats_.retries_write; break;
+      case VerbKind::Posted: ++retry_stats_.retries_posted; break;
+      case VerbKind::Atomic: ++retry_stats_.retries_atomic; break;
+    }
+    // Capped exponential backoff with deterministic jitter, charged to
+    // the virtual clock: delay in [d - d*j/2, d + d*j/2].
+    uint64_t delay = *backoff;
+    if (policy_.jitter > 0) {
+        const uint64_t span = static_cast<uint64_t>(
+            static_cast<double>(delay) * policy_.jitter);
+        if (span > 0)
+            delay = delay - span / 2 + rng_.nextBounded(span + 1);
+    }
+    clock_->advance(delay);
+    retry_stats_.backoff_ns += delay;
+    *backoff = std::min<uint64_t>(*backoff * 2, policy_.max_backoff_ns);
+    return true;
+}
+
 Status
 Verbs::read(RemotePtr src, void *dst, size_t len)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = readOnce(src, dst, len);
+        if (!nextAttempt(VerbKind::Read, src.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::readOnce(RemotePtr src, void *dst, size_t len)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(src.backend, 0, &t);
+    const Status st = begin(src.backend, VerbKind::Read, 0, &t);
     charge(lat_->rdma_read_rtt_ns, len);
     ++counters_.reads;
     counters_.read_bytes += len;
@@ -83,8 +168,21 @@ Verbs::read(RemotePtr src, void *dst, size_t len)
 Status
 Verbs::write(RemotePtr dst, const void *src, size_t len)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = writeOnce(dst, src, len);
+        if (!nextAttempt(VerbKind::Write, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::writeOnce(RemotePtr dst, const void *src, size_t len)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(dst.backend, len, &t);
+    const Status st = begin(dst.backend, VerbKind::Write, len, &t);
     charge(lat_->rdma_write_rtt_ns, len);
     ++counters_.writes;
     counters_.write_bytes += len;
@@ -101,14 +199,33 @@ Verbs::write(RemotePtr dst, const void *src, size_t len)
         return st;
     t->nvm->write(dst.offset, src, len);
     t->nvm->persist(); // DMA into the NVM DIMM is durable on completion
+    if (lost_completion_) {
+        // The payload landed but the completion dropped: the retry will
+        // land the same (idempotent) bytes again.
+        lost_completion_ = false;
+        return Status::Timeout;
+    }
     return Status::Ok;
 }
 
 Status
 Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = writeAsyncOnce(dst, src, len);
+        if (!nextAttempt(VerbKind::Posted, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::writeAsyncOnce(RemotePtr dst, const void *src, size_t len)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(dst.backend, len, &t);
+    const Status st = begin(dst.backend, VerbKind::Posted, len, &t);
     clock_->advance(lat_->post_overhead_ns);
     ++verbs_issued_;
     bytes_moved_ += len;
@@ -127,11 +244,28 @@ Verbs::writeAsync(RemotePtr dst, const void *src, size_t len)
         return st;
     t->nvm->write(dst.offset, src, len);
     t->nvm->persist();
+    if (lost_completion_) {
+        lost_completion_ = false;
+        return Status::Timeout;
+    }
     return Status::Ok;
 }
 
 Status
 Verbs::postWrite(RemotePtr dst, const void *src, size_t len)
+{
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = postWriteOnce(dst, src, len);
+        if (!nextAttempt(VerbKind::Posted, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::postWriteOnce(RemotePtr dst, const void *src, size_t len)
 {
     auto it = targets_.find(dst.backend);
     if (it == targets_.end())
@@ -154,6 +288,39 @@ Verbs::postWrite(RemotePtr dst, const void *src, size_t len)
         partial_write_len_pending_ = *partial;
         t.nvm->applyTornWrite(dst.offset, src, len, *partial);
         return Status::BackendCrashed;
+    }
+    if (qp_error_.count(dst.backend) != 0)
+        return Status::QpError;
+    bool lost_after = false;
+    if (t.faults != nullptr && t.faults->armed()) {
+        const FaultAction a = t.faults->onVerb(FaultVerb::Write,
+                                               clock_->now());
+        if (a.slow_ns != 0)
+            clock_->advance(a.slow_ns);
+        if (a.qp_error) {
+            qp_error_.insert(dst.backend);
+            ++retry_stats_.qp_errors;
+            return Status::QpError;
+        }
+        if (a.drop) {
+            clock_->advance(policy_.verb_timeout_ns);
+            ++retry_stats_.timeouts;
+            if (!a.drop_after)
+                return Status::Timeout;
+            lost_after = true;
+        }
+        if (a.delay_ns != 0) {
+            clock_->advance(a.delay_ns);
+            ++retry_stats_.delayed;
+        }
+    }
+    if (lost_after) {
+        // The payload lands in post order, but the WQE is reported lost:
+        // the retry posts the same bytes again, and only the retried WQE
+        // joins the chain accounting.
+        t.nvm->write(dst.offset, src, len);
+        t.nvm->persist();
+        return Status::Timeout;
     }
 
     PostChain &chain = chains_[dst.backend];
@@ -195,8 +362,21 @@ Verbs::pendingWqes() const
 Status
 Verbs::read64(RemotePtr src, uint64_t *out)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = read64Once(src, out);
+        if (!nextAttempt(VerbKind::Atomic, src.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::read64Once(RemotePtr src, uint64_t *out)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(src.backend, 0, &t);
+    const Status st = begin(src.backend, VerbKind::Atomic, 0, &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
     ++counters_.atomics;
     counters_.atomic_bytes += sizeof(uint64_t);
@@ -211,8 +391,22 @@ Verbs::read64(RemotePtr src, uint64_t *out)
 Status
 Verbs::write64(RemotePtr dst, uint64_t v)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = write64Once(dst, v);
+        if (!nextAttempt(VerbKind::Atomic, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::write64Once(RemotePtr dst, uint64_t v)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    const Status st = begin(dst.backend, VerbKind::Atomic,
+                            sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
     ++counters_.atomics;
     counters_.atomic_bytes += sizeof(uint64_t);
@@ -226,8 +420,23 @@ Status
 Verbs::compareAndSwap(RemotePtr dst, uint64_t expected, uint64_t desired,
                       uint64_t *old)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = compareAndSwapOnce(dst, expected, desired, old);
+        if (!nextAttempt(VerbKind::Atomic, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::compareAndSwapOnce(RemotePtr dst, uint64_t expected, uint64_t desired,
+                          uint64_t *old)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    const Status st = begin(dst.backend, VerbKind::Atomic,
+                            sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
     ++counters_.atomics;
     counters_.atomic_bytes += sizeof(uint64_t);
@@ -240,8 +449,22 @@ Verbs::compareAndSwap(RemotePtr dst, uint64_t expected, uint64_t desired,
 Status
 Verbs::fetchAdd(RemotePtr dst, uint64_t delta, uint64_t *old)
 {
+    uint32_t attempt = 0;
+    uint64_t backoff = policy_.base_backoff_ns;
+    for (;;) {
+        const Status st = fetchAddOnce(dst, delta, old);
+        if (!nextAttempt(VerbKind::Atomic, dst.backend, st, &attempt,
+                         &backoff))
+            return st;
+    }
+}
+
+Status
+Verbs::fetchAddOnce(RemotePtr dst, uint64_t delta, uint64_t *old)
+{
     RdmaTarget *t = nullptr;
-    const Status st = begin(dst.backend, sizeof(uint64_t), &t);
+    const Status st = begin(dst.backend, VerbKind::Atomic,
+                            sizeof(uint64_t), &t);
     charge(lat_->rdma_atomic_rtt_ns, sizeof(uint64_t));
     ++counters_.atomics;
     counters_.atomic_bytes += sizeof(uint64_t);

@@ -17,21 +17,31 @@
  * paper's optimizations attack (verb count on the critical path) and the
  * IOPS ceiling behind the multi-front-end scaling figures.
  *
- * Failure injection hooks here: an armed crash tears the in-flight write
- * at a 64-byte boundary and makes subsequent verbs to that back-end fail
- * with Status::BackendCrashed, which the front-end observes "through the
- * feedback from RNIC" (Case 3, Section 7.2).
+ * Failure injection hooks here at two severities. Fail-stop: an armed
+ * crash (sim/failure.h) tears the in-flight write at a 64-byte boundary
+ * and makes subsequent verbs to that back-end fail with
+ * Status::BackendCrashed, which the front-end observes "through the
+ * feedback from RNIC" (Case 3, Section 7.2). Transient: a FaultModel
+ * (sim/fault.h) drops, delays or duplicates completions and flips queue
+ * pairs into the error state — those this layer absorbs itself with a
+ * RetryPolicy: per-verb timeouts, capped exponential backoff with
+ * deterministic jitter charged to the virtual clock, and QP
+ * reset/reconnect before re-issuing. Only fail-stop conditions (and
+ * transient storms that outlive every retry) escape to the session.
  */
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <unordered_map>
 
+#include "common/rand.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "nvm/nvm_device.h"
 #include "sim/clock.h"
 #include "sim/failure.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/nic.h"
 
@@ -43,6 +53,25 @@ struct RdmaTarget
     NvmDevice *nvm = nullptr;
     NicModel *nic = nullptr;
     FailureInjector *fail = nullptr;
+    FaultModel *faults = nullptr; //!< transient-fault source (may be null)
+};
+
+/**
+ * Transient-failure handling knobs of one RDMA endpoint. Defaults follow
+ * the usual RNIC shape: detection (the verb timeout) costs an order of
+ * magnitude more than the verb itself, backoff starts around one RTT and
+ * doubles to a cap, and every delay is jittered to avoid retry lockstep
+ * between sessions. All times are virtual nanoseconds.
+ */
+struct RetryPolicy
+{
+    uint32_t max_attempts = 8;        //!< total tries per verb (1 = none)
+    uint64_t verb_timeout_ns = 12000; //!< wait before declaring a loss
+    uint64_t base_backoff_ns = 2000;  //!< first retry delay (~1 RTT)
+    uint64_t max_backoff_ns = 256000; //!< exponential backoff cap
+    uint64_t qp_reset_ns = 6000;      //!< QP reset + reconnect handshake
+    double jitter = 0.5;              //!< +-50% randomization of delays
+    uint64_t seed = 0x5eed;           //!< jitter PRNG seed (determinism)
 };
 
 /** A front-end session's RDMA endpoint (queue pair set). */
@@ -50,7 +79,7 @@ class Verbs
 {
   public:
     Verbs(SimClock *clock, const LatencyModel *lat)
-        : clock_(clock), lat_(lat)
+        : clock_(clock), lat_(lat), rng_(policy_.seed)
     {}
 
     /** Register a reachable back-end under its node id. */
@@ -60,7 +89,8 @@ class Verbs
     void detach(NodeId id)
     {
         targets_.erase(id);
-        chains_.erase(id); // pending WQEs die with the queue pair
+        chains_.erase(id);   // pending WQEs die with the queue pair
+        qp_error_.erase(id); // so does the error state
     }
 
     bool isAttached(NodeId id) const { return targets_.count(id) != 0; }
@@ -122,6 +152,24 @@ class Verbs
     /** RDMA fetch-and-add; @p old receives the previous value. */
     Status fetchAdd(RemotePtr dst, uint64_t delta, uint64_t *old);
 
+    /** Replace the retry policy (reseeds the jitter PRNG). */
+    void setRetryPolicy(const RetryPolicy &p)
+    {
+        policy_ = p;
+        rng_ = Rng(p.seed);
+    }
+
+    const RetryPolicy &retryPolicy() const { return policy_; }
+
+    /**
+     * Reset a queue pair out of the error state (RTS transition),
+     * charging the reconnect handshake. No-op when the QP is healthy.
+     */
+    void resetQp(NodeId id);
+
+    /** True while @p id's queue pair sits in the error state. */
+    bool qpInError(NodeId id) const { return qp_error_.count(id) != 0; }
+
     /** Verbs issued by this endpoint (round-trip count). */
     uint64_t verbsIssued() const { return verbs_issued_; }
 
@@ -131,17 +179,30 @@ class Verbs
     /** Per-verb-type traffic breakdown (reads/writes/posted/atomics). */
     const VerbCounters &counters() const { return counters_; }
 
+    /** Transient-fault absorption counters (retries, backoff, resets). */
+    const RetryStats &retryStats() const { return retry_stats_; }
+
     void resetStats()
     {
         verbs_issued_ = 0;
         bytes_moved_ = 0;
         counters_ = VerbCounters{};
+        retry_stats_ = RetryStats{};
     }
 
     SimClock *clock() { return clock_; }
     const LatencyModel &latency() const { return *lat_; }
 
   private:
+    /** Verb classes for retry accounting. */
+    enum class VerbKind : uint8_t
+    {
+        Read,
+        Write,
+        Posted,
+        Atomic,
+    };
+
     /**
      * One queue pair's pending post list. Only accounting lives here: the
      * payloads land in NVM eagerly at postWrite (the simulator's posted
@@ -158,7 +219,8 @@ class Verbs
     };
 
     /** Common preamble: resolve target, inject failure, charge NIC. */
-    Status begin(NodeId id, uint64_t write_len, RdmaTarget **out);
+    Status begin(NodeId id, VerbKind kind, uint64_t write_len,
+                 RdmaTarget **out);
 
     /** Charge one round trip of @p base_rtt plus @p payload bytes. */
     void charge(uint64_t base_rtt, uint64_t payload);
@@ -171,14 +233,39 @@ class Verbs
      */
     void flushChain(NodeId id, PostChain &chain, bool own_doorbell);
 
+    /**
+     * Decide whether a failed verb attempt retries: true after charging
+     * the jittered backoff (and resetting the QP on QpError); false when
+     * the status is not transient or the attempt budget is spent.
+     */
+    bool nextAttempt(VerbKind kind, NodeId id, Status st, uint32_t *attempt,
+                     uint64_t *backoff);
+
+    // Single-attempt verb bodies wrapped by the public retry loops.
+    Status readOnce(RemotePtr src, void *dst, size_t len);
+    Status writeOnce(RemotePtr dst, const void *src, size_t len);
+    Status writeAsyncOnce(RemotePtr dst, const void *src, size_t len);
+    Status postWriteOnce(RemotePtr dst, const void *src, size_t len);
+    Status read64Once(RemotePtr src, uint64_t *out);
+    Status write64Once(RemotePtr dst, uint64_t v);
+    Status compareAndSwapOnce(RemotePtr dst, uint64_t expected,
+                              uint64_t desired, uint64_t *old);
+    Status fetchAddOnce(RemotePtr dst, uint64_t delta, uint64_t *old);
+
     SimClock *clock_;
     const LatencyModel *lat_;
     std::unordered_map<NodeId, RdmaTarget> targets_;
     std::map<NodeId, PostChain> chains_;
+    std::set<NodeId> qp_error_; //!< queue pairs in the error state
+    RetryPolicy policy_;
+    Rng rng_; //!< backoff jitter (seeded; deterministic)
     VerbCounters counters_;
+    RetryStats retry_stats_;
     uint64_t verbs_issued_ = 0;
     uint64_t bytes_moved_ = 0;
     uint64_t partial_write_len_pending_ = 0;
+    /** Set by begin() when this verb executes but its completion drops. */
+    bool lost_completion_ = false;
 };
 
 } // namespace asymnvm

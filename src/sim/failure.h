@@ -39,7 +39,7 @@ class FailureInjector
         rng_ = Rng(seed);
         fixed_tear_ = false;
         verbs_seen_.store(0, std::memory_order_relaxed);
-        fired_at_ = UINT64_MAX;
+        fired_at_.store(UINT64_MAX, std::memory_order_relaxed);
         countdown_.store(nth, std::memory_order_relaxed);
         armed_.store(true, std::memory_order_relaxed);
     }
@@ -54,7 +54,7 @@ class FailureInjector
         fixed_tear_ = true;
         fixed_keep_ = keep_bytes;
         verbs_seen_.store(0, std::memory_order_relaxed);
-        fired_at_ = UINT64_MAX;
+        fired_at_.store(UINT64_MAX, std::memory_order_relaxed);
         countdown_.store(nth, std::memory_order_relaxed);
         armed_.store(true, std::memory_order_relaxed);
     }
@@ -88,7 +88,9 @@ class FailureInjector
      */
     std::optional<uint64_t> firedAtVerb() const
     {
-        const uint64_t v = fired_at_;
+        // Acquire pairs with the release store in onVerb so a poller that
+        // observes the fired index also observes the crashed state.
+        const uint64_t v = fired_at_.load(std::memory_order_acquire);
         if (v == UINT64_MAX)
             return std::nullopt;
         return v;
@@ -122,7 +124,7 @@ class FailureInjector
             return std::nullopt;
         armed_.store(false, std::memory_order_relaxed);
         crashed_.store(true, std::memory_order_release);
-        fired_at_ = idx;
+        fired_at_.store(idx, std::memory_order_release);
         if (write_len == 0)
             return 0;
         if (fixed_tear_)
@@ -138,7 +140,7 @@ class FailureInjector
     std::atomic<bool> crashed_{false};
     std::atomic<uint64_t> countdown_{0};
     std::atomic<uint64_t> verbs_seen_{0};
-    uint64_t fired_at_ = UINT64_MAX;
+    std::atomic<uint64_t> fired_at_{UINT64_MAX};
     bool fixed_tear_ = false;
     uint64_t fixed_keep_ = 0;
     bool recording_ = false;

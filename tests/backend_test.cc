@@ -504,6 +504,7 @@ TEST(RpcRingTest, HandleRpcServesAllocationViaRings)
     req.op = static_cast<uint32_t>(RpcOp::AllocBlocks);
     req.seq = 1;
     req.args[0] = 2;
+    req.checksum = rpcRequestChecksum(req, {});
     be.nvm().write(be.layout().rpcReqRingOff(slot), &req, sizeof(req));
     be.nvm().persist();
     ASSERT_EQ(be.handleRpc(slot), Status::Ok);

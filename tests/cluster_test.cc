@@ -82,6 +82,56 @@ TEST(KeepAliveTest, NoCandidateNoWinner)
     EXPECT_FALSE(ka.voteReplacement(1, 0).has_value());
 }
 
+TEST(KeepAliveTest, RenewExactlyAtExpirySucceeds)
+{
+    // The lease is inclusive of its deadline: renewing at now ==
+    // lease_until is still in time; one tick later it is not.
+    KeepAliveService ka(1000);
+    ka.join(1, NodeRole::BackEnd, 0);
+    EXPECT_TRUE(ka.isAlive(1, 1000));
+    EXPECT_TRUE(ka.renew(1, 1000)) << "deadline itself is still alive";
+    EXPECT_TRUE(ka.isAlive(1, 2000));
+    EXPECT_FALSE(ka.renew(1, 2001)) << "one tick past the lease is dead";
+}
+
+TEST(KeepAliveTest, RejoinAfterEvictionRestoresLease)
+{
+    KeepAliveService ka(1000);
+    ka.join(3, NodeRole::BackEnd, 0);
+    EXPECT_FALSE(ka.renew(3, 5000)) << "lapses and is evicted";
+    EXPECT_FALSE(ka.isAlive(3, 5000));
+    // A restarted node re-registers: join overwrites the evicted member
+    // with a fresh lease (Case 3 restart path).
+    ka.join(3, NodeRole::BackEnd, 6000);
+    EXPECT_TRUE(ka.isAlive(3, 6500));
+    EXPECT_TRUE(ka.renew(3, 6500));
+}
+
+TEST(KeepAliveTest, VoteIgnoresDramOnlyMirrors)
+{
+    KeepAliveService ka(1000);
+    ka.join(1, NodeRole::BackEnd, 0);
+    ka.join(100, NodeRole::Mirror, 0, /*has_nvm=*/false, /*of=*/1);
+    ka.join(101, NodeRole::Mirror, 0, /*has_nvm=*/false, /*of=*/1);
+    EXPECT_FALSE(ka.voteReplacement(1, 500).has_value())
+        << "DRAM-only mirrors cannot become the back-end";
+}
+
+TEST(KeepAliveTest, LeaveThenRejoinSameIdGetsFreshLease)
+{
+    KeepAliveService ka(1000);
+    ka.join(7, NodeRole::Mirror, 0, /*has_nvm=*/true, /*of=*/1);
+    ka.leave(7);
+    EXPECT_FALSE(ka.isAlive(7, 100));
+    EXPECT_EQ(ka.memberCount(), 0u);
+    ka.join(7, NodeRole::Mirror, 4000, /*has_nvm=*/true, /*of=*/1);
+    EXPECT_TRUE(ka.isAlive(7, 4500));
+    ka.join(1, NodeRole::BackEnd, 4000);
+    const auto winner = ka.voteReplacement(1, 4500);
+    ASSERT_TRUE(winner.has_value());
+    EXPECT_EQ(*winner, 7u) << "a re-joined mirror is promotable again";
+}
+
 // ---------------------------------------------------------------------
 // Full-cluster crash scenarios
 // ---------------------------------------------------------------------

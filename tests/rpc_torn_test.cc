@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Regression tests for RFP-RPC integrity and exactly-once semantics: the
+ * request checksum (a torn request is rejected and never executed), the
+ * volatile seq-based dedup (a resent request is served from the stored
+ * response without re-executing), and fault-driven resends through the
+ * full RfpRpc client path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+
+#include "backend/backend_node.h"
+#include "rdma/rpc.h"
+#include "rdma/verbs.h"
+#include "sim/clock.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+smallConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 8ull << 20;
+    cfg.max_frontends = 2;
+    cfg.max_names = 8;
+    cfg.memlog_ring_size = 64ull << 10;
+    cfg.oplog_ring_size = 64ull << 10;
+    return cfg;
+}
+
+class RpcTornTest : public ::testing::Test
+{
+  protected:
+    RpcTornTest() : be(1, smallConfig()), verbs(&clock, &lat)
+    {
+        verbs.attach(1, be.rdmaTarget());
+        EXPECT_EQ(be.registerFrontend(7, &slot), Status::Ok);
+    }
+
+    /** Write a well-formed request (valid checksum) into the ring. */
+    void putRequest(RpcOp op, uint64_t seq, uint64_t arg0)
+    {
+        RpcRequest req{};
+        req.magic = kRpcReqMagic;
+        req.op = static_cast<uint32_t>(op);
+        req.seq = seq;
+        req.args[0] = arg0;
+        req.checksum = rpcRequestChecksum(req, {});
+        be.nvm().write(be.layout().rpcReqRingOff(slot), &req, sizeof(req));
+        be.nvm().persist();
+    }
+
+    RpcResponse response()
+    {
+        RpcResponse resp{};
+        be.nvm().read(be.layout().rpcRespRingOff(slot), &resp,
+                      sizeof(resp));
+        return resp;
+    }
+
+    BackendNode be;
+    SimClock clock;
+    LatencyModel lat;
+    Verbs verbs;
+    uint32_t slot = 0;
+};
+
+TEST_F(RpcTornTest, TornRequestIsRejectedWithoutExecuting)
+{
+    putRequest(RpcOp::AllocBlocks, /*seq=*/1, /*nblocks=*/2);
+    // Tear one payload byte of the landed request (a torn RDMA_Write).
+    const uint64_t victim = be.layout().rpcReqRingOff(slot) +
+                            offsetof(RpcRequest, args);
+    const uint64_t bits = be.nvm().read64(victim) ^ 0xff;
+    be.nvm().write(victim, &bits, sizeof(bits));
+    be.nvm().persist();
+
+    const uint64_t calls_before = be.rpcCalls();
+    EXPECT_EQ(be.handleRpc(slot), Status::Corruption);
+    EXPECT_EQ(be.rpcCalls(), calls_before)
+        << "a torn request must not execute";
+
+    // The client rewrites the same request; now it executes exactly once.
+    putRequest(RpcOp::AllocBlocks, /*seq=*/1, /*nblocks=*/2);
+    ASSERT_EQ(be.handleRpc(slot), Status::Ok);
+    EXPECT_EQ(be.rpcCalls(), calls_before + 1);
+    const RpcResponse resp = response();
+    EXPECT_EQ(resp.seq, 1u);
+    EXPECT_EQ(static_cast<Status>(resp.status), Status::Ok);
+    EXPECT_TRUE(be.allocator().isAllocated(resp.rets[0]));
+}
+
+TEST_F(RpcTornTest, DuplicateSeqServedFromStoredResponse)
+{
+    putRequest(RpcOp::AllocBlocks, /*seq=*/5, /*nblocks=*/1);
+    ASSERT_EQ(be.handleRpc(slot), Status::Ok);
+    const RpcResponse first = response();
+    ASSERT_EQ(static_cast<Status>(first.status), Status::Ok);
+
+    // The response is "lost"; the client resends the same seq. The
+    // back-end must answer from the stored response without allocating
+    // a second region.
+    const uint64_t calls_before = be.rpcCalls();
+    putRequest(RpcOp::AllocBlocks, /*seq=*/5, /*nblocks=*/1);
+    ASSERT_EQ(be.handleRpc(slot), Status::Ok);
+    EXPECT_EQ(be.rpcCalls(), calls_before) << "dedup must not re-execute";
+    const RpcResponse again = response();
+    EXPECT_EQ(again.seq, first.seq);
+    EXPECT_EQ(again.rets[0], first.rets[0])
+        << "the repeat answer must be the original one";
+
+    // A new seq executes normally again.
+    putRequest(RpcOp::AllocBlocks, /*seq=*/6, /*nblocks=*/1);
+    ASSERT_EQ(be.handleRpc(slot), Status::Ok);
+    EXPECT_EQ(be.rpcCalls(), calls_before + 1);
+    EXPECT_NE(response().rets[0], first.rets[0]);
+}
+
+TEST_F(RpcTornTest, ClientResendsUnderFaultsExactlyOnce)
+{
+    // Drive the full RfpRpc client against an injected drop storm. The
+    // checksum + seq-dedup pair must keep every call exactly-once: the
+    // number of allocations equals the number of Ok calls.
+    RfpRpc rpc(&verbs, &be, slot);
+    FaultConfig fc;
+    fc.drop_rate = 0.25;
+    fc.drop_after_frac = 1.0; // payload lands, completion lost -> resend
+    be.faults().configure(fc, /*seed=*/31);
+
+    uint64_t allocated = 0;
+    for (int i = 0; i < 40; ++i) {
+        uint64_t rets[4] = {};
+        const uint64_t args[1] = {1};
+        const Status st = rpc.call(RpcOp::AllocBlocks, args, {}, rets);
+        ASSERT_EQ(st, Status::Ok) << "call " << i;
+        ++allocated;
+        EXPECT_TRUE(be.allocator().isAllocated(rets[0]));
+    }
+    be.faults().disarm();
+    EXPECT_EQ(be.rpcCalls(), allocated)
+        << "resends must never double-execute";
+    EXPECT_GT(rpc.resends() + verbs.retryStats().totalRetries(), 0u)
+        << "the storm should have forced recovery work";
+}
+
+TEST_F(RpcTornTest, OversizedPayloadLengthRejected)
+{
+    RpcRequest req{};
+    req.magic = kRpcReqMagic;
+    req.op = static_cast<uint32_t>(RpcOp::AllocBlocks);
+    req.seq = 9;
+    req.payload_len = 0x7fffffff; // torn length field
+    req.checksum = rpcRequestChecksum(req, {});
+    be.nvm().write(be.layout().rpcReqRingOff(slot), &req, sizeof(req));
+    be.nvm().persist();
+    EXPECT_EQ(be.handleRpc(slot), Status::Corruption)
+        << "a length beyond the ring must not be trusted";
+}
+
+} // namespace
+} // namespace asymnvm
