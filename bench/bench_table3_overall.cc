@@ -14,6 +14,7 @@
 
 #include "apps/smallbank.h"
 #include "apps/tatp.h"
+#include "cluster/mirror.h"
 
 namespace asymnvm::bench {
 namespace {
@@ -37,12 +38,30 @@ freshSession(Mode mode, BackendNode &be)
     return s;
 }
 
+/** Per-path latency + replication profile captured from one cell. */
+struct PathProfile
+{
+    Histogram commit;
+    Histogram replication;
+    ReplicationStats repl;
+};
+
 template <typename DS>
 double
 kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
-       RetryStats *retry_out = nullptr)
+       RetryStats *retry_out = nullptr, PathProfile *paths = nullptr)
 {
     BackendNode be(1, benchBackendConfig());
+    // A mirror replica rides along when the cell is profiled: mirror
+    // replication batches on back-end busy time only (never the session
+    // clock), so the KOPS cell is unchanged while the replication
+    // batch/persist counters become observable.
+    std::unique_ptr<MirrorNode> mirror;
+    if (paths != nullptr) {
+        mirror = std::make_unique<MirrorNode>(
+            200, benchBackendConfig().nvm_size);
+        be.addMirror(mirror.get());
+    }
     auto s = std::make_unique<FrontendSession>(sessionFor(
         mode, ++session_counter,
         cacheBytesFor<DS>(0.10, kPreload + kOps)));
@@ -72,6 +91,11 @@ kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
         *out = s->verbs().counters();
     if (retry_out != nullptr)
         *retry_out = s->stats().retry;
+    if (paths != nullptr) {
+        paths->commit = s->commitHistogram();
+        paths->replication = be.replicationHistogram();
+        paths->repl = be.replicationStats();
+    }
     return t.kops();
 }
 
@@ -212,6 +236,7 @@ run()
     std::vector<std::vector<double>> rows;
     std::vector<VerbCounters> profiles;
     std::vector<RetryStats> retry_profiles;
+    std::vector<PathProfile> path_profiles;
     printHeader("Table 3: overall performance comparison (KOPS, 100% "
                 "write, 1 front-end : 1 back-end)",
                 "System         SmallBank      TATP     Queue     Stack"
@@ -226,6 +251,7 @@ run()
             mode == Mode::RCB || mode == Mode::SymmetricB;
         VerbCounters profile;
         RetryStats retry_profile;
+        PathProfile path_profile;
         std::vector<double> cells;
         cells.push_back(batch_row ? -1 : smallBankCell(mode));
         cells.push_back(tatpCell(mode));
@@ -234,8 +260,8 @@ run()
         cells.push_back(batch_row ? -1 : kvCell<HashTable>(mode, "h"));
         cells.push_back(kvCell<SkipList>(mode, "sl"));
         cells.push_back(kvCell<Bst>(mode, "bst"));
-        cells.push_back(
-            kvCell<BpTree>(mode, "bpt", &profile, &retry_profile));
+        cells.push_back(kvCell<BpTree>(mode, "bpt", &profile,
+                                       &retry_profile, &path_profile));
         cells.push_back(kvCell<MvBst>(mode, "mvbst"));
         cells.push_back(kvCell<MvBpTree>(mode, "mvbpt"));
         std::printf("%-14s", modeName(mode));
@@ -245,6 +271,7 @@ run()
         rows.push_back(std::move(cells));
         profiles.push_back(profile);
         retry_profiles.push_back(retry_profile);
+        path_profiles.push_back(std::move(path_profile));
     }
     std::printf(
         "\nPaper (Table 3) reference shape: RCB improves Naive by 5-12x;"
@@ -262,6 +289,36 @@ run()
                 "a fault-free configuration):\n");
     for (size_t m = 0; m < std::size(modes); ++m)
         printRetryCounters(modeName(modes[m]), retry_profiles[m]);
+
+    std::printf("\nPer-path latency of the same runs (ns; commit = group"
+                "-commit flush on the session clock, replication = "
+                "modeled mirror batch ship+persist):\n");
+    for (size_t m = 0; m < std::size(modes); ++m) {
+        const PathProfile &p = path_profiles[m];
+        std::printf("%-14s commit p50 %8" PRIu64 "  p99 %8" PRIu64
+                    " (n=%" PRIu64 ")   repl p50 %8" PRIu64 "  p99 %8"
+                    PRIu64 " (n=%" PRIu64 ")\n",
+                    modeName(modes[m]), p.commit.percentile(50),
+                    p.commit.percentile(99), p.commit.count(),
+                    p.replication.percentile(50),
+                    p.replication.percentile(99), p.replication.count());
+    }
+
+    std::printf("\nMirror replication batching of the same runs (one "
+                "persist per commit boundary instead of per mutation):\n");
+    for (size_t m = 0; m < std::size(modes); ++m) {
+        const ReplicationStats &r = path_profiles[m].repl;
+        std::printf("%-14s batches %7" PRIu64 "  persists %7" PRIu64
+                    "  raw-writes %8" PRIu64 "  ranges %7" PRIu64
+                    " (%.1fx coalesced)  bytes %8.1f KB  retries %4"
+                    PRIu64 "\n",
+                    modeName(modes[m]), r.batches, r.persists,
+                    r.raw_writes, r.ranges,
+                    r.ranges ? static_cast<double>(r.raw_writes) /
+                                   static_cast<double>(r.ranges)
+                             : 0.0,
+                    r.bytes / 1024.0, r.retries);
+    }
 
     writeJson(modes, std::size(modes), rows, "BENCH_table3.json");
 }

@@ -109,20 +109,147 @@ BackendNode::removeMirror(MirrorNode *mirror)
 }
 
 void
+BackendNode::stageReplicationLocked(uint64_t off, size_t len)
+{
+    if (mirrors_.empty() || len == 0)
+        return;
+    ++repl_batch_.raw_writes;
+    ReplBatch &b = repl_batch_;
+    // A write that continues exactly where the previous range ended
+    // extends it (ring appends, sequential replay) — the byte-range
+    // analogue of the post list's scatter-gather merge. The extended
+    // range's payload stays contiguous because its bytes are always the
+    // buffer tail.
+    if (!b.ranges.empty()) {
+        ReplBatch::Range &last = b.ranges.back();
+        if (off == last.off + last.len) {
+            const size_t at = b.buf.size();
+            b.buf.resize(at + len);
+            device_->read(off, b.buf.data() + at, len);
+            last.len += static_cast<uint32_t>(len);
+            return;
+        }
+    }
+    // An exact re-write of a staged range refreshes it in place (the
+    // control block is written twice per transaction; one range ships).
+    auto it = b.index.find(off);
+    if (it != b.index.end()) {
+        ReplBatch::Range &r = b.ranges[it->second];
+        if (r.len == len) {
+            device_->read(off, b.buf.data() + r.buf_off, len);
+            return;
+        }
+    }
+    ReplBatch::Range r;
+    r.off = off;
+    r.len = static_cast<uint32_t>(len);
+    r.buf_off = static_cast<uint32_t>(b.buf.size());
+    b.buf.resize(b.buf.size() + len);
+    device_->read(off, b.buf.data() + r.buf_off, len);
+    b.index[off] = b.ranges.size();
+    b.ranges.push_back(r);
+}
+
+bool
+BackendNode::shipBatchToMirror(MirrorNode *m, uint64_t now_ns)
+{
+    uint64_t backoff = repl_retry_.base_backoff_ns;
+    for (uint32_t attempt = 0; attempt < repl_retry_.max_attempts;
+         ++attempt) {
+        if (m->faults().armed()) {
+            const FaultAction a =
+                m->faults().onVerb(FaultVerb::Write, now_ns);
+            if (a.qp_error || a.drop) {
+                // The transfer (or its completion) was lost: pay the
+                // detection timeout plus backoff in back-end time and
+                // re-ship. The batch is idempotent — a drop_after that
+                // landed bytes before the loss just gets them again.
+                ++repl_stats_.retries;
+                const uint64_t wait =
+                    repl_retry_.verb_timeout_ns + backoff;
+                repl_stats_.backoff_ns += wait;
+                busy_ns_.add(wait);
+                backoff = std::min<uint64_t>(backoff * 2,
+                                             repl_retry_.max_backoff_ns);
+                continue;
+            }
+            busy_ns_.add(a.delay_ns + a.slow_ns);
+        }
+        for (const ReplBatch::Range &r : repl_batch_.ranges)
+            m->stageWrite(r.off, repl_batch_.buf.data() + r.buf_off,
+                          r.len);
+        m->persistBatch();
+        return true;
+    }
+    return false;
+}
+
+void
+BackendNode::flushReplicationLocked(uint64_t now_ns)
+{
+    if (repl_batch_.empty())
+        return;
+    if (mirrors_.empty()) {
+        repl_batch_.clear();
+        return;
+    }
+    ++repl_stats_.batches;
+    repl_stats_.raw_writes += repl_batch_.raw_writes;
+    repl_stats_.ranges += repl_batch_.ranges.size();
+    const uint64_t batch_bytes = repl_batch_.buf.size();
+
+    std::vector<MirrorNode *> dead;
+    for (MirrorNode *m : mirrors_) {
+        if (shipBatchToMirror(m, now_ns)) {
+            ++repl_stats_.persists;
+            repl_stats_.bytes += batch_bytes;
+        } else {
+            // A replication storm outlived every retry: detach the
+            // mirror (Case 5) rather than wedging the commit — the
+            // cluster will re-attach a fresh replica with a full-image
+            // sync.
+            dead.push_back(m);
+        }
+    }
+    for (MirrorNode *m : dead) {
+        std::erase(mirrors_, m);
+        ++repl_stats_.mirrors_dropped;
+    }
+    // Modeled batch latency: one chained RDMA transfer plus one remote
+    // persist fence; posting it is back-end CPU time.
+    repl_hist_.record(lat_.rdma_write_rtt_ns + lat_.wireBytes(batch_bytes) +
+                      lat_.persist_fence_ns);
+    busy_ns_.add(lat_.post_overhead_ns);
+    repl_batch_.clear();
+}
+
+void
+BackendNode::flushReplication()
+{
+    std::lock_guard lock(mu_);
+    flushReplicationLocked(0);
+}
+
+void
+BackendNode::noteRemoteWrite(uint64_t off, size_t len)
+{
+    std::lock_guard lock(mu_);
+    stageReplicationLocked(off, len);
+}
+
+void
 BackendNode::writeLocal(uint64_t off, const void *src, size_t len)
 {
     device_->write(off, src, len);
     device_->persist();
-    for (MirrorNode *m : mirrors_)
-        m->applyWrite(off, src, len);
+    stageReplicationLocked(off, len);
 }
 
 void
 BackendNode::writeLocal64(uint64_t off, uint64_t v)
 {
     device_->write64Atomic(off, v);
-    for (MirrorNode *m : mirrors_)
-        m->applyWrite(off, &v, sizeof(v));
+    stageReplicationLocked(off, sizeof(v));
 }
 
 void
@@ -275,6 +402,7 @@ BackendNode::registerFrontend(uint64_t session_id, uint32_t *slot)
             controls_[s] = LogControl{};
             controls_[s].session_epoch = session_id;
             writeControl(s);
+            flushReplicationLocked(0);
             *slot = s;
             return Status::Ok;
         }
@@ -292,6 +420,7 @@ BackendNode::unregisterFrontend(uint32_t slot)
     controls_[slot] = LogControl{};
     writeControl(slot);
     op_window_[slot].clear();
+    flushReplicationLocked(0);
 }
 
 LogControl
@@ -325,9 +454,15 @@ BackendNode::onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
     if (!rec.has_value())
         return Status::Corruption;
 
-    // Replicate the raw log bytes to the mirrors before acknowledging.
-    for (MirrorNode *m : mirrors_)
-        m->applyWrite(abs, buf.data(), len);
+    // Stage the raw log bytes for mirror replication (the posted write
+    // already staged them via on_write; this refreshes the same range, so
+    // only one range ships). Unlike the control-block persist, shipping
+    // cannot defer past this call even for unfenced appends: restart
+    // recovery rolls any decodable record beyond the persisted head
+    // forward, which makes every landed op-log record individually
+    // recoverable — so the mirror must hold it before promotion could be
+    // asked to (replicate-before-ack, Section 7.1).
+    stageReplicationLocked(abs, len);
 
     if (op_window_[slot].empty())
         c.oplog_tail = pos;
@@ -345,6 +480,7 @@ BackendNode::onOpLogAppended(uint32_t slot, uint64_t pos, uint32_t len,
 
     busy_ns_.add(lat_.cpu_op_overhead_ns + len / 8);
     processGcLocked(now_ns, false);
+    flushReplicationLocked(now_ns);
     return Status::Ok;
 }
 
@@ -365,8 +501,11 @@ BackendNode::onTxAppended(uint32_t slot, uint64_t pos, uint32_t len,
     if (!tx.has_value())
         return Status::Corruption;
 
-    for (MirrorNode *m : mirrors_)
-        m->applyWrite(abs, buf.data(), len);
+    // Stage the transaction bytes; everything the replay below writes
+    // (data blocks, SN bumps, control updates) joins the same batch and
+    // ships to each mirror as ONE chained transfer with ONE persist fence
+    // before this call returns — i.e. before the commit is acknowledged.
+    stageReplicationLocked(abs, len);
 
     c.memlog_head = pos + len;
     c.last_tx_off = pos;
@@ -385,6 +524,9 @@ BackendNode::onTxAppended(uint32_t slot, uint64_t pos, uint32_t len,
 
     replayed_txs_.add();
     processGcLocked(now_ns, false);
+    // Group-commit replication: one batched ship + persist per committed
+    // transaction, strictly before the front-end sees the ack.
+    flushReplicationLocked(now_ns);
     return Status::Ok;
 }
 
@@ -454,6 +596,10 @@ BackendNode::handleRpc(uint32_t slot)
         device_->write(layout_.rpcRespRingOff(slot), &rpc_last_resp_[slot],
                        sizeof(RpcResponse));
         device_->persist();
+        std::lock_guard lock(mu_);
+        stageReplicationLocked(layout_.rpcRespRingOff(slot),
+                               sizeof(RpcResponse));
+        flushReplicationLocked(0);
         return Status::Ok;
     }
 
@@ -504,9 +650,15 @@ BackendNode::handleRpc(uint32_t slot)
     resp.status = static_cast<uint32_t>(st);
     rpc_served_seq_[slot] = req.seq;
     rpc_last_resp_[slot] = resp;
-    // Response rings are volatile scratch; no mirror replication needed.
     device_->write(layout_.rpcRespRingOff(slot), &resp, sizeof(resp));
     device_->persist();
+    // Replicate the whole RPC's effects — allocator bitmap words, naming
+    // entries, GC epochs, and the response ring itself — as one batch.
+    // (The response ring is scratch for recovery purposes, but shipping
+    // it keeps the mirror byte-identical with the back-end device.)
+    std::lock_guard lock(mu_);
+    stageReplicationLocked(layout_.rpcRespRingOff(slot), sizeof(resp));
+    flushReplicationLocked(0);
     return Status::Ok;
 }
 
@@ -516,7 +668,9 @@ BackendNode::rpcAllocBlocks(uint64_t nblocks, uint64_t *off)
     std::lock_guard lock(mu_);
     rpc_calls_.add();
     busy_ns_.add(lat_.cpu_op_overhead_ns + lat_.nvm_write_ns);
-    return allocator_->alloc(nblocks, off);
+    const Status st = allocator_->alloc(nblocks, off);
+    flushReplicationLocked(0);
+    return st;
 }
 
 Status
@@ -525,7 +679,9 @@ BackendNode::rpcFreeBlocks(uint64_t off, uint64_t nblocks)
     std::lock_guard lock(mu_);
     rpc_calls_.add();
     busy_ns_.add(lat_.cpu_op_overhead_ns + lat_.nvm_write_ns);
-    return allocator_->free(off, nblocks);
+    const Status st = allocator_->free(off, nblocks);
+    flushReplicationLocked(0);
+    return st;
 }
 
 Status
@@ -539,6 +695,7 @@ BackendNode::rpcRetire(DsId ds,
     if (!regions.empty())
         gc_queue_.push_back({now_ns + cfg_.gc_delay_ns, ds});
     processGcLocked(now_ns, false);
+    flushReplicationLocked(now_ns);
     return Status::Ok;
 }
 
@@ -560,6 +717,7 @@ BackendNode::rpcCreateName(uint64_t name_hash, DsType type, DsId *id)
             e.type = static_cast<uint32_t>(type);
             names_[i] = e;
             writeLocal(layout_.namingEntryOff(i), &e, sizeof(e));
+            flushReplicationLocked(0);
             *id = i;
             return Status::Ok;
         }
@@ -664,6 +822,7 @@ BackendNode::releaseStaleLocks(uint32_t slot)
     writeLocal64(layout_.logControlOff(slot) +
                      offsetof(LogControl, lock_ahead),
                  0);
+    flushReplicationLocked(0);
 }
 
 void
@@ -671,6 +830,7 @@ BackendNode::processGc(uint64_t now_ns, bool force)
 {
     std::lock_guard lock(mu_);
     processGcLocked(now_ns, force);
+    flushReplicationLocked(now_ns);
 }
 
 void
@@ -749,6 +909,8 @@ BackendNode::resetStats()
     replayed_entries_.reset();
     rpc_calls_.reset();
     nic_.resetStats();
+    repl_stats_ = ReplicationStats{};
+    repl_hist_ = Histogram{};
 }
 
 } // namespace asymnvm

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/allocator.h"
@@ -93,7 +94,15 @@ class BackendNode
     /** What a front-end NIC needs to reach this node. */
     RdmaTarget rdmaTarget()
     {
-        return RdmaTarget{device_.get(), &nic_, &fail_, &fault_model_};
+        RdmaTarget t{device_.get(), &nic_, &fail_, &fault_model_, {}};
+        // One-sided writes (lock words, lock-ahead records, ring pads,
+        // aux generations) mutate durable NVM without passing through any
+        // handler; observing them here is what makes the mirror replica
+        // byte-identical rather than merely log-equivalent.
+        t.on_write = [this](uint64_t off, size_t len) {
+            noteRemoteWrite(off, len);
+        };
+        return t;
     }
 
     /** Attach a mirror node; subsequent durable writes replicate to it. */
@@ -101,6 +110,33 @@ class BackendNode
 
     /** Detach a crashed mirror (Case 5). */
     void removeMirror(MirrorNode *mirror);
+
+    /**
+     * Stage a range a front-end just wrote one-sided into this node's
+     * replication batch (invoked from the verbs layer's on_write hook).
+     */
+    void noteRemoteWrite(uint64_t off, size_t len);
+
+    /**
+     * Ship the pending replication batch now: one chained transfer and
+     * ONE persist per mirror (Section 7.1). Runs automatically before
+     * every commit ack (onTxAppended, fenced op-log appends, RPC
+     * mutations); the explicit entry point exists for audits and for
+     * draining ranges staged by post-commit one-sided writes.
+     */
+    void flushReplication();
+
+    /** Retry/backoff knobs for transient-faulted replication transfers. */
+    void setReplicationRetryPolicy(const RetryPolicy &p)
+    {
+        repl_retry_ = p;
+    }
+
+    /** Replication batching counters (batches, persists, coalescing). */
+    const ReplicationStats &replicationStats() const { return repl_stats_; }
+
+    /** Modeled per-batch replication latency (ship + persist fence). */
+    const Histogram &replicationHistogram() const { return repl_hist_; }
 
     // ------------------------------------------------------------------
     // Session management (connection setup, out of band like QP setup)
@@ -248,6 +284,47 @@ class BackendNode
     void resetStats();
 
   private:
+    /**
+     * Pending mirror-replication batch: byte ranges staged during log
+     * append, replay and one-sided writes, coalesced and shipped as one
+     * chained transfer (plus one persist) per mirror at the next commit
+     * boundary. Ranges store their payload in a shared bump buffer;
+     * adjacent appends extend the running range (the ring-append pattern)
+     * and an exact (off,len) re-write overwrites its slot in place (the
+     * control block is written twice per transaction).
+     */
+    struct ReplBatch
+    {
+        struct Range
+        {
+            uint64_t off;
+            uint32_t len;
+            uint32_t buf_off;
+        };
+        std::vector<Range> ranges;
+        std::vector<uint8_t> buf;
+        std::unordered_map<uint64_t, size_t> index; //!< off -> range slot
+        uint64_t raw_writes = 0;
+
+        bool empty() const { return ranges.empty(); }
+        void clear()
+        {
+            ranges.clear();
+            buf.clear();
+            index.clear();
+            raw_writes = 0;
+        }
+    };
+
+    /** Stage @p len device bytes at @p off into the batch (mu_ held). */
+    void stageReplicationLocked(uint64_t off, size_t len);
+
+    /** Ship + persist the batch to every mirror (mu_ held). */
+    void flushReplicationLocked(uint64_t now_ns);
+
+    /** One retried transfer of the batch to one mirror; false = give up. */
+    bool shipBatchToMirror(MirrorNode *m, uint64_t now_ns);
+
     /** Durable backend-local write: stage, persist, replicate. */
     void writeLocal(uint64_t off, const void *src, size_t len);
 
@@ -272,6 +349,10 @@ class BackendNode
     FaultModel fault_model_;
     std::unique_ptr<BackendAllocator> allocator_;
     std::vector<MirrorNode *> mirrors_;
+    ReplBatch repl_batch_;
+    RetryPolicy repl_retry_;
+    ReplicationStats repl_stats_;
+    Histogram repl_hist_;
 
     mutable std::mutex mu_; //!< serializes the backend "CPU"
 

@@ -24,6 +24,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "nvm/nvm_device.h"
+#include "sim/fault.h"
 
 namespace asymnvm {
 
@@ -44,13 +45,49 @@ class MirrorNode
     NodeId id() const { return id_; }
     bool hasNvm() const { return has_nvm_; }
 
-    /** Apply one replicated write (invoked by the back-end, pre-commit). */
+    /**
+     * Apply one replicated write and persist it immediately. Used for the
+     * full-image synchronization when a mirror attaches; the steady-state
+     * path is the batched stageWrite/persistBatch pair below.
+     */
     void applyWrite(uint64_t off, const void *src, size_t len)
     {
         device_->write(off, src, len);
         device_->persist();
+        persists_.add();
         bytes_replicated_.add(len);
     }
+
+    /**
+     * Stage one range of a replication batch WITHOUT persisting: the
+     * bytes sit in the replica device's durability journal until the
+     * batch's single persistBatch() fence. A mirror power failure in
+     * between rolls the whole partial batch back (see crash()), so the
+     * replica always recovers to a transaction boundary — the property
+     * that keeps a mid-batch crash promotable.
+     */
+    void stageWrite(uint64_t off, const void *src, size_t len)
+    {
+        device_->write(off, src, len);
+        bytes_replicated_.add(len);
+    }
+
+    /** One persist fence covering every stageWrite since the last one. */
+    void persistBatch()
+    {
+        device_->persist();
+        persists_.add();
+    }
+
+    /**
+     * Mirror power failure: staged (unpersisted) batch ranges roll back,
+     * restoring the image as of the last persisted batch — a committed-
+     * transaction boundary, so the replica stays promotable.
+     */
+    void crash() { device_->crash(); }
+
+    /** Transient-fault source consulted per replication transfer. */
+    FaultModel &faults() { return faults_; }
 
     /** Replica device (read-only use by recovery paths). */
     const NvmDevice &device() const { return *device_; }
@@ -63,11 +100,16 @@ class MirrorNode
 
     uint64_t bytesReplicated() const { return bytes_replicated_.get(); }
 
+    /** Persist fences this replica has absorbed (O(1) per commit). */
+    uint64_t persistCount() const { return persists_.get(); }
+
   private:
     NodeId id_;
     bool has_nvm_;
     std::shared_ptr<NvmDevice> device_;
+    FaultModel faults_;
     Counter bytes_replicated_;
+    Counter persists_;
 };
 
 } // namespace asymnvm

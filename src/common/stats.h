@@ -155,6 +155,29 @@ struct RetryStats
 };
 
 /**
+ * Mirror-replication batching observability (Section 7.1).
+ *
+ * Replication ships one coalesced batch of byte ranges per committed
+ * transaction (or group-commit batch) and issues one mirror persist per
+ * batch — `persists / batches` therefore equals the mirror count, and
+ * `raw_writes / ranges` is the coalescing factor. A retry is one
+ * transient-faulted transfer re-shipped; a dropped mirror is one that
+ * outlived the whole retry budget and was detached (Case 5) so the
+ * commit could proceed.
+ */
+struct ReplicationStats
+{
+    uint64_t batches = 0;        //!< replication batches shipped
+    uint64_t persists = 0;       //!< mirror persist fences issued
+    uint64_t raw_writes = 0;     //!< mutation records before coalescing
+    uint64_t ranges = 0;         //!< coalesced byte ranges shipped
+    uint64_t bytes = 0;          //!< payload bytes per-mirror-shipped
+    uint64_t retries = 0;        //!< transfers re-shipped after a fault
+    uint64_t backoff_ns = 0;     //!< back-end time spent backing off
+    uint64_t mirrors_dropped = 0; //!< mirrors detached (retry storm)
+};
+
+/**
  * Throughput computed against *virtual* time: the simulator measures
  * operations against the per-session SimClock rather than wall time, so
  * results reproduce the paper's shape deterministically.

@@ -16,6 +16,7 @@
  */
 
 #include <deque>
+#include <functional>
 #include <span>
 #include <vector>
 

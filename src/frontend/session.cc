@@ -77,6 +77,18 @@ FrontendSession::FrontendSession(const SessionConfig &cfg,
                                          cfg_.cache_bytes, &clock_, &lat_,
                                          cfg_.cache_sample_k,
                                          cfg_.rng_seed);
+    if (cfg_.symmetric) {
+        // The symmetric primary ships its logs to a remote mirror over
+        // the same verbs endpoint (postWrite chain + doorbell) the
+        // asymmetric group commit uses, so both baselines pay identical
+        // wire mechanics per shipped byte.
+        sym_replica_ = std::make_unique<NvmDevice>(kSymLogRingSize);
+        sym_nic_ = std::make_unique<NicModel>(lat_.nic_verb_service_ns);
+        RdmaTarget t;
+        t.nvm = sym_replica_.get();
+        t.nic = sym_nic_.get();
+        verbs_.attach(kSymReplicaId, t);
+    }
 }
 
 FrontendSession::~FrontendSession() = default;
@@ -309,6 +321,17 @@ FrontendSession::symmetricWrite(RemotePtr addr, const void *value,
     // Local persistence is paid per cache line: every 64B of a node
     // must be written back (clwb) to the DIMM individually.
     clock_.advance(lat_.nvm_write_ns * ((len + 63) / 64));
+    // Ship the log record for this write to the remote mirror through
+    // the same posted-WQE chain the asymmetric commit uses: consecutive
+    // ring positions merge into one wire write, and the doorbell (plus
+    // remote persist fence) is paid at the shipping point — per op
+    // without batching, per group with Symmetric-B (see opEnd/flushAll).
+    const uint64_t pos = sym_log_head_ % kSymLogRingSize;
+    const uint64_t room = kSymLogRingSize - pos;
+    const RemotePtr dst(kSymReplicaId, len <= room ? pos : 0);
+    verbs_.postWrite(dst, value, len);
+    sym_log_head_ = (len <= room ? sym_log_head_ : sym_log_head_ + room) +
+                    len;
     return Status::Ok;
 }
 
@@ -495,8 +518,12 @@ FrontendSession::opEnd()
     ++ops_in_batch_;
     if (cfg_.symmetric) {
         if (!cfg_.symmetric_batch) {
-            // Ship this op's logs now: doorbell + persist fence.
-            clock_.advance(lat_.doorbell_ns + lat_.persist_fence_ns);
+            // Ship this op's logs now: launch the posted chain with one
+            // doorbell and fence it at the replica (remote persist).
+            const uint64_t t0 = clock_.now();
+            verbs_.ringDoorbell();
+            clock_.advance(lat_.persist_fence_ns);
+            hist_commit_.record(clock_.now() - t0);
             ops_in_batch_ = 0;
             return Status::Ok;
         }
@@ -631,19 +658,27 @@ FrontendSession::flushAllInner()
         fn();
     in_flush_ = false;
     if (cfg_.symmetric) {
-        // Ship the accumulated logs to the remote replica: one doorbell
-        // and one persist fence for the whole batch (Symmetric-B).
-        clock_.advance(lat_.doorbell_ns + lat_.persist_fence_ns);
+        // Ship the accumulated log chain to the remote replica: one
+        // doorbell launches every posted log write (Symmetric-B ships the
+        // whole batch; per-op mode shipped at each opEnd) and one remote
+        // persist fences it — the same wire mechanics as the asymmetric
+        // group commit, so Table 3 compares like for like.
+        const uint64_t t0 = clock_.now();
+        verbs_.ringDoorbell();
+        clock_.advance(lat_.persist_fence_ns);
+        hist_commit_.record(clock_.now() - t0);
         ops_in_batch_ = 0;
         held_locks_.clear();
         return Status::Ok;
     }
+    const uint64_t commit_t0 = clock_.now();
     Status result = Status::Ok;
     // The final transaction write is the batch's commit point when op
     // logs were posted asynchronously inside the batch.
     const bool need_sync =
         cfg_.use_txlog && (cfg_.batch_size > 1 || !cfg_.use_oplog);
     // Collect the flush plan first so we know which write is last.
+    // backends_ is an ordered map, so the plan is grouped by back-end.
     std::vector<std::pair<BackendCtx *, DsId>> plan;
     for (auto &[id, c] : backends_) {
         for (auto &[ds, group] : c.groups) {
@@ -651,20 +686,51 @@ FrontendSession::flushAllInner()
                 plan.emplace_back(&c, ds);
         }
     }
+    size_t nbackends = 0;
     for (size_t i = 0; i < plan.size(); ++i) {
-        const bool sync = need_sync && i + 1 == plan.size();
+        if (i == 0 || plan[i].first != plan[i - 1].first)
+            ++nbackends;
+    }
+    // A commit spanning several back-ends overlaps its round trips: every
+    // group is posted (no per-back-end fence), all doorbells ring, and
+    // ringDoorbellFanout awaits the slowest completion. The serial
+    // baseline (parallel_fanout off) instead issues each back-end's
+    // commit write synchronously — k fences back to back. A single-back-
+    // end commit keeps the one-sync-write path untouched.
+    const bool fanout =
+        need_sync && nbackends > 1 && cfg_.parallel_fanout;
+    for (size_t i = 0; i < plan.size(); ++i) {
+        const bool last_of_backend =
+            i + 1 == plan.size() || plan[i + 1].first != plan[i].first;
+        bool sync;
+        if (fanout)
+            sync = false;
+        else if (nbackends > 1)
+            sync = need_sync && last_of_backend;
+        else
+            sync = need_sync && i + 1 == plan.size();
         const Status st = flushGroup(*plan[i].first, plan[i].second, sync);
         if (!ok(st)) {
             result = st;
             last_failed_node_ = plan[i].first->node->id();
         }
     }
+    if (fanout && ok(result)) {
+        const uint64_t t0 = clock_.now();
+        verbs_.ringDoorbellFanout();
+        hist_fanout_.record(clock_.now() - t0);
+    }
     if (plan.empty() && need_sync && ops_in_batch_ > 0 && cfg_.use_oplog) {
         // Read-annulled batches (stack/queue) may commit with no memory
         // logs at all; the op logs still sit on the doorbell chain, so
-        // launch it and fence with one synchronous RTT.
-        verbs_.ringDoorbell();
-        clock_.advance(lat_.rdma_write_rtt_ns);
+        // launch it and fence it — overlapped across back-ends when the
+        // chain spans more than one.
+        if (cfg_.parallel_fanout && backends_.size() > 1) {
+            verbs_.ringDoorbellFanout();
+        } else {
+            verbs_.ringDoorbell();
+            clock_.advance(lat_.rdma_write_rtt_ns);
+        }
     }
 
     // A failed commit must not publish roots, retire old versions, or
@@ -745,6 +811,8 @@ FrontendSession::flushAllInner()
     // One trailing doorbell launches whatever is still chained (lock
     // releases, posted transactions of non-final groups, aux updates).
     verbs_.ringDoorbell();
+    if (!plan.empty())
+        hist_commit_.record(clock_.now() - commit_t0);
     return result;
 }
 
@@ -1248,6 +1316,8 @@ FrontendSession::resetStats()
     failover_wait_ns_ = 0;
     verbs_.resetStats();
     cache_->resetStats();
+    hist_commit_ = Histogram{};
+    hist_fanout_ = Histogram{};
 }
 
 } // namespace asymnvm

@@ -75,6 +75,14 @@ struct SessionConfig
     uint64_t memlog_buffer_cap = 512ull << 10;
     bool symmetric = false;       //!< symmetric-architecture baseline
     bool symmetric_batch = false; //!< Symmetric-B (batched log shipping)
+    /**
+     * Multi-back-end group commits overlap their per-back-end round
+     * trips: the flush driver posts every back-end's WQE chain, rings
+     * all doorbells, and awaits the completions together (one fence at
+     * the *maximum* completion time instead of the sum). Disable to get
+     * the serial baseline the Figure 10 fan-out comparison runs against.
+     */
+    bool parallel_fanout = true;
     uint64_t rng_seed = 99;
 
     /** AsymNVM-Naive: direct remote reads/writes, no logs/cache/batch. */
@@ -384,6 +392,12 @@ class FrontendSession
     uint64_t txFlushes() const { return tx_flushes_; }
     uint64_t failoversCompleted() const { return failovers_completed_; }
 
+    /** Virtual-time latency of each group commit (flushAll / opEnd). */
+    const Histogram &commitHistogram() const { return hist_commit_; }
+
+    /** Latency of each multi-back-end fan-out flush (k > 1 targets). */
+    const Histogram &fanoutHistogram() const { return hist_fanout_; }
+
     /** Merged observability: verbs traffic, retries, RPC dedup, failover. */
     SessionStats stats() const;
 
@@ -566,8 +580,23 @@ class FrontendSession
     uint64_t failovers_completed_ = 0;
     uint64_t failover_wait_ns_ = 0;
 
-    // Symmetric baseline: a private local "back-end" priced at NVM cost.
-    std::unique_ptr<BackendNode> local_backend_;
+    // Per-path latency observability (virtual ns).
+    Histogram hist_commit_; //!< group-commit (opEnd / flushAll) latency
+    Histogram hist_fanout_; //!< multi-back-end fan-out flush latency
+
+    /**
+     * Symmetric baseline's replication target: the remote mirror the
+     * local-NVM "primary" ships its logs to (Section 9.2). Modeled as a
+     * log-ring device behind the session's own verbs endpoint under a
+     * reserved node id, so shipped log bytes ride the same postWrite
+     * chain + doorbell path as the asymmetric group commit — keeping the
+     * Table 3 comparison apples-to-apples.
+     */
+    static constexpr NodeId kSymReplicaId = 0xFFFD;
+    static constexpr uint64_t kSymLogRingSize = 1ull << 20;
+    std::unique_ptr<NvmDevice> sym_replica_;
+    std::unique_ptr<NicModel> sym_nic_;
+    uint64_t sym_log_head_ = 0; //!< monotonic ship position in the ring
 };
 
 } // namespace asymnvm

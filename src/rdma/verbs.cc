@@ -199,6 +199,8 @@ Verbs::writeOnce(RemotePtr dst, const void *src, size_t len)
         return st;
     t->nvm->write(dst.offset, src, len);
     t->nvm->persist(); // DMA into the NVM DIMM is durable on completion
+    if (t->on_write)
+        t->on_write(dst.offset, len);
     if (lost_completion_) {
         // The payload landed but the completion dropped: the retry will
         // land the same (idempotent) bytes again.
@@ -244,6 +246,8 @@ Verbs::writeAsyncOnce(RemotePtr dst, const void *src, size_t len)
         return st;
     t->nvm->write(dst.offset, src, len);
     t->nvm->persist();
+    if (t->on_write)
+        t->on_write(dst.offset, len);
     if (lost_completion_) {
         lost_completion_ = false;
         return Status::Timeout;
@@ -320,6 +324,8 @@ Verbs::postWriteOnce(RemotePtr dst, const void *src, size_t len)
         // joins the chain accounting.
         t.nvm->write(dst.offset, src, len);
         t.nvm->persist();
+        if (t.on_write)
+            t.on_write(dst.offset, len);
         return Status::Timeout;
     }
 
@@ -339,6 +345,8 @@ Verbs::postWriteOnce(RemotePtr dst, const void *src, size_t len)
     // than the completion of the next flushed verb on this queue pair.
     t.nvm->write(dst.offset, src, len);
     t.nvm->persist();
+    if (t.on_write)
+        t.on_write(dst.offset, len);
     return Status::Ok;
 }
 
@@ -347,6 +355,37 @@ Verbs::ringDoorbell()
 {
     for (auto &[id, chain] : chains_)
         flushChain(id, chain, /*own_doorbell=*/true);
+    return Status::Ok;
+}
+
+Status
+Verbs::ringDoorbellFanout()
+{
+    // Launch phase: the CPU posts each target's chain and rings its
+    // doorbell back to back — that cost is inherently serial on one core.
+    uint64_t max_wait = 0;
+    for (auto &[id, chain] : chains_) {
+        if (chain.wqes == 0)
+            continue;
+        clock_->advance(lat_->post_overhead_ns +
+                        lat_->doorbell_batch_wqe_ns * chain.wqes);
+        ++counters_.doorbells;
+        // Await phase contribution: this target's completion arrives a
+        // round trip plus its chain's wire time plus its NIC queueing
+        // delay after the doorbell. All targets progress concurrently, so
+        // the fence waits only for the slowest.
+        uint64_t wait =
+            lat_->rdma_write_rtt_ns + lat_->wireBytes(chain.bytes);
+        auto it = targets_.find(id);
+        if (it != targets_.end() && it->second.nic != nullptr)
+            wait += it->second.nic->reserveBatch(chain.wqes, clock_->now());
+        max_wait = std::max(max_wait, wait);
+        chain = PostChain{};
+    }
+    if (max_wait != 0) {
+        clock_->advance(max_wait);
+        ++verbs_issued_; // the fence consumes one completion wait
+    }
     return Status::Ok;
 }
 
@@ -413,6 +452,8 @@ Verbs::write64Once(RemotePtr dst, uint64_t v)
     if (!ok(st))
         return st;
     t->nvm->write64Atomic(dst.offset, v);
+    if (t->on_write)
+        t->on_write(dst.offset, sizeof(uint64_t));
     return Status::Ok;
 }
 
@@ -443,6 +484,8 @@ Verbs::compareAndSwapOnce(RemotePtr dst, uint64_t expected, uint64_t desired,
     if (!ok(st))
         return st;
     *old = t->nvm->compareAndSwap64(dst.offset, expected, desired);
+    if (t->on_write)
+        t->on_write(dst.offset, sizeof(uint64_t));
     return Status::Ok;
 }
 
@@ -471,6 +514,8 @@ Verbs::fetchAddOnce(RemotePtr dst, uint64_t delta, uint64_t *old)
     if (!ok(st))
         return st;
     *old = t->nvm->fetchAdd64(dst.offset, delta);
+    if (t->on_write)
+        t->on_write(dst.offset, sizeof(uint64_t));
     return Status::Ok;
 }
 

@@ -31,6 +31,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -54,6 +55,17 @@ struct RdmaTarget
     NicModel *nic = nullptr;
     FailureInjector *fail = nullptr;
     FaultModel *faults = nullptr; //!< transient-fault source (may be null)
+    /**
+     * Invoked after any one-sided write or atomic lands bytes in the
+     * target's NVM (offset, length). Back-ends hook this to stage the
+     * range into their mirror-replication batch — without it, one-sided
+     * mutations (lock words, ring pads, lock-ahead records) would bypass
+     * replication and a promoted mirror could hold stale bytes where the
+     * front-end wrote directly. Not called when the write tore under a
+     * fail-stop crash (the node is dead; its mirror keeps the pre-crash
+     * image).
+     */
+    std::function<void(uint64_t, size_t)> on_write;
 };
 
 /**
@@ -129,6 +141,18 @@ class Verbs
      * reserving the whole chain at the target NIC as a single arrival.
      */
     Status ringDoorbell();
+
+    /**
+     * Parallel fan-out fence: launch every pending chain (one doorbell
+     * per target, CPU posting cost paid serially as on a real core) and
+     * then await ALL completions together. The session's clock advances
+     * by the *maximum* per-target completion time — round trip, wire
+     * bytes of that target's chain, and its NIC queueing delay — instead
+     * of the sum, overlapping the k round trips of a multi-back-end
+     * group commit (Section 4.3 / Figure 10). After it returns every
+     * chained write is durable at its target.
+     */
+    Status ringDoorbellFanout();
 
     /** WQEs pending (posted, doorbell not yet rung) across all targets. */
     uint64_t pendingWqes() const;

@@ -370,8 +370,15 @@ TEST_F(SessionTest, SymmetricModeAppliesWritesLocally)
     ASSERT_EQ(s->logWrite(0, p, &v, 8), Status::Ok);
     ASSERT_EQ(s->opEnd(), Status::Ok);
     EXPECT_EQ(be.nvm().read64(p.offset), 0x5eedu);
-    EXPECT_EQ(s->verbs().verbsIssued(), 0u)
+    EXPECT_EQ(s->verbs().counters().reads, 0u)
         << "symmetric mode must not touch the network for data";
+    EXPECT_EQ(s->verbs().counters().writes, 0u)
+        << "symmetric mode must not touch the network for data";
+    // Log *shipping* does use the wire: the op's log bytes ride the
+    // posted chain to the replica and launch with opEnd's doorbell.
+    EXPECT_GT(s->verbs().counters().posted, 0u)
+        << "symmetric log shipping must ride the posted-WQE chain";
+    EXPECT_GT(s->verbs().counters().doorbells, 0u);
     uint64_t got = 0;
     ASSERT_EQ(s->read(p, &got, 8), Status::Ok);
     EXPECT_EQ(got, 0x5eedu);
