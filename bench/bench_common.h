@@ -228,16 +228,24 @@ printVerbCounters(const char *label, const VerbCounters &c)
  * configuration is a silent retry storm worth investigating.
  */
 inline void
-printRetryCounters(const char *label, const RetryStats &r)
+printRetryCounters(const char *label, const RetryStats &r,
+                   const OptimisticReadStats *reads = nullptr)
 {
     std::printf("%-14s retries %6" PRIu64 " (r %4" PRIu64 " w %4" PRIu64
                 " p %4" PRIu64 " a %4" PRIu64 ")  timeouts %5" PRIu64
                 "  qp-resets %3" PRIu64 "  backoff %7.1f us  resends %4"
-                PRIu64 "  failovers %2" PRIu64 "\n",
+                PRIu64 "  failovers %2" PRIu64,
                 label, r.totalRetries(), r.retries_read, r.retries_write,
                 r.retries_posted, r.retries_atomic, r.timeouts,
                 r.qp_resets, r.backoff_ns / 1000.0, r.rpc_resends,
                 r.failovers);
+    if (reads != nullptr)
+        // §6.3 failed-read ratio: optimistic-read attempts invalidated by
+        // a concurrent writer and re-run. 0/0 on unshared runs.
+        std::printf("  failed-reads %" PRIu64 "/%" PRIu64 " (%.2f%%)",
+                    reads->retries, reads->attempts,
+                    100.0 * reads->failRatio());
+    std::printf("\n");
 }
 
 /** True when ASYMNVM_BENCH_TINY requests smoke-test parameters. */

@@ -49,7 +49,8 @@ struct PathProfile
 template <typename DS>
 double
 kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
-       RetryStats *retry_out = nullptr, PathProfile *paths = nullptr)
+       RetryStats *retry_out = nullptr, PathProfile *paths = nullptr,
+       OptimisticReadStats *reads_out = nullptr)
 {
     BackendNode be(1, benchBackendConfig());
     // A mirror replica rides along when the cell is profiled: mirror
@@ -96,6 +97,8 @@ kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
         paths->replication = be.replicationHistogram();
         paths->repl = be.replicationStats();
     }
+    if (reads_out != nullptr)
+        *reads_out = ds.readStats();
     return t.kops();
 }
 
@@ -237,6 +240,7 @@ run()
     std::vector<VerbCounters> profiles;
     std::vector<RetryStats> retry_profiles;
     std::vector<PathProfile> path_profiles;
+    std::vector<OptimisticReadStats> read_profiles;
     printHeader("Table 3: overall performance comparison (KOPS, 100% "
                 "write, 1 front-end : 1 back-end)",
                 "System         SmallBank      TATP     Queue     Stack"
@@ -252,6 +256,7 @@ run()
         VerbCounters profile;
         RetryStats retry_profile;
         PathProfile path_profile;
+        OptimisticReadStats read_profile;
         std::vector<double> cells;
         cells.push_back(batch_row ? -1 : smallBankCell(mode));
         cells.push_back(tatpCell(mode));
@@ -261,7 +266,8 @@ run()
         cells.push_back(kvCell<SkipList>(mode, "sl"));
         cells.push_back(kvCell<Bst>(mode, "bst"));
         cells.push_back(kvCell<BpTree>(mode, "bpt", &profile,
-                                       &retry_profile, &path_profile));
+                                       &retry_profile, &path_profile,
+                                       &read_profile));
         cells.push_back(kvCell<MvBst>(mode, "mvbst"));
         cells.push_back(kvCell<MvBpTree>(mode, "mvbpt"));
         std::printf("%-14s", modeName(mode));
@@ -272,6 +278,7 @@ run()
         profiles.push_back(profile);
         retry_profiles.push_back(retry_profile);
         path_profiles.push_back(std::move(path_profile));
+        read_profiles.push_back(read_profile);
     }
     std::printf(
         "\nPaper (Table 3) reference shape: RCB improves Naive by 5-12x;"
@@ -286,9 +293,12 @@ run()
         printVerbCounters(modeName(modes[m]), profiles[m]);
 
     std::printf("\nRetry/failover profile of the same runs (all-zero on "
-                "a fault-free configuration):\n");
+                "a fault-free configuration; failed-reads is the §6.3 "
+                "optimistic-read invalidation ratio — 0/0 here because "
+                "the workload is 100%% write and unshared):\n");
     for (size_t m = 0; m < std::size(modes); ++m)
-        printRetryCounters(modeName(modes[m]), retry_profiles[m]);
+        printRetryCounters(modeName(modes[m]), retry_profiles[m],
+                           &read_profiles[m]);
 
     std::printf("\nPer-path latency of the same runs (ns; commit = group"
                 "-commit flush on the session clock, replication = "

@@ -94,6 +94,7 @@ struct VerbCounters
     uint64_t atomic_bytes = 0;
     uint64_t doorbells = 0;    //!< NIC doorbell (MMIO) rings
     uint64_t wqes = 0;         //!< posted WQEs after sge coalescing
+    uint64_t read_gathers = 0; //!< doorbell-batched read chains launched
 
     uint64_t totalVerbs() const { return reads + writes + posted + atomics; }
     uint64_t totalBytes() const
@@ -175,6 +176,56 @@ struct ReplicationStats
     uint64_t retries = 0;        //!< transfers re-shipped after a fault
     uint64_t backoff_ns = 0;     //!< back-end time spent backing off
     uint64_t mirrors_dropped = 0; //!< mirrors detached (retry storm)
+};
+
+/**
+ * Traversal-prefetch observability (read-side doorbell batching).
+ *
+ * `batches` counts readGather launches that carried speculation and
+ * `issued` the speculative WQEs they added; the cache reports how many of
+ * those speculative entries were later `hits` (promoted by a real lookup)
+ * versus `wasted` (evicted or invalidated while still speculative, or
+ * dropped in flight by a gc_epoch bump). A hit ratio near zero means the
+ * prefetch policy fetches the wrong neighbors and only burns wire bytes.
+ */
+struct PrefetchStats
+{
+    uint64_t batches = 0; //!< gather batches carrying speculative WQEs
+    uint64_t issued = 0;  //!< speculative read WQEs issued
+    uint64_t hits = 0;    //!< speculative entries promoted by a real hit
+    uint64_t wasted = 0;  //!< dropped/evicted before any hit
+
+    double hitRatio() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(hits) / issued;
+    }
+};
+
+/**
+ * Optimistic-read protocol outcome (Section 6.3): attempts through the
+ * retry-based reader lock and how many of them failed seqlock validation
+ * (the paper's "failed read ratio"). Kept per data structure handle and
+ * printed next to the verb retry counters so reader/writer contention is
+ * visible in the same traffic profile as transient-fault retries.
+ */
+struct OptimisticReadStats
+{
+    uint64_t attempts = 0; //!< validated optimistic read attempts
+    uint64_t retries = 0;  //!< attempts that failed validation
+
+    double failRatio() const
+    {
+        return attempts == 0
+                   ? 0.0
+                   : static_cast<double>(retries) / attempts;
+    }
+
+    void merge(const OptimisticReadStats &o)
+    {
+        attempts += o.attempts;
+        retries += o.retries;
+    }
 };
 
 /**

@@ -346,7 +346,7 @@ BpTree::insertBatch(std::span<const std::pair<Key, Value>> kvs)
 
 Status
 BpTree::findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
-                 uint32_t *depth)
+                 uint32_t *depth, bool prefetch)
 {
     uint64_t cur_raw = 0;
     Status st = readRoot(&cur_raw, pin);
@@ -355,11 +355,14 @@ BpTree::findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
     if (cur_raw == 0)
         return Status::NotFound;
     uint32_t d = 0;
+    PrefetchCandidate neigh[8];
+    size_t nn = 0;
     while (true) {
         if (d > kMaxHeight)
             return Status::Conflict;
         Node node;
-        st = readNode(RemotePtr::fromRaw(cur_raw), &node, d, true, pin);
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, d, true, pin,
+                      std::span<const PrefetchCandidate>(neigh, nn));
         if (!ok(st))
             return st;
         if (node.count > kFanout)
@@ -372,7 +375,26 @@ BpTree::findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
         }
         if (node.count == 0)
             return Status::Conflict;
-        cur_raw = node.children[routeIndex(node, key)];
+        const uint32_t r = routeIndex(node, key);
+        cur_raw = node.children[r];
+        nn = 0;
+        if (prefetch) {
+            // Nearest-first siblings of the child we descend into:
+            // range-local workloads make them the likeliest next miss,
+            // and their addresses are known before the child read — so
+            // they can ride its doorbell.
+            for (uint32_t dist = 1;
+                 dist < node.count && nn < std::size(neigh); ++dist) {
+                if (r + dist < node.count)
+                    neigh[nn++] = PrefetchCandidate{
+                        node.children[r + dist],
+                        static_cast<uint32_t>(sizeof(Node))};
+                if (dist <= r && nn < std::size(neigh))
+                    neigh[nn++] = PrefetchCandidate{
+                        node.children[r - dist],
+                        static_cast<uint32_t>(sizeof(Node))};
+            }
+        }
         ++d;
     }
 }
@@ -383,17 +405,34 @@ BpTree::findLocked(Key key, Value *out, bool pin)
     uint64_t leaf_raw = 0;
     Node leaf;
     uint32_t depth = 0;
-    Status st = findLeaf(key, pin, &leaf_raw, &leaf, &depth);
+    Status st = findLeaf(key, pin, &leaf_raw, &leaf, &depth,
+                         /*prefetch=*/true);
     if (!ok(st))
         return st;
     for (uint32_t i = 0; i < leaf.count; ++i) {
         if (leaf.keys[i] == key) {
+            // Adjacent value cells ride the demanded cell's doorbell.
+            PrefetchCandidate cells[4];
+            size_t nc = 0;
+            for (uint32_t dist = 1;
+                 dist < leaf.count && nc < std::size(cells); ++dist) {
+                if (i + dist < leaf.count)
+                    cells[nc++] = PrefetchCandidate{
+                        leaf.children[i + dist],
+                        static_cast<uint32_t>(Value::kSize)};
+                if (dist <= i && nc < std::size(cells))
+                    cells[nc++] = PrefetchCandidate{
+                        leaf.children[i - dist],
+                        static_cast<uint32_t>(Value::kSize)};
+            }
             ReadHint hint;
             hint.ds = id_;
             hint.cacheable = true;
             hint.level = depth + 1;
             hint.admission = &admission_;
             hint.pin = pin;
+            hint.neighbors =
+                std::span<const PrefetchCandidate>(cells, nc);
             return s_->read(RemotePtr::fromRaw(leaf.children[i]), out,
                             Value::kSize, hint);
         }
@@ -416,11 +455,15 @@ BpTree::scan(Key from, uint32_t limit,
         uint64_t leaf_raw = 0;
         Node leaf;
         uint32_t depth = 0;
-        Status st = findLeaf(from, false, &leaf_raw, &leaf, &depth);
+        Status st = findLeaf(from, false, &leaf_raw, &leaf, &depth,
+                             /*prefetch=*/true);
         if (st == Status::NotFound)
             return Status::Ok; // empty tree
         if (!ok(st))
             return st;
+        // Leaf-chain hops are labeled with the scan's anchor leaf so
+        // repeated scans of the same range learn the chain as a run.
+        const uint64_t scan_stream = leaf_raw;
         uint32_t laps = 0;
         while (out->size() < limit) {
             for (uint32_t i = 0; i < leaf.count && out->size() < limit;
@@ -428,10 +471,21 @@ BpTree::scan(Key from, uint32_t limit,
                 if (leaf.keys[i] < from)
                     continue;
                 Value v;
+                // The cells still ahead in this leaf are certain to be
+                // demanded next: gather a few with the current one.
+                PrefetchCandidate cells[4];
+                size_t nc = 0;
+                for (uint32_t j = i + 1;
+                     j < leaf.count && nc < std::size(cells); ++j)
+                    cells[nc++] = PrefetchCandidate{
+                        leaf.children[j],
+                        static_cast<uint32_t>(Value::kSize)};
                 ReadHint hint;
                 hint.ds = id_;
                 hint.cacheable = true;
                 hint.level = depth + 1;
+                hint.neighbors =
+                    std::span<const PrefetchCandidate>(cells, nc);
                 st = s_->read(RemotePtr::fromRaw(leaf.children[i]), &v,
                               Value::kSize, hint);
                 if (!ok(st))
@@ -443,7 +497,7 @@ BpTree::scan(Key from, uint32_t limit,
             if (++laps > (1u << 20))
                 return Status::Conflict;
             st = readNode(RemotePtr::fromRaw(leaf.next_raw), &leaf,
-                          depth);
+                          depth, true, false, {}, scan_stream);
             if (!ok(st))
                 return st;
         }

@@ -85,8 +85,14 @@ class BpTree : public DsBase
     Status insertRecurse(uint64_t node_raw, uint32_t depth, Key key,
                          const Value &v, bool pin, Split *split,
                          bool *added);
+    /**
+     * Descend to the leaf covering @p key. With @p prefetch (read-only
+     * operations), each child read carries the nearest sibling children
+     * around the taken route as gather candidates — range locality makes
+     * the next lookup likely to land in one of them.
+     */
     Status findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
-                    uint32_t *depth);
+                    uint32_t *depth, bool prefetch = false);
     Status findLocked(Key key, Value *out, bool pin);
 
     /** Index of the child to descend into (internal nodes). */

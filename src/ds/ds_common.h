@@ -16,11 +16,13 @@
  * sessions may hold read-only handles concurrently.
  */
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <string>
-#include <thread>
 
 #include "backend/layout.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "frontend/session.h"
 
@@ -40,6 +42,15 @@ struct DsOptions
 
     /** Retries of an optimistic read before giving up with Conflict. */
     uint32_t max_read_retries = 64;
+
+    /**
+     * Virtual-time backoff charged to the session clock after a failed
+     * seqlock validation, doubling per retry up to the cap. Models the
+     * cost of waiting out the writer's critical section instead of
+     * leaking host scheduling (yield) into simulated latency.
+     */
+    uint64_t retry_backoff_ns = 500;
+    uint64_t retry_backoff_cap_ns = 8000;
 };
 
 /** Base class wiring a structure handle to its session and naming entry. */
@@ -65,10 +76,18 @@ class DsBase
           opt_(opt)
     {}
 
-    /** Typed node read through the gather path. */
+    /**
+     * Typed node read through the gather path. Read-only operations may
+     * pass @p neighbors (structural candidates to gather with this read
+     * in one doorbell) and/or a @p stream id labeling the pointer chain
+     * being walked (learned-run prefetch); write paths leave both empty
+     * so speculation never perturbs write-side verb budgets.
+     */
     template <typename Node>
     Status readNode(RemotePtr p, Node *out, uint32_t level,
-                    bool use_admission = true, bool pin = false)
+                    bool use_admission = true, bool pin = false,
+                    std::span<const PrefetchCandidate> neighbors = {},
+                    uint64_t stream = 0)
     {
         ReadHint hint;
         hint.ds = id_;
@@ -76,6 +95,8 @@ class DsBase
         hint.level = level;
         hint.admission = use_admission ? &admission_ : nullptr;
         hint.pin = pin;
+        hint.neighbors = neighbors;
+        hint.stream = stream;
         return s_->read(p, out, sizeof(Node), hint);
     }
 
@@ -115,24 +136,28 @@ class DsBase
     {
         if (!opt_.shared || s_->holdsWriterLock(id_, backend_))
             return body();
+        uint64_t backoff = opt_.retry_backoff_ns;
         for (uint32_t attempt = 0; attempt < opt_.max_read_retries;
              ++attempt) {
             uint64_t sn = 0;
             Status st = s_->readerLock(id_, backend_, &sn);
             if (!ok(st))
                 return st;
-            // Give concurrent writers a chance to interleave with the
-            // critical section (single-core hosts would otherwise never
-            // preempt a reader mid-read).
-            std::this_thread::yield();
             st = body();
             if (st == Status::BackendCrashed || st == Status::Unavailable)
                 return st;
             const bool consistent = s_->readerValidate(id_, backend_, sn);
-            ++read_attempts_;
+            ++read_stats_.attempts;
             if (consistent)
                 return st;
-            ++read_retries_; // Section 6.3: inconsistent view, refetch
+            ++read_stats_.retries; // Section 6.3: inconsistent, refetch
+            // Back off in *virtual* time before refetching: the conflict
+            // means a writer's critical section overlapped this read, and
+            // waiting it out is part of the modeled read latency (the
+            // first attempt stays uncharged, so uncontended reads cost
+            // exactly what they did without the protocol).
+            s_->clock().advance(backoff);
+            backoff = std::min(backoff * 2, opt_.retry_backoff_cap_ns);
         }
         return Status::Conflict;
     }
@@ -143,19 +168,14 @@ class DsBase
     DsId id_ = 0;
     DsOptions opt_;
     LevelAdmission admission_;
-    uint64_t read_attempts_ = 0;
-    uint64_t read_retries_ = 0;
+    OptimisticReadStats read_stats_;
 
   public:
     /** Observed optimistic-read statistics (failed-read ratio, §6.3). */
-    uint64_t readAttempts() const { return read_attempts_; }
-    uint64_t readRetries() const { return read_retries_; }
-    double readFailRatio() const
-    {
-        return read_attempts_ == 0
-                   ? 0.0
-                   : static_cast<double>(read_retries_) / read_attempts_;
-    }
+    const OptimisticReadStats &readStats() const { return read_stats_; }
+    uint64_t readAttempts() const { return read_stats_.attempts; }
+    uint64_t readRetries() const { return read_stats_.retries; }
+    double readFailRatio() const { return read_stats_.failRatio(); }
     const LevelAdmission &admission() const { return admission_; }
 };
 

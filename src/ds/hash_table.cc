@@ -204,10 +204,15 @@ HashTable::getLocked(Key key, Value *out)
     Status st = readBucketHead(key, &cur_raw);
     if (!ok(st))
         return st;
+    // Chain nodes form a stable run behind their bucket: labeling the
+    // walk with the bucket address lets a repeated lookup gather the
+    // whole chain in one doorbell.
+    const uint64_t chain_stream = bucketPtr(key).raw();
     uint32_t hops = 0;
     while (cur_raw != 0 && hops++ < kMaxChainHops) {
         Node node;
-        st = readNode(RemotePtr::fromRaw(cur_raw), &node, 0, false);
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, 0, false, false,
+                      {}, chain_stream);
         if (!ok(st))
             return st;
         if (node.key == key) {

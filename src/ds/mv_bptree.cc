@@ -340,11 +340,14 @@ MvBpTree::find(Key key, Value *out)
     if (cur_raw == 0)
         return Status::NotFound;
     uint32_t depth = 0;
+    PrefetchCandidate neigh[8];
+    size_t nn = 0;
     while (true) {
         if (depth > kMaxHeight)
             return Status::Corruption;
         Node node;
-        st = readNode(RemotePtr::fromRaw(cur_raw), &node, depth);
+        st = readNode(RemotePtr::fromRaw(cur_raw), &node, depth, true,
+                      false, std::span<const PrefetchCandidate>(neigh, nn));
         if (!ok(st))
             return st;
         if (node.count > kFanout)
@@ -352,11 +355,28 @@ MvBpTree::find(Key key, Value *out)
         if (node.is_leaf) {
             for (uint32_t i = 0; i < node.count; ++i) {
                 if (node.keys[i] == key) {
+                    // Adjacent value cells ride this read's doorbell.
+                    PrefetchCandidate cells[4];
+                    size_t nc = 0;
+                    for (uint32_t dist = 1;
+                         dist < node.count && nc < std::size(cells);
+                         ++dist) {
+                        if (i + dist < node.count)
+                            cells[nc++] = PrefetchCandidate{
+                                node.children[i + dist],
+                                static_cast<uint32_t>(Value::kSize)};
+                        if (dist <= i && nc < std::size(cells))
+                            cells[nc++] = PrefetchCandidate{
+                                node.children[i - dist],
+                                static_cast<uint32_t>(Value::kSize)};
+                    }
                     ReadHint hint;
                     hint.ds = id_;
                     hint.cacheable = true;
                     hint.level = depth + 1;
                     hint.admission = &admission_;
+                    hint.neighbors =
+                        std::span<const PrefetchCandidate>(cells, nc);
                     return s_->read(RemotePtr::fromRaw(node.children[i]),
                                     out, Value::kSize, hint);
                 }
@@ -365,7 +385,23 @@ MvBpTree::find(Key key, Value *out)
         }
         if (node.count == 0)
             return Status::Corruption;
-        cur_raw = node.children[routeIndex(node, key)];
+        // This is the read-only path (writers go through eraseRec /
+        // insertRecurse), so the next child read may gather the nearest
+        // siblings around the taken route.
+        const uint32_t r = routeIndex(node, key);
+        cur_raw = node.children[r];
+        nn = 0;
+        for (uint32_t dist = 1; dist < node.count && nn < std::size(neigh);
+             ++dist) {
+            if (r + dist < node.count)
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r + dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+            if (dist <= r && nn < std::size(neigh))
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r - dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+        }
         ++depth;
     }
 }

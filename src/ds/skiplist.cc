@@ -101,7 +101,8 @@ SkipList::randomLevel()
 
 Status
 SkipList::findPosition(Key key, uint64_t preds[kMaxLevel],
-                       uint64_t succs[kMaxLevel], bool *found, bool pin)
+                       uint64_t succs[kMaxLevel], bool *found, bool pin,
+                       bool prefetch)
 {
     *found = false;
     uint64_t cur_raw = head_raw_;
@@ -116,10 +117,31 @@ SkipList::findPosition(Key key, uint64_t preds[kMaxLevel],
             if (++hops > kMaxHops)
                 return Status::Conflict; // torn view; retry
             Node next;
+            // The current node's lower-level successors are the nodes
+            // this walk reads next if the horizontal step overshoots and
+            // the search descends — gather a few with this read.
+            PrefetchCandidate neigh[6];
+            size_t nn = 0;
+            if (prefetch) {
+                for (int l = lvl - 1; l >= 0 && nn < std::size(neigh);
+                     --l) {
+                    const uint64_t nxt = cur.next[l];
+                    if (nxt == 0 || nxt == cur.next[lvl])
+                        continue;
+                    bool dup = false;
+                    for (size_t j = 0; j < nn; ++j)
+                        if (neigh[j].addr_raw == nxt)
+                            dup = true;
+                    if (!dup)
+                        neigh[nn++] = PrefetchCandidate{
+                            nxt, static_cast<uint32_t>(sizeof(Node))};
+                }
+            }
             // Tower height correlates with traversal level: high levels
             // are hot, low levels cold (Section 8.4 caching rule).
             st = readNode(RemotePtr::fromRaw(cur.next[lvl]), &next,
-                          kMaxLevel - 1 - lvl, true, pin);
+                          kMaxLevel - 1 - lvl, true, pin,
+                          std::span<const PrefetchCandidate>(neigh, nn));
             if (!ok(st))
                 return st;
             if (next.key >= key || next.level == 0 ||
@@ -235,7 +257,8 @@ SkipList::findLocked(Key key, Value *out)
 {
     uint64_t preds[kMaxLevel], succs[kMaxLevel];
     bool found = false;
-    const Status st = findPosition(key, preds, succs, &found);
+    const Status st = findPosition(key, preds, succs, &found,
+                                   /*pin=*/false, /*prefetch=*/true);
     if (!ok(st))
         return st;
     if (!found)
@@ -263,10 +286,14 @@ SkipList::scan(Key from, uint32_t limit,
         out->clear();
         uint64_t preds[kMaxLevel], succs[kMaxLevel];
         bool found = false;
-        Status st = findPosition(from, preds, succs, &found);
+        Status st = findPosition(from, preds, succs, &found,
+                                 /*pin=*/false, /*prefetch=*/true);
         if (!ok(st))
             return st;
         // The bottom level is a sorted linked list; walk it forward.
+        // Labeling the hops with the run's anchor lets repeated scans of
+        // the same range learn and gather the whole bottom-level run.
+        const uint64_t scan_stream = succs[0];
         uint64_t cur_raw = succs[0];
         uint32_t hops = 0;
         while (cur_raw != 0 && out->size() < limit) {
@@ -274,7 +301,7 @@ SkipList::scan(Key from, uint32_t limit,
                 return Status::Conflict;
             Node node;
             st = readNode(RemotePtr::fromRaw(cur_raw), &node,
-                          kMaxLevel - 1);
+                          kMaxLevel - 1, true, false, {}, scan_stream);
             if (!ok(st))
                 return st;
             if (node.level == 0 || node.level > kMaxLevel)

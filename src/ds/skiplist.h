@@ -78,11 +78,14 @@ class SkipList : public DsBase
 
     /**
      * Locate the insert position: predecessors/successors per level
-     * (the rnvm_read traversal of Figure 2 lines 2-13).
+     * (the rnvm_read traversal of Figure 2 lines 2-13). With @p prefetch
+     * (read-only operations), each horizontal step gathers the current
+     * node's lower-level successors — the exact nodes the walk reads
+     * next when the step overshoots and the search descends.
      */
     Status findPosition(Key key, uint64_t preds[kMaxLevel],
                         uint64_t succs[kMaxLevel], bool *found,
-                        bool pin = false);
+                        bool pin = false, bool prefetch = false);
 
     Status insertOne(Key key, const Value &v, bool pin);
     Status findLocked(Key key, Value *out);

@@ -34,6 +34,12 @@ PageCache::lookup(RemotePtr addr, void *dst, uint32_t len)
     Entry &e = it->second;
     std::memcpy(dst, e.data.data(), len);
     e.tick = ++tick_;
+    if (e.speculative) {
+        // First real hit: the prefetch paid off — promote to a normal
+        // entry so it competes for residency like any other hot object.
+        e.speculative = false;
+        ++prefetch_hits_;
+    }
     clock_->advance(lat_->dram_access_ns);
     if (policy_ == CachePolicy::Lru) {
         // Exact LRU pays list maintenance on every access — this is the
@@ -58,6 +64,7 @@ PageCache::insert(DsId ds, RemotePtr addr, const void *data, uint32_t len)
             std::memcpy(it->second.data.data(), data, len);
             it->second.tick = ++tick_;
             it->second.epoch = epoch_;
+            it->second.speculative = false; // demanded bytes: a real entry
             clock_->advance(lat_->dram_access_ns);
             return;
         }
@@ -85,6 +92,58 @@ PageCache::insert(DsId ds, RemotePtr addr, const void *data, uint32_t len)
 }
 
 void
+PageCache::insertSpeculative(DsId ds, RemotePtr addr, const void *data,
+                             uint32_t len, uint64_t issue_epoch)
+{
+    if (len > capacity_)
+        return;
+    // An invalidateDs between gather issue and completion outranks the
+    // data: the fetched bytes may predate a gc-epoch bump (reclaimed NVM
+    // could already be reused), so the in-flight entry is dropped.
+    auto eit = ds_min_epoch_.find(ds);
+    if (eit != ds_min_epoch_.end() && issue_epoch < eit->second) {
+        ++prefetch_wasted_;
+        return;
+    }
+    const uint64_t raw = addr.raw();
+    auto it = map_.find(raw);
+    if (it != map_.end()) {
+        if (entryValid(it->second))
+            return; // never downgrade a live entry to speculative
+        removeKey(raw);
+    }
+    while (size_bytes_ + len > capacity_ && !map_.empty())
+        evictOne();
+    Entry e;
+    e.ds = ds;
+    e.data.assign(static_cast<const uint8_t *>(data),
+                  static_cast<const uint8_t *>(data) + len);
+    // Pre-aged on purpose: tick 0 loses every Hybrid sample comparison
+    // and the LRU tail position is the next victim, so an unproven
+    // prefetch never displaces a proven-hot entry under either policy.
+    e.tick = 0;
+    e.epoch = issue_epoch;
+    e.speculative = true;
+    e.keys_idx = keys_.size();
+    keys_.push_back(raw);
+    if (policy_ == CachePolicy::Lru) {
+        lru_list_.push_back(raw);
+        e.lru_it = std::prev(lru_list_.end());
+    }
+    size_bytes_ += len;
+    map_.emplace(raw, std::move(e));
+    clock_->advance(lat_->dram_access_ns);
+}
+
+bool
+PageCache::contains(RemotePtr addr, uint32_t len) const
+{
+    auto it = map_.find(addr.raw());
+    return it != map_.end() && it->second.data.size() == len &&
+           entryValid(it->second);
+}
+
+void
 PageCache::update(RemotePtr addr, const void *data, uint32_t len)
 {
     auto it = map_.find(addr.raw());
@@ -105,6 +164,8 @@ PageCache::removeKey(uint64_t raw)
     if (it == map_.end())
         return;
     Entry &e = it->second;
+    if (e.speculative)
+        ++prefetch_wasted_; // evicted/invalidated before any real hit
     // Swap-pop from the dense key vector.
     const size_t idx = e.keys_idx;
     keys_[idx] = keys_.back();

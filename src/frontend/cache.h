@@ -69,6 +69,20 @@ class PageCache
     void insert(DsId ds, RemotePtr addr, const void *data, uint32_t len);
 
     /**
+     * Insert bytes fetched speculatively by a read gather. The entry is
+     * tagged speculative and pre-aged (logical tick 0, LRU tail) so it is
+     * the preferred victim under every policy until a real lookup hits it
+     * — prefetched garbage must not displace proven-hot entries. The
+     * first hit promotes it to a normal entry (and counts prefetchHits);
+     * eviction or invalidation while still speculative counts
+     * prefetchWasted. @p issue_epoch is the epochNow() snapshot taken
+     * when the gather was ISSUED: an invalidateDs that lands between
+     * issue and completion outranks the data, and the insert is dropped.
+     */
+    void insertSpeculative(DsId ds, RemotePtr addr, const void *data,
+                           uint32_t len, uint64_t issue_epoch);
+
+    /**
      * Write-through update after a memory log: patch the cached copy if
      * present. Length mismatch invalidates the entry instead.
      */
@@ -83,11 +97,27 @@ class PageCache
     /** Drop everything (back-end failover, Section 4.3). */
     void clear();
 
+    /**
+     * Pure presence probe (no stats, no clock charge): true when a valid
+     * same-length entry exists. The prefetch path uses this to avoid
+     * gathering bytes that are already resident.
+     */
+    bool contains(RemotePtr addr, uint32_t len) const;
+
+    /**
+     * Current invalidation epoch. Snapshot BEFORE issuing a read gather
+     * and pass to insertSpeculative so a concurrent invalidateDs drops
+     * the in-flight prefetch.
+     */
+    uint64_t epochNow() const { return epoch_; }
+
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     uint64_t evictions() const { return evictions_; }
     uint64_t sizeBytes() const { return size_bytes_; }
     uint64_t entryCount() const { return map_.size(); }
+    uint64_t prefetchHits() const { return prefetch_hits_; }
+    uint64_t prefetchWasted() const { return prefetch_wasted_; }
 
     /** Observed miss ratio since the last resetStats(). */
     double missRatio() const
@@ -100,6 +130,7 @@ class PageCache
     void resetStats()
     {
         hits_ = misses_ = evictions_ = 0;
+        prefetch_hits_ = prefetch_wasted_ = 0;
     }
 
   private:
@@ -111,6 +142,7 @@ class PageCache
         uint64_t epoch;             //!< insertion epoch (DS invalidation)
         size_t keys_idx;            //!< position in keys_ (Random/Hybrid)
         std::list<uint64_t>::iterator lru_it; //!< valid under Lru
+        bool speculative = false;   //!< prefetched, no real hit yet
     };
 
     bool entryValid(const Entry &e) const;
@@ -136,6 +168,8 @@ class PageCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t prefetch_hits_ = 0;
+    uint64_t prefetch_wasted_ = 0;
 };
 
 /**

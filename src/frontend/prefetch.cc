@@ -1,0 +1,59 @@
+#include "frontend/prefetch.h"
+
+#include <algorithm>
+
+namespace asymnvm {
+
+void
+PrefetchEngine::onAccess(DsId ds, uint64_t stream, uint64_t addr_raw,
+                         uint32_t len)
+{
+    if (stream == 0 || addr_raw == 0)
+        return;
+    if (streams_.size() >= kMaxStreams &&
+        streams_.count({ds, stream}) == 0)
+        streams_.clear(); // predictions are disposable; start over
+    Run &run = streams_[{ds, stream}];
+    if (!run.building.empty() && run.building.front().addr_raw == addr_raw) {
+        // The walk wrapped back to the run's head: the recorded run is a
+        // complete traversal — commit it as the prediction and start
+        // recording the next pass.
+        run.committed = std::move(run.building);
+        run.building.clear();
+        run.building.push_back(PrefetchCandidate{addr_raw, len});
+        return;
+    }
+    if (run.building.size() < kMaxRunLen)
+        run.building.push_back(PrefetchCandidate{addr_raw, len});
+}
+
+void
+PrefetchEngine::collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
+                        std::vector<PrefetchCandidate> *out) const
+{
+    if (stream == 0)
+        return;
+    auto it = streams_.find({ds, stream});
+    if (it == streams_.end())
+        return;
+    const std::vector<PrefetchCandidate> &run = it->second.committed;
+    for (size_t i = 0; i < run.size(); ++i) {
+        if (run[i].addr_raw != demanded_raw)
+            continue;
+        out->insert(out->end(), run.begin() + i + 1, run.end());
+        return;
+    }
+}
+
+void
+PrefetchEngine::invalidateDs(DsId ds)
+{
+    for (auto it = streams_.begin(); it != streams_.end();) {
+        if (it->first.first == ds)
+            it = streams_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace asymnvm

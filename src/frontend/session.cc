@@ -249,8 +249,13 @@ FrontendSession::read(RemotePtr addr, void *dst, uint32_t len,
     // Reads are idempotent, so the whole lookup path (overlay, pins,
     // cache, remote) can transparently re-run after a failover heals the
     // back-end under it.
-    return guarded(addr.backend,
-                   [&] { return readInner(addr, dst, len, hint); });
+    const uint64_t t0 = clock_.now();
+    last_read_remote_ = false;
+    const Status st = guarded(
+        addr.backend, [&] { return readInner(addr, dst, len, hint); });
+    (last_read_remote_ ? hist_read_remote_ : hist_read_local_)
+        .record(clock_.now() - t0);
+    return st;
 }
 
 Status
@@ -279,6 +284,8 @@ FrontendSession::readInner(RemotePtr addr, void *dst, uint32_t len,
 
     // 3. Front-end DRAM cache.
     const bool cacheable = cfg_.use_cache && hint.cacheable;
+    if (cfg_.read_prefetch && cacheable && hint.stream != 0)
+        prefetch_.onAccess(hint.ds, hint.stream, addr.raw(), len);
     const bool admitted = hint.admission == nullptr ||
                           hint.admission->admit(hint.level);
     if (cacheable && cache_->lookup(addr, dst, len)) {
@@ -286,8 +293,10 @@ FrontendSession::readInner(RemotePtr addr, void *dst, uint32_t len,
             hint.admission->record(true);
         return Status::Ok;
     }
-    // 4. Remote NVM.
-    const Status st = verbs_.read(addr, dst, len);
+    // 4. Remote NVM, gathering speculative neighbor reads in the same
+    // doorbell when the hint carries any (read-side doorbell batching).
+    last_read_remote_ = true;
+    const Status st = remoteReadWithPrefetch(addr, dst, len, hint);
     if (!ok(st))
         return st;
     if (cacheable && admitted) {
@@ -301,6 +310,87 @@ FrontendSession::readInner(RemotePtr addr, void *dst, uint32_t len,
         auto &slot = pinned_[addr.raw()];
         slot.assign(static_cast<uint8_t *>(dst),
                     static_cast<uint8_t *>(dst) + len);
+    }
+    return Status::Ok;
+}
+
+Status
+FrontendSession::remoteReadWithPrefetch(RemotePtr addr, void *dst,
+                                        uint32_t len, const ReadHint &hint)
+{
+    const bool eligible = cfg_.read_prefetch && cfg_.use_cache &&
+                          hint.cacheable && cfg_.prefetch_degree > 0 &&
+                          (!hint.neighbors.empty() || hint.stream != 0);
+    if (!eligible)
+        return verbs_.read(addr, dst, len);
+
+    prefetch_scratch_.clear();
+    prefetch_scratch_.insert(prefetch_scratch_.end(),
+                             hint.neighbors.begin(), hint.neighbors.end());
+    prefetch_.collect(hint.ds, hint.stream, addr.raw(),
+                      &prefetch_scratch_);
+
+    // Keep only candidates worth the wire bytes: dedupe, drop the
+    // demanded address, other back-ends, and anything already resident
+    // (overlay or cache); truncate to the configured degree.
+    size_t kept = 0;
+    for (size_t i = 0;
+         i < prefetch_scratch_.size() && kept < cfg_.prefetch_degree;
+         ++i) {
+        const PrefetchCandidate c = prefetch_scratch_[i];
+        if (c.addr_raw == 0 || c.len == 0 || c.addr_raw == addr.raw())
+            continue;
+        const RemotePtr p = RemotePtr::fromRaw(c.addr_raw);
+        if (p.isNull() || p.backend != addr.backend)
+            continue;
+        bool dup = false;
+        for (size_t j = 0; j < kept; ++j)
+            if (prefetch_scratch_[j].addr_raw == c.addr_raw) {
+                dup = true;
+                break;
+            }
+        if (dup || (!overlay_.empty() && overlay_.count(c.addr_raw) != 0))
+            continue;
+        if (cache_->contains(p, c.len))
+            continue;
+        prefetch_scratch_[kept++] = c;
+    }
+    if (kept == 0)
+        return verbs_.read(addr, dst, len);
+
+    if (prefetch_bufs_.size() < kept)
+        prefetch_bufs_.resize(kept);
+    // Epoch snapshot BEFORE the gather: an invalidateDs that lands while
+    // the chain is in flight must outrank the fetched bytes.
+    const uint64_t issue_epoch = cache_->epochNow();
+    verbs_.postRead(addr, dst, len);
+    for (size_t i = 0; i < kept; ++i) {
+        prefetch_bufs_[i].resize(prefetch_scratch_[i].len);
+        verbs_.postRead(RemotePtr::fromRaw(prefetch_scratch_[i].addr_raw),
+                        prefetch_bufs_[i].data(),
+                        prefetch_scratch_[i].len);
+    }
+    const Status st = verbs_.readGather();
+    if (st == Status::InvalidArgument) {
+        // A learned candidate fell outside the target (stale prediction
+        // over reclaimed NVM): forget the structure's predictions and
+        // serve the demanded read alone.
+        prefetch_.invalidateDs(hint.ds);
+        return verbs_.read(addr, dst, len);
+    }
+    if (!ok(st))
+        return st;
+    ++prefetch_batches_;
+    prefetch_issued_ += kept;
+    for (size_t i = 0; i < kept; ++i) {
+        const RemotePtr p =
+            RemotePtr::fromRaw(prefetch_scratch_[i].addr_raw);
+        cache_->insertSpeculative(hint.ds, p, prefetch_bufs_[i].data(),
+                                  prefetch_scratch_[i].len, issue_epoch);
+        // Speculative bytes are subject to the same seqlock-conflict
+        // invalidation as the demanded read.
+        if (tracking_)
+            tracked_reads_.push_back(p);
     }
     return Status::Ok;
 }
@@ -920,6 +1010,7 @@ FrontendSession::writerLock(DsId ds, NodeId backend)
         if (git == writer_gen_.end() || git->second != gen) {
             if (cfg_.use_cache)
                 cache_->invalidateDs(ds);
+            prefetch_.invalidateDs(ds); // learned runs may be stale too
             writer_gen_[key] = gen;
         }
         held_locks_[key] = true;
@@ -972,6 +1063,7 @@ FrontendSession::readerLock(DsId ds, NodeId backend, uint64_t *sn)
     } else if (it->second != *sn) {
         if (cfg_.use_cache)
             cache_->invalidateDs(ds);
+        prefetch_.invalidateDs(ds);
         it->second = *sn;
     }
     tracking_ = true;
@@ -1071,9 +1163,11 @@ FrontendSession::readDsMeta(DsId ds, NodeId backend, DsMeta *out)
         gc_epoch_seen_[gc_key] = out->gc_epoch;
     } else if (it->second != out->gc_epoch) {
         // Retired versions were reclaimed; cached nodes may alias reused
-        // NVM now (Section 6.2).
+        // NVM now (Section 6.2). Learned prefetch runs hold the same
+        // stale addresses, so they go too.
         if (cfg_.use_cache)
             cache_->invalidateDs(ds);
+        prefetch_.invalidateDs(ds);
         it->second = out->gc_epoch;
     }
     return Status::Ok;
@@ -1168,6 +1262,7 @@ FrontendSession::simulateCrash()
     ops_in_batch_ = 0;
     in_op_ = false;
     cache_->clear();
+    prefetch_.clear();   // learned runs are volatile front-end state
     verbs_.dropPosted(); // pending WQE chains die with the process
     for (auto &[id, c] : backends_) {
         c.groups.clear();
@@ -1229,6 +1324,7 @@ FrontendSession::failover(NodeId failed, BackendNode *replacement)
     c.rpc = std::make_unique<RfpRpc>(&verbs_, replacement, c.slot);
     c.alloc->loseVolatileState();
     cache_->clear(); // Section 4.3: aborts clear the cache
+    prefetch_.clear(); // predictions refer to the failed node's layout
     overlay_.clear();
     pinned_.clear();
 
@@ -1296,6 +1392,10 @@ FrontendSession::stats() const
     s.tx_flushes = tx_flushes_;
     s.verbs = verbs_.counters();
     s.retry = verbs_.retryStats();
+    s.prefetch.batches = prefetch_batches_;
+    s.prefetch.issued = prefetch_issued_;
+    s.prefetch.hits = cache_->prefetchHits();
+    s.prefetch.wasted = cache_->prefetchWasted();
     s.retry.failovers += failovers_completed_;
     s.retry.failover_wait_ns += failover_wait_ns_;
     for (const auto &[id, c] : backends_) {
@@ -1316,8 +1416,12 @@ FrontendSession::resetStats()
     failover_wait_ns_ = 0;
     verbs_.resetStats();
     cache_->resetStats();
+    prefetch_batches_ = 0;
+    prefetch_issued_ = 0;
     hist_commit_ = Histogram{};
     hist_fanout_ = Histogram{};
+    hist_read_remote_ = Histogram{};
+    hist_read_local_ = Histogram{};
 }
 
 } // namespace asymnvm

@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "common/types.h"
 #include "frontend/allocator.h"
 #include "frontend/cache.h"
+#include "frontend/prefetch.h"
 #include "rdma/rpc.h"
 #include "rdma/verbs.h"
 #include "sim/clock.h"
@@ -83,6 +85,15 @@ struct SessionConfig
      * the serial baseline the Figure 10 fan-out comparison runs against.
      */
     bool parallel_fanout = true;
+    /**
+     * Read-side doorbell batching: on a traversal miss, gather the
+     * demanded node plus speculative neighbors (ReadHint::neighbors and
+     * learned pointer-chain runs) in ONE doorbell-batched read chain and
+     * park the extras in the cache as speculative entries. Disable for
+     * the serial-read ablation baseline (every hop pays its own RTT).
+     */
+    bool read_prefetch = true;
+    uint32_t prefetch_degree = 4; //!< max speculative WQEs per gather
     uint64_t rng_seed = 99;
 
     /** AsymNVM-Naive: direct remote reads/writes, no logs/cache/batch. */
@@ -106,6 +117,20 @@ struct ReadHint
     uint32_t level = 0;                 //!< tree level, root = 0
     LevelAdmission *admission = nullptr; //!< adaptive admission, optional
     bool pin = false; //!< batch-local pin (vector operations, Alg. 3)
+    /**
+     * Structural neighbors worth gathering with this read (sibling
+     * B+-tree children around the taken route, lower skiplist tower
+     * levels). The span must stay alive for the duration of the read
+     * call. Empty when the structure has nothing to speculate on.
+     */
+    std::span<const PrefetchCandidate> neighbors;
+    /**
+     * Stable id of the pointer chain this read walks (hash bucket
+     * address, scan anchor) for learned-run prefetch; 0 = not part of a
+     * chain. Only read operations should label their traversals — write
+     * paths leave it 0 so speculation never perturbs write-side costs.
+     */
+    uint64_t stream = 0;
 };
 
 /** Snapshot of the hot naming-entry fields read in one verb. */
@@ -134,8 +159,9 @@ struct SessionStats
 {
     uint64_t ops_started = 0;
     uint64_t tx_flushes = 0;
-    VerbCounters verbs; //!< traffic by verb type (reads/writes/atomics)
-    RetryStats retry;   //!< transient-fault absorption + failover work
+    VerbCounters verbs;    //!< traffic by verb type (reads/writes/atomics)
+    RetryStats retry;      //!< transient-fault absorption + failover work
+    PrefetchStats prefetch; //!< read-gather speculation outcome
 };
 
 /** The client-side AsymNVM runtime for one front-end thread. */
@@ -398,6 +424,15 @@ class FrontendSession
     /** Latency of each multi-back-end fan-out flush (k > 1 targets). */
     const Histogram &fanoutHistogram() const { return hist_fanout_; }
 
+    /** Latency of reads that issued remote verbs (cache/overlay misses). */
+    const Histogram &readRemoteHistogram() const
+    {
+        return hist_read_remote_;
+    }
+
+    /** Latency of reads served locally (overlay, pins, DRAM cache). */
+    const Histogram &readLocalHistogram() const { return hist_read_local_; }
+
     /** Merged observability: verbs traffic, retries, RPC dedup, failover. */
     SessionStats stats() const;
 
@@ -506,6 +541,16 @@ class FrontendSession
     Status flushAllInner();
     Status readInner(RemotePtr addr, void *dst, uint32_t len,
                      const ReadHint &hint);
+
+    /**
+     * Remote-miss service: fetch @p len bytes at @p addr, gathering
+     * speculative neighbor reads in the same doorbell when the hint and
+     * config allow it (speculative entries land in the cache). Falls
+     * back to a plain RDMA_Read when there is nothing to speculate on or
+     * a learned address turns out invalid.
+     */
+    Status remoteReadWithPrefetch(RemotePtr addr, void *dst, uint32_t len,
+                                  const ReadHint &hint);
     Status logWriteInternal(DsId ds, RemotePtr addr, const void *value,
                             uint32_t len, bool op_ref, uint32_t val_off);
     Status appendOpLogRecord(BackendCtx &c,
@@ -583,6 +628,16 @@ class FrontendSession
     // Per-path latency observability (virtual ns).
     Histogram hist_commit_; //!< group-commit (opEnd / flushAll) latency
     Histogram hist_fanout_; //!< multi-back-end fan-out flush latency
+    Histogram hist_read_remote_; //!< reads that issued remote verbs
+    Histogram hist_read_local_;  //!< reads served from overlay/pin/cache
+    bool last_read_remote_ = false; //!< set by readInner for read()
+
+    // Traversal prefetch (read-side doorbell batching).
+    PrefetchEngine prefetch_;
+    std::vector<PrefetchCandidate> prefetch_scratch_; //!< collect() reuse
+    std::vector<std::vector<uint8_t>> prefetch_bufs_; //!< gather landing
+    uint64_t prefetch_batches_ = 0; //!< gathers that carried speculation
+    uint64_t prefetch_issued_ = 0;  //!< speculative WQEs issued
 
     /**
      * Symmetric baseline's replication target: the remote mirror the

@@ -399,6 +399,131 @@ Verbs::pendingWqes() const
 }
 
 Status
+Verbs::postRead(RemotePtr src, void *dst, uint32_t len)
+{
+    if (targets_.count(src.backend) == 0)
+        return Status::Unavailable;
+    read_chains_[src.backend].push_back(ReadWqe{src.offset, dst, len});
+    return Status::Ok;
+}
+
+Status
+Verbs::readGather()
+{
+    Status result = Status::Ok;
+    for (auto &[id, wqes] : read_chains_) {
+        if (wqes.empty())
+            continue;
+        uint32_t attempt = 0;
+        uint64_t backoff = policy_.base_backoff_ns;
+        Status st;
+        for (;;) {
+            st = readGatherOnce(id, wqes);
+            if (!nextAttempt(VerbKind::Read, id, st, &attempt, &backoff))
+                break;
+        }
+        if (!ok(st) && ok(result))
+            result = st;
+    }
+    read_chains_.clear();
+    return result;
+}
+
+Status
+Verbs::readGatherOnce(NodeId id, const std::vector<ReadWqe> &wqes)
+{
+    auto it = targets_.find(id);
+    if (it == targets_.end())
+        return Status::Unavailable;
+    // Queue-pair ordering: pending posted writes drain first, riding this
+    // gather's doorbell.
+    auto cit = chains_.find(id);
+    if (cit != chains_.end())
+        flushChain(id, cit->second, /*own_doorbell=*/false);
+    RdmaTarget &t = it->second;
+
+    const uint64_t n = wqes.size();
+    uint64_t total = 0;
+    for (const ReadWqe &w : wqes)
+        total += w.len;
+
+    // Posting cost and per-attempt accounting: ONE doorbell launches the
+    // whole chain, and every retry re-posts every WQE, so the counters
+    // move in whole-batch increments (the all-or-nothing invariant shows
+    // up as reads % chain-size == 0).
+    clock_->advance(lat_->post_overhead_ns +
+                    lat_->doorbell_batch_wqe_ns * n);
+    ++counters_.doorbells;
+    ++counters_.read_gathers;
+    counters_.reads += n;
+    counters_.read_bytes += total;
+    verbs_issued_ += n;
+    bytes_moved_ += total;
+
+    if (t.fail != nullptr) {
+        for (uint64_t i = 0; i < n; ++i)
+            if (t.fail->onVerb(0).has_value())
+                return Status::BackendCrashed; // reads deliver nothing
+    }
+    if (qp_error_.count(id) != 0)
+        return Status::QpError;
+
+    uint64_t max_delay = 0;
+    if (t.faults != nullptr && t.faults->armed()) {
+        for (uint64_t i = 0; i < n; ++i) {
+            const FaultAction a =
+                t.faults->onVerb(FaultVerb::Read, clock_->now());
+            if (a.slow_ns != 0)
+                clock_->advance(a.slow_ns);
+            if (a.qp_error) {
+                // Mid-chain QP error: the remaining WQEs flush with error
+                // completions and NO destination buffer was written — the
+                // retry re-posts the whole chain.
+                qp_error_.insert(id);
+                ++retry_stats_.qp_errors;
+                return Status::QpError;
+            }
+            if (a.drop) {
+                clock_->advance(policy_.verb_timeout_ns);
+                ++retry_stats_.timeouts;
+                if (!a.drop_after)
+                    return Status::Timeout; // never a partial gather
+            }
+            if (a.delay_ns != 0) {
+                max_delay = std::max<uint64_t>(max_delay, a.delay_ns);
+                ++retry_stats_.delayed;
+            }
+        }
+    }
+    if (max_delay != 0)
+        clock_->advance(max_delay); // WQEs complete together: worst delay
+
+    // Validate the WHOLE chain before delivering any byte: a bad address
+    // fails the batch, never a prefix of it.
+    for (const ReadWqe &w : wqes)
+        if (w.offset + w.len > t.nvm->size())
+            return Status::InvalidArgument;
+
+    if (t.nic != nullptr)
+        clock_->advance(t.nic->reserveGather(n, clock_->now()));
+    // One completion wait: the chained WQEs travel back to back, so the
+    // session pays a single round trip plus the combined wire time.
+    clock_->advance(lat_->rdma_read_rtt_ns + lat_->wireBytes(total));
+    for (const ReadWqe &w : wqes)
+        t.nvm->read(w.offset, w.dst, w.len);
+    return Status::Ok;
+}
+
+uint64_t
+Verbs::pendingReadWqes() const
+{
+    uint64_t n = 0;
+    for (const auto &[id, wqes] : read_chains_)
+        n += wqes.size();
+    return n;
+}
+
+Status
 Verbs::read64(RemotePtr src, uint64_t *out)
 {
     uint32_t attempt = 0;

@@ -35,6 +35,7 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rand.h"
 #include "common/stats.h"
@@ -101,8 +102,9 @@ class Verbs
     void detach(NodeId id)
     {
         targets_.erase(id);
-        chains_.erase(id);   // pending WQEs die with the queue pair
-        qp_error_.erase(id); // so does the error state
+        chains_.erase(id);      // pending WQEs die with the queue pair
+        read_chains_.erase(id); // pending read gathers too
+        qp_error_.erase(id);    // so does the error state
     }
 
     bool isAttached(NodeId id) const { return targets_.count(id) != 0; }
@@ -154,14 +156,43 @@ class Verbs
      */
     Status ringDoorbellFanout();
 
+    /**
+     * Append a read WQE to the target queue pair's *read* post list
+     * WITHOUT ringing the doorbell. Nothing lands in @p dst yet — unlike
+     * posted writes (whose payload is durable in post order), a read has
+     * no result until its completion, so the data transfer happens at
+     * readGather(). The read-side twin of postWrite.
+     */
+    Status postRead(RemotePtr src, void *dst, uint32_t len);
+
+    /**
+     * Launch every pending read chain — one doorbell per target — and
+     * await all completions together. N independent reads cost one
+     * posting overhead + N per-WQE costs + ONE round trip (the WQEs
+     * travel and complete back-to-back) + wire time of the combined
+     * payload, with the whole chain entering the target NIC as a single
+     * arrival (NicModel::reserveGather). The batch is all-or-nothing: a
+     * mid-chain transient fault retries the WHOLE chain under the
+     * RetryPolicy; no destination buffer is written unless every WQE in
+     * the chain succeeded, so callers never observe a partial gather.
+     */
+    Status readGather();
+
     /** WQEs pending (posted, doorbell not yet rung) across all targets. */
     uint64_t pendingWqes() const;
+
+    /** Read WQEs pending (postRead'ed, gather not yet launched). */
+    uint64_t pendingReadWqes() const;
 
     /**
      * Forget pending chains without charging (front-end crash: the WQEs
      * die with the process; their payloads already landed or never will).
      */
-    void dropPosted() { chains_.clear(); }
+    void dropPosted()
+    {
+        chains_.clear();
+        read_chains_.clear();
+    }
 
     /** Atomic 8-byte read. */
     Status read64(RemotePtr src, uint64_t *out);
@@ -242,6 +273,14 @@ class Verbs
         bool has_tail = false; //!< next_off is valid
     };
 
+    /** One pending read WQE: where to fetch from and where to deliver. */
+    struct ReadWqe
+    {
+        uint64_t offset = 0; //!< source offset within the target NVM
+        void *dst = nullptr; //!< front-end destination buffer
+        uint32_t len = 0;
+    };
+
     /** Common preamble: resolve target, inject failure, charge NIC. */
     Status begin(NodeId id, VerbKind kind, uint64_t write_len,
                  RdmaTarget **out);
@@ -266,6 +305,7 @@ class Verbs
                      uint64_t *backoff);
 
     // Single-attempt verb bodies wrapped by the public retry loops.
+    Status readGatherOnce(NodeId id, const std::vector<ReadWqe> &wqes);
     Status readOnce(RemotePtr src, void *dst, size_t len);
     Status writeOnce(RemotePtr dst, const void *src, size_t len);
     Status writeAsyncOnce(RemotePtr dst, const void *src, size_t len);
@@ -280,6 +320,7 @@ class Verbs
     const LatencyModel *lat_;
     std::unordered_map<NodeId, RdmaTarget> targets_;
     std::map<NodeId, PostChain> chains_;
+    std::map<NodeId, std::vector<ReadWqe>> read_chains_;
     std::set<NodeId> qp_error_; //!< queue pairs in the error state
     RetryPolicy policy_;
     Rng rng_; //!< backoff jitter (seeded; deterministic)

@@ -80,7 +80,24 @@ class NicModel
         return service_ns_ * ppk / (2 * (1000 - ppk));
     }
 
+    /**
+     * Account a doorbell-batched read gather: @p n read WQEs launched by
+     * one doorbell enter the queue as a single arrival, exactly like
+     * reserveBatch, but are additionally counted so benchmarks can report
+     * how much of the read traffic arrives pre-batched.
+     */
+    uint64_t reserveGather(uint64_t n, uint64_t now_ns)
+    {
+        if (n == 0)
+            return 0;
+        gather_batches_.add(1);
+        gather_wqes_.add(n);
+        return reserveBatch(n, now_ns);
+    }
+
     uint64_t verbCount() const { return verbs_.get(); }
+    uint64_t gatherBatches() const { return gather_batches_.get(); }
+    uint64_t gatherWqes() const { return gather_wqes_.get(); }
     uint64_t busyNs() const { return busy_ns_.get(); }
     uint64_t serviceNs() const { return service_ns_; }
 
@@ -101,6 +118,8 @@ class NicModel
     void resetStats()
     {
         verbs_.reset();
+        gather_batches_.reset();
+        gather_wqes_.reset();
         busy_ns_.reset();
         busy_since_reset_.store(0, std::memory_order_relaxed);
         base_now_ns_.store(max_now_ns_.load(std::memory_order_relaxed),
@@ -113,6 +132,8 @@ class NicModel
     std::atomic<uint64_t> base_now_ns_{0};
     std::atomic<uint64_t> busy_since_reset_{0};
     Counter verbs_;
+    Counter gather_batches_;
+    Counter gather_wqes_;
     Counter busy_ns_;
 };
 

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Read-side doorbell batching and traversal prefetch (DESIGN.md §9):
+ * gather-verb cost shape at the verbs layer, speculative-entry semantics
+ * in the page cache, the session-level doorbell budget of a B+tree
+ * traversal with and without prefetch, and the virtual-time backoff of
+ * the optimistic reader retry loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/backend_node.h"
+#include "ds/bptree.h"
+#include "ds/ds_common.h"
+#include "frontend/cache.h"
+#include "frontend/session.h"
+#include "nvm/nvm_device.h"
+#include "rdma/verbs.h"
+#include "sim/clock.h"
+
+namespace asymnvm {
+namespace {
+
+BackendConfig
+testConfig()
+{
+    BackendConfig cfg;
+    cfg.nvm_size = 32ull << 20;
+    cfg.max_frontends = 4;
+    cfg.max_names = 8;
+    cfg.memlog_ring_size = 1ull << 20;
+    cfg.oplog_ring_size = 512ull << 10;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Verbs layer: N reads, one doorbell, one NIC arrival, one round trip.
+// ---------------------------------------------------------------------
+
+class ReadGatherVerbsTest : public ::testing::Test
+{
+  protected:
+    ReadGatherVerbsTest() : dev(1 << 20), nic(120), verbs(&clock, &lat)
+    {
+        verbs.attach(1, RdmaTarget{&dev, &nic, &fail});
+    }
+
+    NvmDevice dev;
+    NicModel nic;
+    FailureInjector fail;
+    SimClock clock;
+    LatencyModel lat;
+    Verbs verbs;
+};
+
+TEST_F(ReadGatherVerbsTest, GatherIsOneDoorbellOneArrival)
+{
+    constexpr uint64_t kN = 6;
+    for (uint64_t i = 0; i < kN; ++i) {
+        const uint64_t v = 0xa0 + i;
+        ASSERT_EQ(verbs.write(RemotePtr(1, 128 + 64 * i), &v, 8),
+                  Status::Ok);
+    }
+    const VerbCounters before = verbs.counters();
+    uint64_t out[kN] = {};
+    for (uint64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(verbs.postRead(RemotePtr(1, 128 + 64 * i), &out[i], 8),
+                  Status::Ok);
+    EXPECT_EQ(verbs.pendingReadWqes(), kN);
+    ASSERT_EQ(verbs.readGather(), Status::Ok);
+    EXPECT_EQ(verbs.pendingReadWqes(), 0u);
+    for (uint64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(out[i], 0xa0 + i);
+    const VerbCounters after = verbs.counters();
+    EXPECT_EQ(after.doorbells - before.doorbells, 1u);
+    EXPECT_EQ(after.read_gathers - before.read_gathers, 1u);
+    EXPECT_EQ(after.reads - before.reads, kN);
+    EXPECT_EQ(nic.gatherBatches(), 1u);
+    EXPECT_EQ(nic.gatherWqes(), kN);
+}
+
+TEST_F(ReadGatherVerbsTest, GatherCostsOneRoundTripNotN)
+{
+    constexpr uint64_t kN = 8;
+    for (uint64_t i = 0; i < kN; ++i) {
+        const uint64_t v = i;
+        ASSERT_EQ(verbs.write(RemotePtr(1, 4096 + 64 * i), &v, 8),
+                  Status::Ok);
+    }
+    // Serial baseline: its own endpoint so NIC queueing states match.
+    uint64_t serial_ns = 0;
+    {
+        NicModel snic(120);
+        SimClock sclock;
+        Verbs sv(&sclock, &lat);
+        sv.attach(1, RdmaTarget{&dev, &snic, &fail});
+        uint64_t out;
+        const uint64_t t0 = sclock.now();
+        for (uint64_t i = 0; i < kN; ++i)
+            ASSERT_EQ(sv.read(RemotePtr(1, 4096 + 64 * i), &out, 8),
+                      Status::Ok);
+        serial_ns = sclock.now() - t0;
+    }
+    uint64_t gather_ns = 0;
+    {
+        NicModel gnic(120);
+        SimClock gclock;
+        Verbs gv(&gclock, &lat);
+        gv.attach(1, RdmaTarget{&dev, &gnic, &fail});
+        uint64_t out[kN];
+        const uint64_t t0 = gclock.now();
+        for (uint64_t i = 0; i < kN; ++i)
+            ASSERT_EQ(gv.postRead(RemotePtr(1, 4096 + 64 * i), &out[i], 8),
+                      Status::Ok);
+        ASSERT_EQ(gv.readGather(), Status::Ok);
+        gather_ns = gclock.now() - t0;
+    }
+    // One RTT + one posting overhead instead of N of each: the gather
+    // must be well under half the serial cost at kN = 8.
+    EXPECT_LT(gather_ns * 2, serial_ns);
+}
+
+// ---------------------------------------------------------------------
+// Page cache: speculative-entry semantics.
+// ---------------------------------------------------------------------
+
+class SpecCacheTest : public ::testing::Test
+{
+  protected:
+    SpecCacheTest() : cache(CachePolicy::Hybrid, 64 << 10, &clock, &lat)
+    {}
+
+    SimClock clock;
+    LatencyModel lat;
+    PageCache cache;
+    uint8_t buf[64] = {};
+};
+
+TEST_F(SpecCacheTest, UpdateLengthMismatchInvalidates)
+{
+    const RemotePtr p(1, 256);
+    for (uint32_t i = 0; i < 64; ++i)
+        buf[i] = static_cast<uint8_t>(i);
+    cache.insert(7, p, buf, 64);
+    ASSERT_TRUE(cache.contains(p, 64));
+    // A shorter write-through cannot patch a 64-byte entry: the entry
+    // must drop rather than serve a half-patched object.
+    cache.update(p, buf, 32);
+    EXPECT_FALSE(cache.contains(p, 64));
+    uint8_t out[64];
+    EXPECT_FALSE(cache.lookup(p, out, 64));
+}
+
+TEST_F(SpecCacheTest, SpeculativePromotesOnFirstHit)
+{
+    const RemotePtr p(1, 512);
+    cache.insertSpeculative(3, p, buf, 64, cache.epochNow());
+    ASSERT_TRUE(cache.contains(p, 64));
+    EXPECT_EQ(cache.prefetchHits(), 0u);
+    uint8_t out[64];
+    EXPECT_TRUE(cache.lookup(p, out, 64));
+    EXPECT_EQ(cache.prefetchHits(), 1u);
+    // Promoted: dropping it later is a normal eviction, not waste.
+    cache.invalidate(p);
+    EXPECT_EQ(cache.prefetchWasted(), 0u);
+}
+
+TEST_F(SpecCacheTest, SpeculativeDropCountsWasted)
+{
+    const RemotePtr p(1, 1024);
+    cache.insertSpeculative(3, p, buf, 64, cache.epochNow());
+    cache.invalidate(p); // never hit
+    EXPECT_EQ(cache.prefetchWasted(), 1u);
+    EXPECT_EQ(cache.prefetchHits(), 0u);
+}
+
+TEST_F(SpecCacheTest, InvalidateDsOutranksInFlightPrefetch)
+{
+    const RemotePtr p(1, 2048);
+    // Epoch snapshot at gather ISSUE time; the gc-epoch bump lands while
+    // the chain is in flight.
+    const uint64_t issue_epoch = cache.epochNow();
+    cache.invalidateDs(3);
+    cache.insertSpeculative(3, p, buf, 64, issue_epoch);
+    EXPECT_FALSE(cache.contains(p, 64));
+    EXPECT_EQ(cache.prefetchWasted(), 1u);
+    // A gather issued AFTER the bump inserts normally.
+    cache.insertSpeculative(3, p, buf, 64, cache.epochNow());
+    EXPECT_TRUE(cache.contains(p, 64));
+}
+
+TEST_F(SpecCacheTest, SpeculativeNeverDowngradesLiveEntry)
+{
+    const RemotePtr p(1, 4096);
+    for (uint32_t i = 0; i < 64; ++i)
+        buf[i] = 0x5a;
+    cache.insert(3, p, buf, 64);
+    uint8_t stale[64] = {};
+    cache.insertSpeculative(3, p, stale, 64, cache.epochNow());
+    uint8_t out[64] = {};
+    ASSERT_TRUE(cache.lookup(p, out, 64));
+    EXPECT_EQ(out[0], 0x5a); // demanded bytes survived
+    EXPECT_EQ(cache.prefetchHits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Session + B+tree: traversal doorbell budget with and without prefetch.
+// ---------------------------------------------------------------------
+
+struct TraversalProbe
+{
+    std::unique_ptr<BackendNode> be;
+    std::unique_ptr<FrontendSession> s;
+    BpTree ds;
+
+    explicit TraversalProbe(bool prefetch, uint64_t id, uint64_t nkeys)
+    {
+        be = std::make_unique<BackendNode>(1, testConfig());
+        SessionConfig cfg = SessionConfig::rc(id, 256 << 10);
+        cfg.read_prefetch = prefetch;
+        s = std::make_unique<FrontendSession>(cfg);
+        EXPECT_EQ(s->connect(be.get()), Status::Ok);
+        EXPECT_EQ(BpTree::create(*s, 1, "t", &ds), Status::Ok);
+        Value v{};
+        for (uint64_t k = 0; k < nkeys; ++k) {
+            v.bytes[0] = static_cast<uint8_t>(k);
+            EXPECT_EQ(ds.insert(k, v), Status::Ok);
+        }
+        EXPECT_EQ(s->flushAll(), Status::Ok);
+        s->cache().clear();
+        s->resetStats();
+    }
+
+    uint64_t doorbells() const { return s->verbs().counters().doorbells; }
+};
+
+TEST(ReadGatherSessionTest, TraversalDoorbellBudget)
+{
+    constexpr uint64_t kKeys = 2000;
+    TraversalProbe with(true, 81, kKeys);
+    TraversalProbe without(false, 82, kKeys);
+
+    // Cold first lookup: with the gather verb, prefetch candidates ride
+    // the demanded read's doorbell, so a depth-d traversal stays within
+    // the serial path's doorbell count (one per dependent level).
+    Value v{};
+    const uint64_t key = kKeys / 2;
+    ASSERT_EQ(without.ds.find(key, &v), Status::Ok);
+    const uint64_t serial_cold = without.doorbells();
+    ASSERT_EQ(with.ds.find(key, &v), Status::Ok);
+    const uint64_t gather_cold = with.doorbells();
+    EXPECT_GE(serial_cold, 1u);
+    EXPECT_LE(gather_cold, serial_cold);
+
+    // Nearby lookups: the gathered siblings and value cells are cache
+    // hits now — strictly fewer doorbells than the serial baseline.
+    for (uint64_t k = key + 1; k <= key + 4; ++k) {
+        ASSERT_EQ(without.ds.find(k, &v), Status::Ok);
+        ASSERT_EQ(with.ds.find(k, &v), Status::Ok);
+    }
+    const uint64_t serial_warm = without.doorbells() - serial_cold;
+    const uint64_t gather_warm = with.doorbells() - gather_cold;
+    EXPECT_LT(gather_warm, serial_warm);
+    EXPECT_GT(with.s->stats().prefetch.hits, 0u);
+    EXPECT_EQ(without.s->stats().prefetch.issued, 0u);
+}
+
+TEST(ReadGatherSessionTest, ColdLookupLatencyImprovesWithPrefetch)
+{
+    constexpr uint64_t kKeys = 2000;
+    constexpr uint64_t kLookups = 120;
+    TraversalProbe with(true, 83, kKeys);
+    TraversalProbe without(false, 84, kKeys);
+    Value v{};
+    // Range-local lookup stream over the cold tree: the access pattern
+    // the sibling gather targets.
+    uint64_t t0 = with.s->clock().now();
+    for (uint64_t i = 0; i < kLookups; ++i)
+        ASSERT_EQ(with.ds.find(400 + i, &v), Status::Ok);
+    const uint64_t with_ns = with.s->clock().now() - t0;
+    t0 = without.s->clock().now();
+    for (uint64_t i = 0; i < kLookups; ++i)
+        ASSERT_EQ(without.ds.find(400 + i, &v), Status::Ok);
+    const uint64_t without_ns = without.s->clock().now() - t0;
+    EXPECT_LT(with_ns, without_ns);
+}
+
+TEST(ReadGatherSessionTest, AblationFlagDisablesAllSpeculation)
+{
+    TraversalProbe off(false, 85, 500);
+    Value v{};
+    for (uint64_t k = 0; k < 50; ++k)
+        ASSERT_EQ(off.ds.find(k, &v), Status::Ok);
+    const SessionStats st = off.s->stats();
+    EXPECT_EQ(st.prefetch.batches, 0u);
+    EXPECT_EQ(st.prefetch.issued, 0u);
+    EXPECT_EQ(st.verbs.read_gathers, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Optimistic reader retry: virtual-time backoff (no host yield).
+// ---------------------------------------------------------------------
+
+/** Minimal DsBase subclass exposing the optimistic-read protocol. */
+class ProbeDs : public DsBase
+{
+  public:
+    ProbeDs(FrontendSession &s, NodeId backend, DsId id,
+            const DsOptions &opt)
+        : DsBase(s, backend, "probe", id, opt)
+    {}
+
+    template <typename Fn>
+    Status run(Fn &&body)
+    {
+        return optimisticRead(std::forward<Fn>(body));
+    }
+};
+
+TEST(OptimisticReadBackoffTest, ConflictChargesVirtualTimeBackoff)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession writer(SessionConfig::r(91));
+    FrontendSession reader(SessionConfig::r(92));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    ASSERT_EQ(reader.connect(&be), Status::Ok);
+    DsId id = 0;
+    ASSERT_EQ(writer.createDs(1, "probe", DsType::Bst, &id), Status::Ok);
+    DsOptions opt;
+    opt.shared = true;
+    ProbeDs probe(reader, 1, id, opt);
+    RemotePtr cell;
+    ASSERT_EQ(writer.alloc(1, 64, &cell), Status::Ok);
+    // One committed write in the writer's critical section: the replay
+    // is what bumps the seqlock SN (Write_Begin/Write_End), so a bare
+    // lock/unlock with nothing logged would not conflict readers.
+    const auto writer_cs = [&] {
+        const uint64_t v = 0xbeef;
+        EXPECT_EQ(writer.writerLock(id, 1), Status::Ok);
+        EXPECT_EQ(writer.logWrite(id, cell, &v, 8), Status::Ok);
+        EXPECT_EQ(writer.writerUnlock(id, 1), Status::Ok);
+    };
+
+    // Warm-up, then a clean read: one attempt, no retry, no backoff.
+    ASSERT_EQ(probe.run([] { return Status::Ok; }), Status::Ok);
+    const uint64_t clean_t0 = reader.clock().now();
+    ASSERT_EQ(probe.run([] { return Status::Ok; }), Status::Ok);
+    const uint64_t clean_ns = reader.clock().now() - clean_t0;
+    EXPECT_EQ(probe.readAttempts(), 2u);
+    EXPECT_EQ(probe.readRetries(), 0u);
+
+    // Conflicted read: a writer critical section overlaps the first
+    // attempt, so validation fails once and the retry must charge the
+    // configured virtual-time backoff (not a host yield).
+    bool conflicted = false;
+    const uint64_t t0 = reader.clock().now();
+    ASSERT_EQ(probe.run([&]() -> Status {
+        if (!conflicted) {
+            conflicted = true;
+            writer_cs();
+        }
+        return Status::Ok;
+    }),
+              Status::Ok);
+    const uint64_t conflict_ns = reader.clock().now() - t0;
+    EXPECT_EQ(probe.readAttempts(), 4u);
+    EXPECT_EQ(probe.readRetries(), 1u);
+    EXPECT_GT(probe.readFailRatio(), 0.0);
+    EXPECT_GE(conflict_ns, clean_ns + opt.retry_backoff_ns);
+}
+
+TEST(OptimisticReadBackoffTest, BackoffDoublesToCap)
+{
+    BackendNode be(1, testConfig());
+    FrontendSession writer(SessionConfig::r(93));
+    FrontendSession reader(SessionConfig::r(94));
+    ASSERT_EQ(writer.connect(&be), Status::Ok);
+    ASSERT_EQ(reader.connect(&be), Status::Ok);
+    DsId id = 0;
+    ASSERT_EQ(writer.createDs(1, "probe2", DsType::Bst, &id), Status::Ok);
+    DsOptions opt;
+    opt.shared = true;
+    opt.retry_backoff_ns = 100;
+    opt.retry_backoff_cap_ns = 400;
+    opt.max_read_retries = 8;
+    ProbeDs probe(reader, 1, id, opt);
+    RemotePtr cell;
+    ASSERT_EQ(writer.alloc(1, 64, &cell), Status::Ok);
+
+    // Conflict on every attempt (a committed logWrite bumps the SN)
+    // until the retry budget is spent.
+    const uint64_t t0 = reader.clock().now();
+    uint64_t body_runs = 0;
+    EXPECT_EQ(probe.run([&]() -> Status {
+        ++body_runs;
+        const uint64_t v = body_runs;
+        EXPECT_EQ(writer.writerLock(id, 1), Status::Ok);
+        EXPECT_EQ(writer.logWrite(id, cell, &v, 8), Status::Ok);
+        EXPECT_EQ(writer.writerUnlock(id, 1), Status::Ok);
+        return Status::Ok;
+    }),
+              Status::Conflict);
+    EXPECT_EQ(body_runs, 8u);
+    EXPECT_EQ(probe.readRetries(), 8u);
+    // Charged backoff: 100 + 200 + 400 + 400 + ... (doubling to the cap)
+    // = 100 + 200 + 6 * 400 = 2700 ns at minimum.
+    EXPECT_GE(reader.clock().now() - t0, 2700u);
+}
+
+} // namespace
+} // namespace asymnvm

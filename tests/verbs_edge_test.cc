@@ -92,6 +92,137 @@ TEST_F(VerbsEdgeTest, AsyncWriteSurfacesCrash)
               Status::BackendCrashed);
 }
 
+// ---------------------------------------------------------------------
+// readGather all-or-nothing guarantees under transient faults.
+// ---------------------------------------------------------------------
+
+/**
+ * A queue-pair error injected in the MIDDLE of a gather chain (a clean
+ * WQE completes its fault consult first) must retry the WHOLE chain:
+ * eventual success with correct bytes, counters moving in whole-batch
+ * increments, and at least one QP reset performed.
+ */
+TEST_F(VerbsEdgeTest, ReadGatherRetriesWholeChainOnMidBatchQpError)
+{
+    constexpr uint64_t kN = 4;
+    for (uint64_t i = 0; i < kN; ++i) {
+        const uint64_t v = 0x1000 + i;
+        ASSERT_EQ(verbs.write(RemotePtr(1, 256 + 64 * i), &v, 8),
+                  Status::Ok);
+    }
+    FaultConfig fc;
+    fc.qp_error_rate = 0.5;
+    bool proved = false;
+    for (uint64_t seed = 1; seed < 400 && !proved; ++seed) {
+        // Only seeds whose first two decisions are clean-then-error put
+        // the fault mid-batch on the first attempt.
+        FaultModel probe;
+        probe.configure(fc, seed);
+        if (probe.onVerb(FaultVerb::Read, 0).qp_error)
+            continue;
+        if (!probe.onVerb(FaultVerb::Read, 0).qp_error)
+            continue;
+        SimClock c;
+        Verbs v(&c, &lat);
+        FaultModel fm;
+        fm.configure(fc, seed);
+        v.attach(1, RdmaTarget{&dev, &nic, &fail, &fm});
+        uint64_t out[kN];
+        for (uint64_t i = 0; i < kN; ++i) {
+            out[i] = 0xeeeeeeeeeeeeeeee;
+            ASSERT_EQ(v.postRead(RemotePtr(1, 256 + 64 * i), &out[i], 8),
+                      Status::Ok);
+        }
+        if (v.readGather() != Status::Ok)
+            continue; // this seed's storm outlived the retry budget
+        proved = true;
+        for (uint64_t i = 0; i < kN; ++i)
+            EXPECT_EQ(out[i], 0x1000 + i);
+        EXPECT_GE(v.retryStats().qp_errors, 1u);
+        EXPECT_GE(v.retryStats().qp_resets, 1u);
+        EXPECT_GE(v.retryStats().retries_read, 1u);
+        // Whole-batch re-posts only: never a partial chain.
+        EXPECT_EQ(v.counters().reads % kN, 0u);
+        EXPECT_GE(v.counters().reads, 2 * kN);
+        EXPECT_FALSE(v.qpInError(1));
+    }
+    EXPECT_TRUE(proved);
+}
+
+/**
+ * When the QP error storm outlives every retry, the gather fails as a
+ * unit: no destination buffer holds fetched bytes (reads deliver nothing
+ * until the whole chain validates and completes).
+ */
+TEST_F(VerbsEdgeTest, ReadGatherExhaustionDeliversNothing)
+{
+    constexpr uint64_t kN = 3;
+    for (uint64_t i = 0; i < kN; ++i) {
+        const uint64_t v = 0x2000 + i;
+        ASSERT_EQ(verbs.write(RemotePtr(1, 512 + 64 * i), &v, 8),
+                  Status::Ok);
+    }
+    FaultConfig fc;
+    fc.qp_error_rate = 1.0;
+    FaultModel fm;
+    fm.configure(fc, 7);
+    SimClock c;
+    Verbs v(&c, &lat);
+    v.attach(1, RdmaTarget{&dev, &nic, &fail, &fm});
+    uint64_t out[kN];
+    for (uint64_t i = 0; i < kN; ++i) {
+        out[i] = 0xeeeeeeeeeeeeeeee;
+        ASSERT_EQ(v.postRead(RemotePtr(1, 512 + 64 * i), &out[i], 8),
+                  Status::Ok);
+    }
+    EXPECT_EQ(v.readGather(), Status::QpError);
+    for (uint64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(out[i], 0xeeeeeeeeeeeeeeee);
+    EXPECT_EQ(v.counters().reads % kN, 0u);
+    EXPECT_EQ(v.retryStats().retries_read,
+              v.retryPolicy().max_attempts - 1);
+    // The chain was consumed (failed as a unit, not left half-pending).
+    EXPECT_EQ(v.pendingReadWqes(), 0u);
+}
+
+/** Dropped completions fail the batch the same way: nothing delivered. */
+TEST_F(VerbsEdgeTest, ReadGatherDropFailsWholeBatch)
+{
+    const uint64_t v0 = 0x77;
+    ASSERT_EQ(verbs.write(RemotePtr(1, 1024), &v0, 8), Status::Ok);
+    FaultConfig fc;
+    fc.drop_rate = 1.0;
+    fc.drop_after_frac = 0.0; // reads never land before the loss
+    FaultModel fm;
+    fm.configure(fc, 11);
+    SimClock c;
+    Verbs v(&c, &lat);
+    v.attach(1, RdmaTarget{&dev, &nic, &fail, &fm});
+    uint64_t a = 0xeeeeeeeeeeeeeeee, b = 0xeeeeeeeeeeeeeeee;
+    ASSERT_EQ(v.postRead(RemotePtr(1, 1024), &a, 8), Status::Ok);
+    ASSERT_EQ(v.postRead(RemotePtr(1, 1032), &b, 8), Status::Ok);
+    EXPECT_EQ(v.readGather(), Status::Timeout);
+    EXPECT_EQ(a, 0xeeeeeeeeeeeeeeee);
+    EXPECT_EQ(b, 0xeeeeeeeeeeeeeeee);
+    EXPECT_GE(v.retryStats().timeouts, 1u);
+}
+
+/**
+ * Chain validation precedes delivery: one bad address fails the batch
+ * and the valid WQE's buffer stays untouched (never a prefix delivery).
+ */
+TEST_F(VerbsEdgeTest, ReadGatherValidatesWholeChainBeforeDelivery)
+{
+    const uint64_t v0 = 0x88;
+    ASSERT_EQ(verbs.write(RemotePtr(1, 2048), &v0, 8), Status::Ok);
+    uint64_t good = 0xeeeeeeeeeeeeeeee, bad = 0;
+    ASSERT_EQ(verbs.postRead(RemotePtr(1, 2048), &good, 8), Status::Ok);
+    ASSERT_EQ(verbs.postRead(RemotePtr(1, dev.size() - 4), &bad, 8),
+              Status::Ok);
+    EXPECT_EQ(verbs.readGather(), Status::InvalidArgument);
+    EXPECT_EQ(good, 0xeeeeeeeeeeeeeeee);
+}
+
 TEST(SymmetricSeqlockTest, ReaderProtocolWorksLocally)
 {
     BackendNode be(1, testConfig());
