@@ -253,6 +253,32 @@ BackendNode::writeLocal64(uint64_t off, uint64_t v)
 }
 
 void
+BackendNode::zeroConsumedRecordLocked(uint64_t ring_base,
+                                      uint64_t ring_size, uint64_t pos,
+                                      uint32_t len, uint32_t expect_magic)
+{
+    if (len == 0 || len > ring_size)
+        return;
+    const uint64_t abs = ringReadAbs(ring_base, ring_size, pos);
+    uint32_t magic = 0;
+    device_->read(abs, &magic, sizeof(magic));
+    if (magic != expect_magic)
+        return;
+    static const std::vector<uint8_t> kZeros(4096, 0);
+    uint64_t done = 0;
+    while (done < len) {
+        const uint64_t n = std::min<uint64_t>(len - done, kZeros.size());
+        device_->write(abs + done, kZeros.data(), n);
+        done += n;
+    }
+    device_->persist();
+    // Mirrors replicate raw ranges, so the zeroed bytes ship like any
+    // other back-end write and replicas stay byte-identical.
+    stageReplicationLocked(abs, len);
+    busy_ns_.add(lat_.nvm_write_ns * ((len + 63) / 64));
+}
+
+void
 BackendNode::writeControl(uint32_t slot)
 {
     // The lock-ahead word is written one-sided by the front-end (it must
@@ -292,7 +318,7 @@ BackendNode::loadVolatileState()
         while (pos < c.oplog_head) {
             const uint64_t off_in_ring = pos % ring;
             const uint64_t contiguous = ring - off_in_ring;
-            if (contiguous < sizeof(OpLogHeader) + sizeof(uint32_t)) {
+            if (contiguous < kMinOpLogWire) {
                 pos = ringSkipToWrap(pos, ring);
                 continue;
             }
@@ -329,7 +355,7 @@ BackendNode::rollTailsForward()
             const uint64_t base = layout_.oplogRingOff(s);
             uint64_t pos = c.oplog_head;
             uint64_t off_in_ring = pos % ring;
-            if (ring - off_in_ring < sizeof(OpLogHeader) + 4) {
+            if (ring - off_in_ring < kMinOpLogWire) {
                 pos = ringSkipToWrap(pos, ring);
                 off_in_ring = pos % ring;
             }
@@ -365,7 +391,7 @@ BackendNode::recoverTailTx(uint32_t slot)
     const uint64_t base = layout_.memlogRingOff(slot);
     uint64_t pos = c.memlog_head;
     uint64_t off_in_ring = pos % ring;
-    if (ring - off_in_ring < sizeof(TxHeader) + sizeof(TxFooter)) {
+    if (ring - off_in_ring < kMinTxWire) {
         pos = ringSkipToWrap(pos, ring);
         off_in_ring = pos % ring;
     } else {
@@ -378,8 +404,7 @@ BackendNode::recoverTailTx(uint32_t slot)
     }
     TxHeader hdr;
     device_->read(base + off_in_ring, &hdr, sizeof(hdr));
-    const uint32_t len = static_cast<uint32_t>(
-        sizeof(TxHeader) + hdr.payload_len + sizeof(TxFooter));
+    const uint32_t len = static_cast<uint32_t>(txWireLen(hdr));
     onTxAppended(slot, pos, len, 0);
     return v;
 }
@@ -507,19 +532,46 @@ BackendNode::onTxAppended(uint32_t slot, uint64_t pos, uint32_t len,
     // before this call returns — i.e. before the commit is acknowledged.
     stageReplicationLocked(abs, len);
 
+    // For the zero-based encoding the back-end owns re-zeroing consumed
+    // ring bytes; remember what this commit retires (the previous —
+    // fully applied — transaction and every op-log record the coverage
+    // advance pops) before the control fields move past them.
+    const bool zb = tx->format() == LogFormatKind::ZeroBased;
+    const uint64_t prev_tx_off = c.last_tx_off;
+    const uint32_t prev_tx_len = static_cast<uint32_t>(c.last_tx_len);
+
     c.memlog_head = pos + len;
     c.last_tx_off = pos;
     c.last_tx_len = len;
     c.lpn = tx->header().lpn + 1;
     c.covered_opn = std::max(c.covered_opn, tx->header().covered_opn);
     auto &window = op_window_[slot];
-    while (!window.empty() && window.front().opn < c.covered_opn)
+    std::vector<OpWindowItem> popped;
+    while (!window.empty() && window.front().opn < c.covered_opn) {
+        if (zb)
+            popped.push_back(window.front());
         window.pop_front();
+    }
     c.oplog_tail = window.empty() ? c.oplog_head : window.front().pos;
     writeControl(slot);
 
     replayTx(slot, *tx);
     c.memlog_applied = c.memlog_head;
+
+    if (zb) {
+        // Zero retired records only while their bytes are provably not
+        // lapped by newer appends (head − pos ≤ ring); the magic guard
+        // inside the helper re-checks against re-delivery races.
+        if (prev_tx_len > 0 && c.memlog_head - prev_tx_off <= ring)
+            zeroConsumedRecordLocked(layout_.memlogRingOff(slot), ring,
+                                     prev_tx_off, prev_tx_len, kTxMagicZb);
+        const uint64_t oring = layout_.super.oplog_ring_size;
+        for (const OpWindowItem &item : popped) {
+            if (c.oplog_head - item.pos <= oring)
+                zeroConsumedRecordLocked(layout_.oplogRingOff(slot), oring,
+                                         item.pos, item.len, kOpMagicZb);
+        }
+    }
     writeControl(slot);
 
     replayed_txs_.add();
@@ -550,12 +602,23 @@ BackendNode::replayTx(uint32_t slot, const TxParser &tx)
         const uint8_t *src = m.inline_value;
         if (m.flag == MemLogFlag::kOpRef) {
             // Fetch the value bytes from the already persisted op log.
+            // The referenced record identifies its own encoding, so read
+            // enough raw bytes to cover the slice in any format and let
+            // extractOpLogValue locate (and, for zero-based records,
+            // de-stuff) the value. Records never straddle the ring wrap,
+            // so clamping to the contiguous remainder never truncates a
+            // valid reference.
             const uint64_t ring = layout_.super.oplog_ring_size;
             const uint64_t abs =
-                ringReadAbs(layout_.oplogRingOff(slot), ring, m.oplog_off) +
-                sizeof(OpLogHeader) + m.val_off;
-            tmp.resize(m.len);
-            device_->read(abs, tmp.data(), m.len);
+                ringReadAbs(layout_.oplogRingOff(slot), ring, m.oplog_off);
+            const uint64_t span =
+                std::min<uint64_t>(opLogValueSpanBytes(m.val_off, m.len),
+                                   ring - m.oplog_off % ring);
+            std::vector<uint8_t> rec(span);
+            device_->read(abs, rec.data(), span);
+            tmp.assign(m.len, 0);
+            extractOpLogValue({rec.data(), rec.size()}, m.val_off, m.len,
+                              tmp.data());
             src = tmp.data();
         }
         writeLocal(m.addr.offset, src, m.len);
@@ -749,7 +812,7 @@ BackendNode::validateTail(uint32_t slot)
     const uint64_t base = layout_.memlogRingOff(slot);
     uint64_t pos = c.memlog_head;
     uint64_t off_in_ring = pos % ring;
-    if (ring - off_in_ring < sizeof(TxHeader) + sizeof(TxFooter)) {
+    if (ring - off_in_ring < kMinTxWire) {
         pos = ringSkipToWrap(pos, ring);
         off_in_ring = pos % ring;
     }
@@ -760,11 +823,10 @@ BackendNode::validateTail(uint32_t slot)
         off_in_ring = pos % ring;
         device_->read(base + off_in_ring, &hdr, sizeof(hdr));
     }
-    if (hdr.magic != kTxMagic || hdr.lpn != c.lpn)
+    if (!txMagicKind(hdr.magic).has_value() || hdr.lpn != c.lpn)
         return TxValidation::None; // nothing (or only stale bytes) there
     const uint64_t max_len = ring - off_in_ring;
-    const uint64_t need =
-        sizeof(TxHeader) + hdr.payload_len + sizeof(TxFooter);
+    const uint64_t need = txWireLen(hdr);
     if (need > max_len)
         return TxValidation::Torn;
     std::vector<uint8_t> buf(need);

@@ -328,6 +328,18 @@ class BackendNode
     /** Durable backend-local write: stage, persist, replicate. */
     void writeLocal(uint64_t off, const void *src, size_t len);
 
+    /**
+     * Zero one consumed zero-based record's bytes in a log ring (mu_
+     * held): restores the pre-zeroed invariant the zero-based format's
+     * presence check relies on, off the front-end critical path. A
+     * guard read of the leading magic keeps the zeroing record-exact —
+     * skip markers and records of other formats are left untouched, so
+     * classic/header-dancing device images stay bit-identical.
+     */
+    void zeroConsumedRecordLocked(uint64_t ring_base, uint64_t ring_size,
+                                  uint64_t pos, uint32_t len,
+                                  uint32_t expect_magic);
+
     /** Durable atomic 8-byte backend-local write (SN, gc_epoch). */
     void writeLocal64(uint64_t off, uint64_t v);
 

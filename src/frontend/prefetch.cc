@@ -12,8 +12,9 @@ PrefetchEngine::onAccess(DsId ds, uint64_t stream, uint64_t addr_raw,
         return;
     if (streams_.size() >= kMaxStreams &&
         streams_.count({ds, stream}) == 0)
-        streams_.clear(); // predictions are disposable; start over
+        evictColdest(); // keep hot predictions; shed the stalest stream
     Run &run = streams_[{ds, stream}];
+    run.last_hit = ++tick_;
     if (!run.building.empty() && run.building.front().addr_raw == addr_raw) {
         // The walk wrapped back to the run's head: the recorded run is a
         // complete traversal — commit it as the prediction and start
@@ -43,6 +44,19 @@ PrefetchEngine::collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
         out->insert(out->end(), run.begin() + i + 1, run.end());
         return;
     }
+}
+
+void
+PrefetchEngine::evictColdest()
+{
+    auto coldest = streams_.end();
+    for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+        if (coldest == streams_.end() ||
+            it->second.last_hit < coldest->second.last_hit)
+            coldest = it;
+    }
+    if (coldest != streams_.end())
+        streams_.erase(coldest);
 }
 
 void

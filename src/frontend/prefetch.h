@@ -78,14 +78,21 @@ class PrefetchEngine
   private:
     /** Longest run recorded per stream (bounds memory and gather size). */
     static constexpr size_t kMaxRunLen = 64;
-    /** Tracked-stream cap; overflow drops all predictions (speculative). */
+    /** Tracked-stream cap; overflow evicts the least-recently-hit
+     *  stream so hot predictions survive bursts of one-shot streams. */
     static constexpr size_t kMaxStreams = 4096;
 
     struct Run
     {
         std::vector<PrefetchCandidate> committed; //!< last full traversal
         std::vector<PrefetchCandidate> building;  //!< traversal in progress
+        uint64_t last_hit = 0;                    //!< recency (tick_ stamp)
     };
+
+    /** Drop the least-recently-hit stream to make room (table at cap). */
+    void evictColdest();
+
+    uint64_t tick_ = 0;
 
     using StreamKey = std::pair<uint64_t, uint64_t>; // (ds, stream)
 

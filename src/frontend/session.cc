@@ -525,7 +525,8 @@ FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
         BackendCtx *c = ctx(backend);
         if (c == nullptr)
             return Status::Unavailable;
-        const auto rec = encodeOpLog(op, ds, c->opn, key, value, val_len);
+        const auto rec = encodeOpLog(cfg_.log_format, op, ds, c->opn, key,
+                                     value, val_len);
         // Per-op persistence (batch == 1) makes the op log the write's
         // durability point: one synchronous RDMA_Write (Section 4.3).
         // Inside a batch, op logs are posted and the group commit is the
@@ -534,6 +535,9 @@ FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
         const Status ast = appendOpLogRecord(*c, rec, sync);
         if (!ok(ast))
             return ast;
+        logfmt_.op_records += 1;
+        logfmt_.op_wire_bytes += rec.size();
+        logfmt_.op_payload_bytes += val_len;
         c->last_oplog_len = val_len;
         c->opn += 1;
         return Status::Ok;
@@ -649,9 +653,11 @@ FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
     const uint64_t covered =
         git->second.covered_opn.value_or(c.opn);
     const uint64_t oplog_ring = c.node->layout().super.oplog_ring_size;
-    TxBuilder builder;
+    TxBuilder builder(cfg_.log_format);
     builder.reset(c.lpn, ds, covered);
+    uint64_t payload_bytes = 0;
     for (const auto &e : git->second.logs) {
+        payload_bytes += e.len;
         // An op-ref is only valid while the referenced record is still
         // in the ring (always true for sane batch/ring ratios).
         const bool ref_ok =
@@ -688,6 +694,9 @@ FrontendSession::flushGroup(BackendCtx &c, DsId ds, bool sync_commit)
         return bst;
     c.lpn += 1;
     ++tx_flushes_;
+    logfmt_.tx_records += 1;
+    logfmt_.tx_wire_bytes += tx.size();
+    logfmt_.tx_payload_bytes += payload_bytes;
     return Status::Ok;
 }
 
@@ -1396,6 +1405,7 @@ FrontendSession::stats() const
     s.prefetch.issued = prefetch_issued_;
     s.prefetch.hits = cache_->prefetchHits();
     s.prefetch.wasted = cache_->prefetchWasted();
+    s.logfmt = logfmt_;
     s.retry.failovers += failovers_completed_;
     s.retry.failover_wait_ns += failover_wait_ns_;
     for (const auto &[id, c] : backends_) {
@@ -1412,6 +1422,7 @@ FrontendSession::resetStats()
 {
     ops_started_ = 0;
     tx_flushes_ = 0;
+    logfmt_ = LogFormatStats{};
     failovers_completed_ = 0;
     failover_wait_ns_ = 0;
     verbs_.resetStats();

@@ -94,6 +94,17 @@ struct SessionConfig
      */
     bool read_prefetch = true;
     uint32_t prefetch_degree = 4; //!< max speculative WQEs per gather
+    /**
+     * Wire encoding of this session's memory-log transactions and
+     * op-log records (see log_format.h): classic Figure-3 layout
+     * (default, bit-identical to the original), header-dancing
+     * (rotating in-line commit mark, 64 B aligned records, one
+     * store + persist per commit), or zero-based (validity as the
+     * zero/non-zero state of pre-zeroed ring bytes). Every record is
+     * self-identifying, so the back-end replays/recovers any format
+     * and mirrors replicate raw byte ranges format-agnostically.
+     */
+    LogFormatKind log_format = LogFormatKind::Classic;
     uint64_t rng_seed = 99;
 
     /** AsymNVM-Naive: direct remote reads/writes, no logs/cache/batch. */
@@ -154,6 +165,21 @@ struct FailoverConfig
     uint64_t wait_quantum_ns = 2000000; //!< ~ lease-expiry granularity
 };
 
+/**
+ * Log-encoding accounting: wire vs payload bytes the session persisted
+ * through its transaction and op-log appends. wire − payload is the
+ * per-format framing overhead the log_format ablation compares.
+ */
+struct LogFormatStats
+{
+    uint64_t tx_records = 0;
+    uint64_t tx_wire_bytes = 0;
+    uint64_t tx_payload_bytes = 0; //!< entry value bytes inside txs
+    uint64_t op_records = 0;
+    uint64_t op_wire_bytes = 0;
+    uint64_t op_payload_bytes = 0; //!< op-log value bytes
+};
+
 /** Aggregated per-session observability snapshot. */
 struct SessionStats
 {
@@ -162,6 +188,7 @@ struct SessionStats
     VerbCounters verbs;    //!< traffic by verb type (reads/writes/atomics)
     RetryStats retry;      //!< transient-fault absorption + failover work
     PrefetchStats prefetch; //!< read-gather speculation outcome
+    LogFormatStats logfmt;  //!< persisted log bytes by record class
 };
 
 /** The client-side AsymNVM runtime for one front-end thread. */
@@ -615,6 +642,7 @@ class FrontendSession
     uint32_t ops_in_batch_ = 0;
     uint64_t ops_started_ = 0;
     uint64_t tx_flushes_ = 0;
+    LogFormatStats logfmt_;
 
     // Transparent-failover state.
     BackendResolver resolver_;

@@ -120,6 +120,52 @@ TEST(OpRefTest, FallsBackToInlineWhenOpLogDisabled)
     EXPECT_EQ(be.nvm().read64(cell.offset), 99u);
 }
 
+/**
+ * The flushGroup op-ref guard (`c.oplog_head - e.oplog_pos < oplog_ring`)
+ * must fall back to inline values exactly when the referenced record has
+ * aged out of the ring. A 216-byte ring holds precisely two 108-byte
+ * push-style records, so after three appends (head = 324):
+ *  - op 1 at pos 0:   324 - 0   = 324 >= 216 — lapped, bytes overwritten
+ *  - op 2 at pos 108: 324 - 108 = 216, the exact boundary; the strict
+ *    `<` keeps the guard conservative and falls back to inline
+ *  - op 3 at pos 216: 324 - 216 = 108 < 216 — a valid op-ref
+ * Every cell must replay its correct value regardless of which side of
+ * the boundary its record landed on.
+ */
+TEST(OpRefTest, RingAgeOutAtExactWrapBoundaryFallsBackToInline)
+{
+    // One classic op record: OpLogHeader(40) + 64 B value + CRC(4).
+    constexpr uint64_t kRecLen = 108;
+    BackendConfig bcfg = testConfig();
+    bcfg.oplog_ring_size = 2 * kRecLen;
+
+    BackendNode be(1, bcfg);
+    FrontendSession s(SessionConfig::rcb(1, 1 << 20, 8));
+    ASSERT_EQ(s.connect(&be), Status::Ok);
+
+    RemotePtr cells[3];
+    Value vals[3];
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(s.alloc(1, Value::kSize, &cells[i]), Status::Ok);
+        vals[i] = Value::ofU64(0xa0a0 + i);
+        ASSERT_EQ(s.opBegin(0, 1, OpType::Insert, 100 + i,
+                            vals[i].bytes.data(), Value::kSize),
+                  Status::Ok);
+        ASSERT_EQ(s.logWriteFromOp(0, cells[i], vals[i].bytes.data(),
+                                   Value::kSize),
+                  Status::Ok);
+        ASSERT_EQ(s.opEnd(), Status::Ok);
+    }
+    ASSERT_EQ(s.flushAll(), Status::Ok);
+
+    for (int i = 0; i < 3; ++i) {
+        Value got;
+        be.nvm().read(cells[i].offset, got.bytes.data(), Value::kSize);
+        EXPECT_EQ(got.asU64(), 0xa0a0u + i)
+            << "cell " << i << " lost its value across the age-out";
+    }
+}
+
 TEST(OpRefTest, CoalescingKnobChangesReplayCount)
 {
     auto run = [&](bool coalesce) {

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PrefetchEngine stream-table tests: learned-run commit/collect
+ * semantics and the overflow policy. The table caps at 4096 streams;
+ * overflow must evict only the least-recently-hit stream, never wipe
+ * the table — a hot stream's committed prediction has to survive a
+ * burst of one-shot cold streams (scan anchors, dying buckets).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/prefetch.h"
+
+namespace asymnvm {
+namespace {
+
+constexpr size_t kCap = 4096; // PrefetchEngine::kMaxStreams
+
+/** Walk the hot stream's 4-address chain once and wrap to its head,
+ *  committing the run as the stream's prediction. */
+void
+walkHotChain(PrefetchEngine &eng, DsId ds, uint64_t stream)
+{
+    for (uint64_t a = 1; a <= 4; ++a)
+        eng.onAccess(ds, stream, 0x1000 * a, 64);
+    eng.onAccess(ds, stream, 0x1000, 64); // back to the head: commit
+}
+
+TEST(PrefetchEngineTest, HotStreamSurvivesOverflowBurst)
+{
+    PrefetchEngine eng;
+    const uint64_t kHot = 0xbeef;
+    walkHotChain(eng, 1, kHot);
+    std::vector<PrefetchCandidate> out;
+    eng.collect(1, kHot, 0x1000, &out);
+    ASSERT_EQ(out.size(), 3u) << "run must be committed before the burst";
+
+    // Fill the table to its cap with cold one-shot streams.
+    for (uint64_t i = 0; eng.streamCount() < kCap; ++i)
+        eng.onAccess(2, 0x10000 + i, 0x200000 + i * 64, 64);
+    EXPECT_EQ(eng.streamCount(), kCap);
+
+    // Touch the hot stream so it is recent, then keep overflowing.
+    walkHotChain(eng, 1, kHot);
+    for (uint64_t i = 0; i < 500; ++i)
+        eng.onAccess(2, 0x900000 + i, 0x400000 + i * 64, 64);
+
+    EXPECT_EQ(eng.streamCount(), kCap)
+        << "overflow must evict one stream per arrival, not clear()";
+    out.clear();
+    eng.collect(1, kHot, 0x1000, &out);
+    EXPECT_EQ(out.size(), 3u)
+        << "hot stream's prediction was lost to a cold-stream burst";
+}
+
+TEST(PrefetchEngineTest, OverflowEvictsTheColdestStreamFirst)
+{
+    PrefetchEngine eng;
+    // Two committed streams, touched in a known order...
+    walkHotChain(eng, 1, /*stream=*/100); // older
+    walkHotChain(eng, 1, /*stream=*/200); // newer
+    for (uint64_t i = 0; eng.streamCount() < kCap; ++i)
+        eng.onAccess(3, 0x50000 + i, 0x300000 + i * 64, 64);
+    // ...then exactly one arrival past the cap: stream 100 is the LRU
+    // victim among the committed pair only if every cold filler is
+    // newer, so re-touch 200 and overflow once.
+    walkHotChain(eng, 1, 200);
+    eng.onAccess(4, 0x77777, 0x500000, 64);
+    EXPECT_EQ(eng.streamCount(), kCap);
+
+    std::vector<PrefetchCandidate> out;
+    eng.collect(1, 200, 0x1000, &out);
+    EXPECT_FALSE(out.empty()) << "recently touched stream evicted";
+}
+
+} // namespace
+} // namespace asymnvm
