@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Pipeline-depth ablation (DESIGN.md §11): cold-cache B+tree point
+ * lookups issued through the coroutine-pipelined batch API
+ * (BpTree::findMany) with `pipeline_depth` swept 1 → 16. Depth 1 runs
+ * the serial protocol bit-for-bit (the reactor never engages); deeper
+ * windows keep that many descents in flight and multiplex their remote
+ * reads onto shared doorbell-batched gather rounds, amortizing the RDMA
+ * RTT across in-flight ops.
+ *
+ * Same cold-cache setup as the Figure 7 prefetch ablation: cache sized
+ * to 25% of the data and dropped after the preload, 100% gets, Zipf
+ * theta 0.9 over unhashed (range-local) keys.
+ */
+
+#include "bench_common.h"
+
+namespace asymnvm::bench {
+namespace {
+
+// Full-size parameters reproduce the paper-scale shape;
+// ASYMNVM_BENCH_TINY shrinks them so the bench_smoke_pipeline ctest
+// target exercises the reactor plumbing in seconds.
+uint64_t kPreload = 30000;
+uint64_t kOps = 8000;
+
+/** Keys handed to one findMany call (the application batch size). */
+constexpr size_t kBatch = 32;
+
+uint64_t session_counter = 7000;
+
+/** Outcome of one depth point of the sweep. */
+struct DepthPoint
+{
+    uint64_t depth = 0;
+    double ns_per_op = -1;
+    double kops = 0;
+    uint64_t doorbells = 0;
+    uint64_t reads = 0;
+    PipelineStats pipe;
+};
+
+/**
+ * Cold-cache B+tree lookups at one pipeline depth. Every run replays
+ * the same Zipf key stream through the same batch boundaries, so the
+ * only variable across depth points is how many descents overlap.
+ */
+DepthPoint
+runBptColdLookupAtDepth(uint64_t depth)
+{
+    DepthPoint out;
+    out.depth = depth;
+    BackendNode be(1, benchBackendConfig());
+    SessionConfig cfg = sessionFor(Mode::RC, ++session_counter,
+                                   cacheBytesFor<BpTree>(0.25, kPreload));
+    cfg.pipeline_depth = static_cast<uint32_t>(depth);
+    FrontendSession s(cfg);
+    if (!ok(s.connect(&be)))
+        return out;
+    BpTree ds;
+    if (!ok(BpTree::create(s, 1, "c", &ds)))
+        return out;
+    WorkloadConfig wcfg;
+    wcfg.key_space = kPreload;
+    wcfg.seed = 42;
+    wcfg.hashed_keys = false;
+    preloadKeys(s, ds, wcfg, kPreload);
+    s.cache().clear(); // start cold: every lookup descends remote
+    s.resetStats();
+    WorkloadConfig mcfg = wcfg;
+    mcfg.put_ratio = 0.0;
+    mcfg.dist = KeyDist::Zipf;
+    mcfg.zipf_theta = 0.9;
+    mcfg.seed = 99;
+    Workload w(mcfg);
+    const uint64_t nops = kOps / 2;
+    std::vector<Key> keys(nops);
+    for (uint64_t i = 0; i < nops; ++i)
+        keys[i] = w.next().key;
+    std::vector<Value> vals(kBatch);
+    std::vector<Status> results(kBatch);
+    const uint64_t t0 = s.clock().now();
+    for (size_t base = 0; base < keys.size(); base += kBatch) {
+        const size_t n = std::min(kBatch, keys.size() - base);
+        (void)ds.findMany({keys.data() + base, n}, vals.data(),
+                          results.data());
+    }
+    const uint64_t dt = s.clock().now() - t0;
+    const SessionStats st = s.stats();
+    out.ns_per_op = static_cast<double>(dt) / static_cast<double>(nops);
+    out.kops = Throughput{nops, dt}.kops();
+    out.doorbells = st.verbs.doorbells;
+    out.reads = st.verbs.reads;
+    out.pipe = st.pipeline;
+    return out;
+}
+
+/**
+ * Machine-readable companion of the printed table: one row per depth
+ * with throughput, latency, verb traffic and the reactor's pipeline
+ * counters. Format documented in EXPERIMENTS.md.
+ */
+void
+writeJson(const std::vector<DepthPoint> &points, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ablation_pipeline\",\n"
+                    "  \"structure\": \"BPT\",\n"
+                    "  \"workload\": \"cold-cache point lookups\",\n"
+                    "  \"params\": {\"preload\": %" PRIu64
+                    ", \"ops\": %" PRIu64 ", \"batch\": %zu"
+                    ", \"tiny\": %s},\n  \"rows\": [\n",
+                 kPreload, kOps / 2, kBatch,
+                 benchTiny() ? "true" : "false");
+    const double base = points.empty() ? 0.0 : points[0].ns_per_op;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const DepthPoint &p = points[i];
+        std::fprintf(f,
+                     "    {\"depth\": %" PRIu64 ", \"kops\": %.1f, "
+                     "\"ns_per_op\": %.1f, \"speedup\": %.2f, "
+                     "\"doorbells\": %" PRIu64 ", \"reads\": %" PRIu64
+                     ", \"rounds\": %" PRIu64 ", \"batched_reads\": %"
+                     PRIu64 ", \"overlap\": %.2f, \"max_in_flight\": %"
+                     PRIu64 "}%s\n",
+                     p.depth, p.kops, p.ns_per_op,
+                     p.ns_per_op > 0 ? base / p.ns_per_op : 0.0,
+                     p.doorbells, p.reads, p.pipe.rounds,
+                     p.pipe.batched_reads, p.pipe.overlap(),
+                     p.pipe.max_in_flight,
+                     i + 1 == points.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+void
+run()
+{
+    if (benchTiny()) {
+        kPreload = 1500;
+        kOps = 400;
+    }
+    printHeader("Pipeline-depth ablation (BPT, cold cache, 100% point "
+                "lookups via findMany)",
+                "Depth       KOPS      ns/op    speedup  doorbells"
+                "      reads");
+    const uint64_t depths[] = {1, 2, 4, 8, 16};
+    std::vector<DepthPoint> points;
+    for (uint64_t d : depths)
+        points.push_back(runBptColdLookupAtDepth(d));
+    const double base = points[0].ns_per_op;
+    for (const DepthPoint &p : points)
+        std::printf("%5" PRIu64 "  %9.1f  %9.1f  %8.2fx  %9" PRIu64
+                    "  %9" PRIu64 "\n",
+                    p.depth, p.kops, p.ns_per_op,
+                    p.ns_per_op > 0 ? base / p.ns_per_op : 0.0,
+                    p.doorbells, p.reads);
+
+    std::printf("\nReactor profile per depth (depth 1 runs the serial "
+                "protocol — all zeros):\n");
+    char label[32];
+    for (const DepthPoint &p : points) {
+        std::snprintf(label, sizeof label, "depth %" PRIu64, p.depth);
+        printPipelineCounters(label, p.pipe);
+    }
+
+    std::printf("\nExpected shape: ns/op drops as the window widens — "
+                "each gather round retires\nreads for several in-flight "
+                "descents, so the per-op RTT cost falls toward\n"
+                "RTT/overlap — with diminishing returns once the window "
+                "covers the tree's\nindependent descents (speedup "
+                "saturates by depth 8-16).\n");
+
+    writeJson(points, "BENCH_ablation_pipeline.json");
+}
+
+} // namespace
+} // namespace asymnvm::bench
+
+int
+main()
+{
+    asymnvm::bench::run();
+    return 0;
+}

@@ -248,6 +248,25 @@ printRetryCounters(const char *label, const RetryStats &r,
     std::printf("\n");
 }
 
+/**
+ * One line of the pipelined-execution profile: configured depth, ops run
+ * through the reactor, gather rounds and the demanded reads they served
+ * (overlap = reads per round — the RTT amortization factor), stall
+ * rounds (<= 1 read pending), peak in-flight ops, and commit fences
+ * coalesced to window drains. All zeros on a non-pipelined run.
+ */
+inline void
+printPipelineCounters(const char *label, const PipelineStats &p)
+{
+    std::printf("%-14s depth %2" PRIu64 "  ops %8" PRIu64 "  rounds %7"
+                PRIu64 "  batched-reads %8" PRIu64 " (overlap %.2f)"
+                "  stalls %6" PRIu64 "  max-in-flight %2" PRIu64
+                "  coalesced-commits %5" PRIu64 "\n",
+                label, p.depth, p.ops, p.rounds, p.batched_reads,
+                p.overlap(), p.solo_rounds, p.max_in_flight,
+                p.deferred_commits);
+}
+
 /** True when ASYMNVM_BENCH_TINY requests smoke-test parameters. */
 inline bool
 benchTiny()

@@ -50,7 +50,8 @@ template <typename DS>
 double
 kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
        RetryStats *retry_out = nullptr, PathProfile *paths = nullptr,
-       OptimisticReadStats *reads_out = nullptr)
+       OptimisticReadStats *reads_out = nullptr,
+       PipelineStats *pipe_out = nullptr)
 {
     BackendNode be(1, benchBackendConfig());
     // A mirror replica rides along when the cell is profiled: mirror
@@ -99,6 +100,8 @@ kvCell(Mode mode, const char *name, VerbCounters *out = nullptr,
     }
     if (reads_out != nullptr)
         *reads_out = ds.readStats();
+    if (pipe_out != nullptr)
+        *pipe_out = s->stats().pipeline;
     return t.kops();
 }
 
@@ -241,6 +244,7 @@ run()
     std::vector<RetryStats> retry_profiles;
     std::vector<PathProfile> path_profiles;
     std::vector<OptimisticReadStats> read_profiles;
+    std::vector<PipelineStats> pipe_profiles;
     printHeader("Table 3: overall performance comparison (KOPS, 100% "
                 "write, 1 front-end : 1 back-end)",
                 "System         SmallBank      TATP     Queue     Stack"
@@ -257,6 +261,7 @@ run()
         RetryStats retry_profile;
         PathProfile path_profile;
         OptimisticReadStats read_profile;
+        PipelineStats pipe_profile;
         std::vector<double> cells;
         cells.push_back(batch_row ? -1 : smallBankCell(mode));
         cells.push_back(tatpCell(mode));
@@ -267,7 +272,7 @@ run()
         cells.push_back(kvCell<Bst>(mode, "bst"));
         cells.push_back(kvCell<BpTree>(mode, "bpt", &profile,
                                        &retry_profile, &path_profile,
-                                       &read_profile));
+                                       &read_profile, &pipe_profile));
         cells.push_back(kvCell<MvBst>(mode, "mvbst"));
         cells.push_back(kvCell<MvBpTree>(mode, "mvbpt"));
         std::printf("%-14s", modeName(mode));
@@ -279,6 +284,7 @@ run()
         retry_profiles.push_back(retry_profile);
         path_profiles.push_back(std::move(path_profile));
         read_profiles.push_back(read_profile);
+        pipe_profiles.push_back(pipe_profile);
     }
     std::printf(
         "\nPaper (Table 3) reference shape: RCB improves Naive by 5-12x;"
@@ -299,6 +305,14 @@ run()
     for (size_t m = 0; m < std::size(modes); ++m)
         printRetryCounters(modeName(modes[m]), retry_profiles[m],
                            &read_profiles[m]);
+
+    std::printf("\nPipelined-execution profile of the same runs "
+                "(all-zero at the default pipeline_depth = 1, which "
+                "keeps every cell above bit-identical to a non-"
+                "pipelined session; bench_ablation_pipeline sweeps the "
+                "depth):\n");
+    for (size_t m = 0; m < std::size(modes); ++m)
+        printPipelineCounters(modeName(modes[m]), pipe_profiles[m]);
 
     std::printf("\nPer-path latency of the same runs (ns; commit = group"
                 "-commit flush on the session clock, replication = "

@@ -203,6 +203,37 @@ struct PrefetchStats
 };
 
 /**
+ * Operation-pipelining observability (coroutine-overlapped round trips).
+ *
+ * The reactor behind FrontendSession::executePipelined admits up to
+ * `pipeline_depth` operations, and every service `round` turns all
+ * suspended ops' demanded reads into one doorbell-batched gather —
+ * `batched_reads / rounds` is therefore the achieved overlap factor,
+ * and `solo_rounds` counts rounds that had nothing to overlap with
+ * (pipeline stalls: the window drained to one blocked op). `ops` counts
+ * operations completed through the pipelined executor (depth > 1 only;
+ * depth 1 runs the serial path and leaves all of this zero).
+ */
+struct PipelineStats
+{
+    uint64_t depth = 0;         //!< configured pipeline_depth
+    uint64_t ops = 0;           //!< ops completed via the pipelined path
+    uint64_t runs = 0;          //!< executePipelined invocations (depth>1)
+    uint64_t rounds = 0;        //!< reactor service rounds (gather waves)
+    uint64_t batched_reads = 0; //!< demanded reads served in shared rounds
+    uint64_t solo_rounds = 0;   //!< rounds with <= 1 pending read (stalls)
+    uint64_t max_in_flight = 0; //!< peak ops suspended concurrently
+    uint64_t deferred_commits = 0; //!< commit fences coalesced to drain
+
+    double overlap() const
+    {
+        return rounds == 0
+                   ? 0.0
+                   : static_cast<double>(batched_reads) / rounds;
+    }
+};
+
+/**
  * Optimistic-read protocol outcome (Section 6.3): attempts through the
  * retry-based reader lock and how many of them failed seqlock validation
  * (the paper's "failed read ratio"). Kept per data structure handle and

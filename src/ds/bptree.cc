@@ -446,6 +446,110 @@ BpTree::find(Key key, Value *out)
     return optimisticRead([&] { return findLocked(key, out, false); });
 }
 
+OpTask
+BpTree::findAsync(Key key, Value *out)
+{
+    // Mirror of findLocked(key, out, /*pin=*/false): identical hints,
+    // torn-view guards and gather candidates, but every remote read is
+    // co_awaited so a cache miss suspends the traversal and the session
+    // reactor batches it with the other in-flight lookups' misses. The
+    // candidate arrays live in the coroutine frame, so the hint spans
+    // stay valid across suspension.
+    uint64_t cur_raw = 0;
+    {
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true;
+        hint.level = 0;
+        const Status st = co_await s_->asyncRead(
+            s_->namingField(id_, backend_, naming_field::kRoot), &cur_raw,
+            8, hint);
+        if (!ok(st))
+            co_return st;
+    }
+    if (cur_raw == 0)
+        co_return Status::NotFound;
+    uint32_t d = 0;
+    Node node;
+    PrefetchCandidate neigh[8];
+    size_t nn = 0;
+    while (true) {
+        if (d > kMaxHeight)
+            co_return Status::Conflict;
+        const Status st = co_await readNodeAsync(
+            RemotePtr::fromRaw(cur_raw), &node, d, true, false,
+            std::span<const PrefetchCandidate>(neigh, nn));
+        if (!ok(st))
+            co_return st;
+        if (node.count > kFanout)
+            co_return Status::Conflict; // torn view
+        if (node.is_leaf)
+            break;
+        if (node.count == 0)
+            co_return Status::Conflict;
+        const uint32_t r = routeIndex(node, key);
+        cur_raw = node.children[r];
+        nn = 0;
+        for (uint32_t dist = 1;
+             dist < node.count && nn < std::size(neigh); ++dist) {
+            if (r + dist < node.count)
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r + dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+            if (dist <= r && nn < std::size(neigh))
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r - dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+        }
+        ++d;
+    }
+    for (uint32_t i = 0; i < node.count; ++i) {
+        if (node.keys[i] != key)
+            continue;
+        PrefetchCandidate cells[4];
+        size_t nc = 0;
+        for (uint32_t dist = 1;
+             dist < node.count && nc < std::size(cells); ++dist) {
+            if (i + dist < node.count)
+                cells[nc++] = PrefetchCandidate{
+                    node.children[i + dist],
+                    static_cast<uint32_t>(Value::kSize)};
+            if (dist <= i && nc < std::size(cells))
+                cells[nc++] = PrefetchCandidate{
+                    node.children[i - dist],
+                    static_cast<uint32_t>(Value::kSize)};
+        }
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true;
+        hint.level = d + 1;
+        hint.admission = &admission_;
+        hint.neighbors = std::span<const PrefetchCandidate>(cells, nc);
+        co_return co_await s_->asyncRead(
+            RemotePtr::fromRaw(node.children[i]), out, Value::kSize, hint);
+    }
+    co_return Status::NotFound;
+}
+
+Status
+BpTree::findMany(std::span<const Key> keys, Value *vals, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = find(keys[i], &vals[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+        ops.push_back(findAsync(keys[i], &vals[i]));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
+}
+
 Status
 BpTree::scan(Key from, uint32_t limit,
              std::vector<std::pair<Key, Value>> *out)

@@ -43,6 +43,24 @@ class BpTree : public DsBase
     /** Point lookup. */
     Status find(Key key, Value *out);
 
+    /**
+     * Point lookup as a resumable pipeline op: the traversal co_awaits
+     * every remote read, letting FrontendSession::executePipelined keep
+     * several lookups' reads in flight per round trip. Mirrors find()
+     * step for step (same hints, guards and sibling gather candidates).
+     * Only valid on handles where pipelineEligible() holds.
+     */
+    OpTask findAsync(Key key, Value *out);
+
+    /**
+     * Pipelined multi-lookup: runs up to SessionConfig::pipeline_depth
+     * findAsync traversals concurrently; results[i] receives the status
+     * of keys[i]. Shared handles without the writer lock fall back to
+     * serial find() per key (seqlock tracking is session-global).
+     */
+    Status findMany(std::span<const Key> keys, Value *vals,
+                    Status *results);
+
     /** Range scan: up to @p limit pairs with key >= @p from. */
     Status scan(Key from, uint32_t limit,
                 std::vector<std::pair<Key, Value>> *out);

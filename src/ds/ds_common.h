@@ -100,6 +100,47 @@ class DsBase
         return s_->read(p, out, sizeof(Node), hint);
     }
 
+    /**
+     * Async twin of readNode for coroutine traversals: returns the
+     * session read awaitable instead of completing the read. Under an
+     * active pipeline the co_await suspends on a cache miss and the
+     * session reactor gathers the miss with other in-flight ops' reads;
+     * outside a pipeline (or at depth 1) the awaitable falls through to
+     * the synchronous path, bit-identical to readNode. @p neighbors must
+     * outlive the suspension — keep the candidate array in the coroutine
+     * frame, never in a helper's stack frame.
+     */
+    template <typename Node>
+    FrontendSession::ReadAwaitable
+    readNodeAsync(RemotePtr p, Node *out, uint32_t level,
+                  bool use_admission = true, bool pin = false,
+                  std::span<const PrefetchCandidate> neighbors = {},
+                  uint64_t stream = 0)
+    {
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true;
+        hint.level = level;
+        hint.admission = use_admission ? &admission_ : nullptr;
+        hint.pin = pin;
+        hint.neighbors = neighbors;
+        hint.stream = stream;
+        return s_->asyncRead(p, out, sizeof(Node), hint);
+    }
+
+    /**
+     * True when this handle's reads may run as pipelined coroutines.
+     * Shared handles under the seqlock protocol must not: readerLock /
+     * readerValidate use session-global read-tracking state that
+     * interleaved coroutines would trample, so multi-key entry points
+     * fall back to serial protected reads (the lock-holding writer is
+     * exempt — its reads are already unprotected).
+     */
+    bool pipelineEligible()
+    {
+        return !opt_.shared || s_->holdsWriterLock(id_, backend_);
+    }
+
     /** Typed whole-node write through the log pipeline. */
     template <typename Node>
     Status writeNode(RemotePtr p, const Node &node)

@@ -230,6 +230,59 @@ HashTable::get(Key key, Value *out)
     return optimisticRead([&] { return getLocked(key, out); });
 }
 
+OpTask
+HashTable::getAsync(Key key, Value *out)
+{
+    // Mirror of getLocked with every remote read co_awaited: a cache
+    // miss suspends the walk and the session reactor gathers it with
+    // the other in-flight lookups' misses.
+    uint64_t cur_raw = 0;
+    {
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true; // hot buckets stay in front-end DRAM
+        const Status st =
+            co_await s_->asyncRead(bucketPtr(key), &cur_raw, 8, hint);
+        if (!ok(st))
+            co_return st;
+    }
+    const uint64_t chain_stream = bucketPtr(key).raw();
+    uint32_t hops = 0;
+    while (cur_raw != 0 && hops++ < kMaxChainHops) {
+        Node node;
+        const Status st = co_await readNodeAsync(
+            RemotePtr::fromRaw(cur_raw), &node, 0, false, false, {},
+            chain_stream);
+        if (!ok(st))
+            co_return st;
+        if (node.key == key) {
+            *out = node.value;
+            co_return Status::Ok;
+        }
+        cur_raw = node.next_raw;
+    }
+    co_return hops >= kMaxChainHops ? Status::Conflict : Status::NotFound;
+}
+
+Status
+HashTable::getMany(std::span<const Key> keys, Value *vals, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = get(keys[i], &vals[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+        ops.push_back(getAsync(keys[i], &vals[i]));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
+}
+
 bool
 HashTable::contains(Key key)
 {

@@ -41,6 +41,21 @@ class HashTable : public DsBase
     /** Point lookup. */
     Status get(Key key, Value *out);
 
+    /**
+     * Point lookup as a resumable pipeline op: the chain walk co_awaits
+     * every remote read so executePipelined can overlap several lookups
+     * per round trip. Mirrors get() step for step. Only valid where
+     * pipelineEligible() holds.
+     */
+    OpTask getAsync(Key key, Value *out);
+
+    /**
+     * Pipelined multi-lookup; results[i] receives keys[i]'s status.
+     * Shared handles without the writer lock fall back to serial get().
+     */
+    Status getMany(std::span<const Key> keys, Value *vals,
+                   Status *results);
+
     /** Remove; NotFound when absent. */
     Status erase(Key key);
 

@@ -406,6 +406,96 @@ MvBpTree::find(Key key, Value *out)
     }
 }
 
+OpTask
+MvBpTree::findAsync(Key key, Value *out)
+{
+    // Mirror of find() with every node read co_awaited. The multi-version
+    // snapshot guarantee carries over unchanged: this op's descent uses
+    // the root it fetched here, whatever the other in-flight ops do.
+    uint64_t cur_raw = 0;
+    Status st = readerRoot(&cur_raw);
+    if (!ok(st))
+        co_return st;
+    if (cur_raw == 0)
+        co_return Status::NotFound;
+    uint32_t depth = 0;
+    Node node;
+    PrefetchCandidate neigh[8];
+    size_t nn = 0;
+    while (true) {
+        if (depth > kMaxHeight)
+            co_return Status::Corruption;
+        st = co_await readNodeAsync(
+            RemotePtr::fromRaw(cur_raw), &node, depth, true, false,
+            std::span<const PrefetchCandidate>(neigh, nn));
+        if (!ok(st))
+            co_return st;
+        if (node.count > kFanout)
+            co_return Status::Corruption;
+        if (node.is_leaf)
+            break;
+        if (node.count == 0)
+            co_return Status::Corruption;
+        const uint32_t r = routeIndex(node, key);
+        cur_raw = node.children[r];
+        nn = 0;
+        for (uint32_t dist = 1;
+             dist < node.count && nn < std::size(neigh); ++dist) {
+            if (r + dist < node.count)
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r + dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+            if (dist <= r && nn < std::size(neigh))
+                neigh[nn++] = PrefetchCandidate{
+                    node.children[r - dist],
+                    static_cast<uint32_t>(sizeof(Node))};
+        }
+        ++depth;
+    }
+    for (uint32_t i = 0; i < node.count; ++i) {
+        if (node.keys[i] != key)
+            continue;
+        PrefetchCandidate cells[4];
+        size_t nc = 0;
+        for (uint32_t dist = 1;
+             dist < node.count && nc < std::size(cells); ++dist) {
+            if (i + dist < node.count)
+                cells[nc++] = PrefetchCandidate{
+                    node.children[i + dist],
+                    static_cast<uint32_t>(Value::kSize)};
+            if (dist <= i && nc < std::size(cells))
+                cells[nc++] = PrefetchCandidate{
+                    node.children[i - dist],
+                    static_cast<uint32_t>(Value::kSize)};
+        }
+        ReadHint hint;
+        hint.ds = id_;
+        hint.cacheable = true;
+        hint.level = depth + 1;
+        hint.admission = &admission_;
+        hint.neighbors = std::span<const PrefetchCandidate>(cells, nc);
+        co_return co_await s_->asyncRead(
+            RemotePtr::fromRaw(node.children[i]), out, Value::kSize, hint);
+    }
+    co_return Status::NotFound;
+}
+
+Status
+MvBpTree::findMany(std::span<const Key> keys, Value *vals, Status *results)
+{
+    // MV readers are lock-free (snapshot per op): no seqlock fallback is
+    // needed, any handle may pipeline.
+    if (keys.empty())
+        return Status::Ok;
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+        ops.push_back(findAsync(keys[i], &vals[i]));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
+}
+
 bool
 MvBpTree::contains(Key key)
 {

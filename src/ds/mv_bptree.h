@@ -36,6 +36,20 @@ class MvBpTree : public MvBase
     Status insert(Key key, const Value &v);
     Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
     Status find(Key key, Value *out);
+
+    /**
+     * Point lookup as a resumable pipeline op: the descent co_awaits
+     * every remote node read so executePipelined can overlap several
+     * lookups per round trip. The root fetch stays synchronous (for pure
+     * readers it is an atomic meta verb, not a gatherable read); the
+     * snapshot property is unchanged — each op traverses the root it
+     * fetched. Mirrors find() step for step.
+     */
+    OpTask findAsync(Key key, Value *out);
+
+    /** Pipelined multi-lookup; results[i] receives keys[i]'s status. */
+    Status findMany(std::span<const Key> keys, Value *vals,
+                    Status *results);
     Status erase(Key key);
     bool contains(Key key);
     uint64_t size() const { return count_; }

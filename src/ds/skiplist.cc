@@ -278,6 +278,91 @@ SkipList::find(Key key, Value *out)
     return optimisticRead([&] { return findLocked(key, out); });
 }
 
+OpTask
+SkipList::findAsync(Key key, Value *out)
+{
+    // Mirror of findLocked: the findPosition walk (prefetch on, pin off)
+    // inlined so every readNode becomes a co_awaited readNodeAsync; a
+    // cache miss suspends the walk and the session reactor gathers it
+    // with the other in-flight lookups' misses. The candidate array
+    // lives in the coroutine frame, valid across suspension.
+    uint64_t cur_raw = head_raw_;
+    Node cur;
+    Status st = co_await readNodeAsync(RemotePtr::fromRaw(cur_raw), &cur,
+                                       0, true, false);
+    if (!ok(st))
+        co_return st;
+    bool found = false;
+    uint64_t succ0 = 0;
+    uint32_t hops = 0;
+    PrefetchCandidate neigh[6];
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+        while (cur.next[lvl] != 0) {
+            if (++hops > kMaxHops)
+                co_return Status::Conflict; // torn view; retry
+            Node next;
+            size_t nn = 0;
+            for (int l = lvl - 1; l >= 0 && nn < std::size(neigh); --l) {
+                const uint64_t nxt = cur.next[l];
+                if (nxt == 0 || nxt == cur.next[lvl])
+                    continue;
+                bool dup = false;
+                for (size_t j = 0; j < nn; ++j)
+                    if (neigh[j].addr_raw == nxt)
+                        dup = true;
+                if (!dup)
+                    neigh[nn++] = PrefetchCandidate{
+                        nxt, static_cast<uint32_t>(sizeof(Node))};
+            }
+            st = co_await readNodeAsync(
+                RemotePtr::fromRaw(cur.next[lvl]), &next,
+                kMaxLevel - 1 - lvl, true, false,
+                std::span<const PrefetchCandidate>(neigh, nn));
+            if (!ok(st))
+                co_return st;
+            if (next.key >= key || next.level == 0 ||
+                next.level > kMaxLevel) {
+                if (next.key == key && next.level >= 1 &&
+                    next.level <= kMaxLevel)
+                    found = true;
+                break;
+            }
+            cur_raw = cur.next[lvl];
+            cur = next;
+        }
+        if (lvl == 0)
+            succ0 = cur.next[0];
+    }
+    if (!found)
+        co_return Status::NotFound;
+    Node node;
+    st = co_await readNodeAsync(RemotePtr::fromRaw(succ0), &node,
+                                kMaxLevel - 1);
+    if (!ok(st))
+        co_return st;
+    *out = node.value;
+    co_return Status::Ok;
+}
+
+Status
+SkipList::findMany(std::span<const Key> keys, Value *vals, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = find(keys[i], &vals[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i)
+        ops.push_back(findAsync(keys[i], &vals[i]));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
+}
+
 Status
 SkipList::scan(Key from, uint32_t limit,
                std::vector<std::pair<Key, Value>> *out)

@@ -45,6 +45,21 @@ class SkipList : public DsBase
     /** Point lookup. */
     Status find(Key key, Value *out);
 
+    /**
+     * Point lookup as a resumable pipeline op: the tower walk co_awaits
+     * every remote read so executePipelined can overlap several lookups
+     * per round trip. Mirrors find() step for step. Only valid where
+     * pipelineEligible() holds.
+     */
+    OpTask findAsync(Key key, Value *out);
+
+    /**
+     * Pipelined multi-lookup; results[i] receives keys[i]'s status.
+     * Shared handles without the writer lock fall back to serial find().
+     */
+    Status findMany(std::span<const Key> keys, Value *vals,
+                    Status *results);
+
     /** Remove; NotFound when absent. */
     Status erase(Key key);
 

@@ -9,9 +9,11 @@
 namespace asymnvm {
 
 FrontendAllocator::FrontendAllocator(NodeId backend, uint64_t slab_size,
-                                     RpcFn rpc, uint32_t reclaim_threshold)
+                                     RpcFn rpc, uint32_t reclaim_threshold,
+                                     uint32_t hysteresis_cycles)
     : backend_(backend), slab_size_(slab_size), rpc_(std::move(rpc)),
-      reclaim_threshold_(reclaim_threshold)
+      reclaim_threshold_(reclaim_threshold),
+      hysteresis_cycles_(std::max(1u, hysteresis_cycles))
 {}
 
 void
@@ -90,10 +92,14 @@ FrontendAllocator::alloc(uint64_t size, RemotePtr *out)
     if (size > slab_size_)
         return allocLarge(size, out);
 
-    // First allocation after a free phase opens a new demand cycle.
+    // First allocation after a free phase opens a new demand cycle; the
+    // closed cycle's consumption enters the hysteresis window and the
+    // oldest entry beyond the window rotates out.
     if (in_free_phase_) {
         in_free_phase_ = false;
-        prev_cycle_consumed_ = cycle_consumed_;
+        past_cycles_.push_back(cycle_consumed_);
+        while (past_cycles_.size() >= hysteresis_cycles_)
+            past_cycles_.pop_front();
         cycle_consumed_ = 0;
     }
 
@@ -200,16 +206,18 @@ FrontendAllocator::free(RemotePtr p, uint64_t size)
 void
 FrontendAllocator::maybeReclaim()
 {
-    // Adaptive hysteresis: keep enough empty slabs to absorb the demand
-    // the last two alloc/free cycles actually drew from the empty list,
-    // so burst-retire/burst-alloc workloads (group commit, Section 8.3)
+    // Adaptive hysteresis: keep enough empty slabs to absorb the peak
+    // demand of the last hysteresis_cycles_ alloc/free cycles, so
+    // burst-retire/burst-alloc workloads (group commit, Section 8.3)
     // do not ping-pong the same slabs through FreeBlocks/AllocBlocks
-    // round trips. A workload whose demand collapses sees keep follow
-    // it down one cycle later and the surplus drains to the floor.
-    const uint64_t keep =
-        std::max<uint64_t>(reclaim_threshold_ / 2,
-                           std::max(cycle_consumed_,
-                                    prev_cycle_consumed_));
+    // round trips — even when quiet cycles separate the bursts, as long
+    // as the oscillation period fits the window. A workload whose
+    // demand collapses sees keep follow it down within a window of
+    // cycles and the surplus drains to the floor.
+    uint64_t keep =
+        std::max<uint64_t>(reclaim_threshold_ / 2, cycle_consumed_);
+    for (const uint64_t c : past_cycles_)
+        keep = std::max(keep, c);
     if (empty_count_ <= std::max<uint64_t>(reclaim_threshold_, keep))
         return;
     // Collect fully free slabs (top of the hole-size index), keep the
@@ -251,7 +259,7 @@ FrontendAllocator::loseVolatileState()
     by_hole_.clear();
     empty_count_ = 0;
     cycle_consumed_ = 0;
-    prev_cycle_consumed_ = 0;
+    past_cycles_.clear();
     in_free_phase_ = false;
 }
 

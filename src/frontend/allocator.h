@@ -14,14 +14,19 @@
  * bench/bench_table2_allocators.cc regenerates that comparison.
  *
  * Reclaim hysteresis adapts to the workload: the allocator keeps as many
- * empty slabs as the last two alloc/free cycles actually drew from the
- * empty list. Group-commit retirement (MV structures under batching)
- * frees slabs in batch-sized bursts that the very next batch
+ * empty slabs as the last `hysteresis_cycles` alloc/free cycles actually
+ * drew from the empty list. Group-commit retirement (MV structures under
+ * batching) frees slabs in batch-sized bursts that the very next batch
  * re-allocates; a fixed keep level turns that cycle into a
  * FreeBlocks/AllocBlocks RPC ping-pong with the back-end — the dominant
- * RPC traffic of the MV benches before this was measured. When demand
- * collapses, the keep level follows it down with one cycle of lag and
- * the surplus drains to the static threshold.
+ * RPC traffic of the MV benches before this was measured. The window is
+ * configurable (SessionConfig::alloc_hysteresis_cycles, default 2)
+ * because the demand peak must stay inside it: a workload oscillating
+ * with a period of k cycles needs a window >= k or the heavy cycle's
+ * demand rotates out during the quiet ones and the ping-pong reappears.
+ * When demand collapses for good, the keep level follows it down within
+ * a window's worth of cycles and the surplus drains to the static
+ * threshold.
  *
  * Sub-slab allocation metadata is volatile (it lives in front-end DRAM);
  * after a front-end crash the allocation state is recovered only at slab
@@ -30,6 +35,7 @@
  */
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <map>
@@ -62,9 +68,15 @@ class FrontendAllocator
      * @param reclaim_threshold Static floor of the reclaim hysteresis:
      *                          surplus above max(threshold, measured
      *                          cycle demand) is returned to the back-end.
+     * @param hysteresis_cycles Demand-window length: empty slabs are
+     *                          retained up to the peak consumption of
+     *                          this many recent alloc/free cycles
+     *                          (clamped to >= 1; 2 reproduces the
+     *                          original current+previous pair).
      */
     FrontendAllocator(NodeId backend, uint64_t slab_size, RpcFn rpc,
-                      uint32_t reclaim_threshold = 32);
+                      uint32_t reclaim_threshold = 32,
+                      uint32_t hysteresis_cycles = 2);
 
     /** Allocate @p size bytes of back-end NVM. */
     Status alloc(uint64_t size, RemotePtr *out);
@@ -81,6 +93,8 @@ class FrontendAllocator
     uint64_t leakedForeignFrees() const { return leaked_foreign_; }
     /** Empty slabs the adaptive hysteresis currently retains. */
     uint64_t emptySlabsHeld() const { return empty_count_; }
+    /** Configured demand-window length (cycles). */
+    uint32_t hysteresisCycles() const { return hysteresis_cycles_; }
 
   private:
     struct Slab
@@ -108,11 +122,14 @@ class FrontendAllocator
     uint32_t empty_count_ = 0;
     /**
      * Demand estimate for the adaptive hysteresis: empty slabs consumed
-     * (turned partial, including fresh refills) during the current and
-     * the previous alloc phase. A free after an alloc closes the cycle.
+     * (turned partial, including fresh refills) during the current
+     * alloc phase, plus the per-cycle totals of up to
+     * hysteresis_cycles_ - 1 closed cycles (newest at the back). A free
+     * after an alloc closes the cycle.
      */
     uint64_t cycle_consumed_ = 0;
-    uint64_t prev_cycle_consumed_ = 0;
+    std::deque<uint64_t> past_cycles_;
+    uint32_t hysteresis_cycles_;
     bool in_free_phase_ = false;
     uint64_t rpc_allocs_ = 0;
     uint64_t local_allocs_ = 0;

@@ -1,0 +1,117 @@
+#ifndef ASYMNVM_FRONTEND_PIPELINE_H_
+#define ASYMNVM_FRONTEND_PIPELINE_H_
+
+/**
+ * @file
+ * Coroutine-pipelined session operations.
+ *
+ * A depth-d remote traversal pays d dependent round trips even with the
+ * read-gather prefetch: the next hop's address is only known after the
+ * current node arrives. One *operation* therefore cannot go faster than
+ * its pointer-chase depth — but one *session* can, by keeping several
+ * independent operations in flight and overlapping their round trips.
+ *
+ * The data structure read paths (bptree, mv_bptree, skiplist, hash_table)
+ * are decomposed into resumable C++20 coroutines returning OpTask. Each
+ * remote fetch becomes a suspension point (`co_await session->asyncRead`):
+ * when the requested bytes are local (overlay / pin / cache) the awaitable
+ * completes inline and the coroutine keeps running; on a remote miss it
+ * parks a PendingRead with the session's reactor and suspends. The reactor
+ * (FrontendSession::executePipelined) keeps a window of
+ * `SessionConfig::pipeline_depth` operations admitted, collects every
+ * suspended op's demanded read, and serves the whole round as ONE
+ * doorbell-batched read chain (Verbs::readGather — one doorbell, one NIC
+ * arrival, one RTT plus combined wire bytes). N in-flight depth-d lookups
+ * thus cost ~d round trips instead of N*d.
+ *
+ * Depth 1 (the default) never suspends: asyncRead falls through to the
+ * serial FrontendSession::read, keeping wire traffic bit-identical to the
+ * non-pipelined session — the ablation baseline.
+ *
+ * No OS threads are involved: coroutine frames are resumed from the
+ * reactor loop on the session thread, in virtual time.
+ */
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+
+#include "common/types.h"
+
+namespace asymnvm {
+
+/**
+ * A resumable session operation. The coroutine body is a data structure
+ * read/write path; `co_return Status` delivers the operation's result.
+ *
+ * Lazily started (initial_suspend = always): creating an OpTask runs no
+ * user code until the reactor admits it with resume(), so a caller can
+ * build a batch of tasks and hand them to executePipelined together.
+ */
+class OpTask
+{
+  public:
+    struct promise_type
+    {
+        Status result = Status::Ok;
+
+        OpTask get_return_object() noexcept
+        {
+            return OpTask(Handle::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_value(Status st) noexcept { result = st; }
+        void unhandled_exception() noexcept { result = Status::Corruption; }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    OpTask() = default;
+    explicit OpTask(Handle h) : h_(h) {}
+    OpTask(OpTask &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+    OpTask &operator=(OpTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            h_ = std::exchange(o.h_, nullptr);
+        }
+        return *this;
+    }
+    OpTask(const OpTask &) = delete;
+    OpTask &operator=(const OpTask &) = delete;
+    ~OpTask() { destroy(); }
+
+    /** Run until the next suspension point (or completion). */
+    void resume()
+    {
+        if (h_ && !h_.done())
+            h_.resume();
+    }
+
+    /** True once the coroutine ran to its co_return. */
+    bool done() const { return !h_ || h_.done(); }
+
+    /** The operation's result; valid once done(). */
+    Status status() const
+    {
+        return h_ ? h_.promise().result : Status::InvalidArgument;
+    }
+
+    bool valid() const { return static_cast<bool>(h_); }
+
+  private:
+    void destroy()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = nullptr;
+        }
+    }
+
+    Handle h_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_FRONTEND_PIPELINE_H_

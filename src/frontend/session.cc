@@ -1,5 +1,6 @@
 #include "frontend/session.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <thread>
@@ -112,7 +113,8 @@ FrontendSession::connect(BackendNode *backend)
                                    std::span<const uint8_t> p,
                                    uint64_t r[4]) {
             return rpcCall(backends_.at(id), op, a, p, r);
-        });
+        },
+        /*reclaim_threshold=*/32, cfg_.alloc_hysteresis_cycles);
 
     // Fetch the persisted log positions (one-sided read of the control
     // block), which restores the shadows after a reconnect.
@@ -396,6 +398,316 @@ FrontendSession::remoteReadWithPrefetch(RemotePtr addr, void *dst,
 }
 
 // ---------------------------------------------------------------------
+// Pipelined operations: coroutine reactor over the read-gather verbs
+// ---------------------------------------------------------------------
+
+bool
+FrontendSession::ReadAwaitable::await_ready()
+{
+    if (!s->pipeline_active_) {
+        // No reactor owns the session (or depth 1): degrade to the
+        // serial read path — same verbs, same clock charges, same
+        // histograms. Depth-1 pipelined runs are bit-identical to
+        // serial ones by this fall-through.
+        result = s->read(addr, dst, len, hint);
+        return true;
+    }
+    const uint64_t t0 = s->clock_.now();
+    if (s->pipelineLocalRead(*this)) {
+        s->hist_read_local_.record(s->clock_.now() - t0);
+        return true;
+    }
+    return false; // remote miss: park with the reactor and suspend
+}
+
+void
+FrontendSession::ReadAwaitable::await_suspend(std::coroutine_handle<>)
+{
+    // The awaitable lives in the coroutine frame, which stays alive
+    // until the reactor resumes the op past this co_await — so parking
+    // a raw pointer is safe.
+    s->pending_reads_.push_back(this);
+}
+
+bool
+FrontendSession::pipelineLocalRead(ReadAwaitable &aw)
+{
+    // Mirrors readInner steps 1-3 exactly (order and clock charges): an
+    // op must observe the same overlay/pin/cache state pipelined as it
+    // would serially.
+    if (tracking_)
+        tracked_reads_.push_back(aw.addr);
+    if (!overlay_.empty() && overlayLookup(aw.addr, aw.dst, aw.len)) {
+        clock_.advance(lat_.dram_access_ns);
+        aw.result = Status::Ok;
+        return true;
+    }
+    if (aw.hint.pin && !pinned_.empty()) {
+        auto it = pinned_.find(aw.addr.raw());
+        if (it != pinned_.end() && it->second.size() == aw.len) {
+            std::memcpy(aw.dst, it->second.data(), aw.len);
+            clock_.advance(lat_.dram_access_ns);
+            aw.result = Status::Ok;
+            return true;
+        }
+    }
+    if (cfg_.symmetric) {
+        aw.result = symmetricRead(aw.addr, aw.dst, aw.len);
+        return true;
+    }
+    aw.cacheable = cfg_.use_cache && aw.hint.cacheable;
+    if (cfg_.read_prefetch && aw.cacheable && aw.hint.stream != 0)
+        prefetch_.onAccess(aw.hint.ds, aw.hint.stream, aw.addr.raw(),
+                           aw.len);
+    aw.admitted = aw.hint.admission == nullptr ||
+                  aw.hint.admission->admit(aw.hint.level);
+    if (aw.cacheable && cache_->lookup(aw.addr, aw.dst, aw.len)) {
+        if (aw.hint.admission != nullptr && aw.admitted)
+            aw.hint.admission->record(true);
+        aw.result = Status::Ok;
+        return true;
+    }
+    return false;
+}
+
+void
+FrontendSession::serveBatchRound()
+{
+    if (pending_reads_.empty())
+        return;
+    ++pipe_rounds_;
+    if (pending_reads_.size() <= 1)
+        ++pipe_solo_rounds_; // nothing to overlap with: a pipeline stall
+    pipe_batched_reads_ += pending_reads_.size();
+    std::vector<ReadAwaitable *> round = std::move(pending_reads_);
+    pending_reads_.clear();
+    const uint64_t t0 = clock_.now();
+
+    // Dedupe demanded addresses across ops: the first op fetches, the
+    // rest copy its bytes (two lookups of one hot node share the wire).
+    std::vector<ReadAwaitable *> primaries;
+    primaries.reserve(round.size());
+    std::vector<std::pair<ReadAwaitable *, ReadAwaitable *>> copies;
+    for (ReadAwaitable *aw : round) {
+        ReadAwaitable *prim = nullptr;
+        for (ReadAwaitable *p : primaries) {
+            if (p->addr.raw() == aw->addr.raw() && p->len == aw->len) {
+                prim = p;
+                break;
+            }
+        }
+        if (prim != nullptr)
+            copies.emplace_back(aw, prim);
+        else
+            primaries.push_back(aw);
+    }
+
+    // Speculative neighbors per op, filtered as the serial path filters
+    // (dedupe, resident-anywhere, wrong back-end), additionally
+    // excluding this round's demanded addresses — the round itself is
+    // the best prefetch.
+    struct Spec
+    {
+        uint64_t addr_raw;
+        uint32_t len;
+        DsId ds;
+    };
+    std::vector<Spec> specs;
+    for (ReadAwaitable *aw : primaries) {
+        const bool eligible =
+            cfg_.read_prefetch && cfg_.use_cache && aw->hint.cacheable &&
+            cfg_.prefetch_degree > 0 &&
+            (!aw->hint.neighbors.empty() || aw->hint.stream != 0);
+        if (!eligible)
+            continue;
+        prefetch_scratch_.clear();
+        prefetch_scratch_.insert(prefetch_scratch_.end(),
+                                 aw->hint.neighbors.begin(),
+                                 aw->hint.neighbors.end());
+        prefetch_.collect(aw->hint.ds, aw->hint.stream, aw->addr.raw(),
+                          &prefetch_scratch_);
+        uint32_t kept = 0;
+        for (const PrefetchCandidate &c : prefetch_scratch_) {
+            if (kept >= cfg_.prefetch_degree)
+                break;
+            if (c.addr_raw == 0 || c.len == 0)
+                continue;
+            const RemotePtr p = RemotePtr::fromRaw(c.addr_raw);
+            if (p.isNull() || p.backend != aw->addr.backend)
+                continue;
+            bool dup = false;
+            for (const ReadAwaitable *d : primaries)
+                if (d->addr.raw() == c.addr_raw) {
+                    dup = true;
+                    break;
+                }
+            for (size_t j = 0; !dup && j < specs.size(); ++j)
+                if (specs[j].addr_raw == c.addr_raw)
+                    dup = true;
+            if (dup ||
+                (!overlay_.empty() && overlay_.count(c.addr_raw) != 0))
+                continue;
+            if (cache_->contains(p, c.len))
+                continue;
+            specs.push_back({c.addr_raw, c.len, aw->hint.ds});
+            ++kept;
+        }
+    }
+
+    // Epoch snapshot BEFORE the gather: an invalidateDs landing while
+    // the chain is in flight outranks the fetched bytes (the same
+    // guard the serial prefetch uses — it is what keeps interleaved
+    // ops' cache fills coherent).
+    const uint64_t issue_epoch = cache_->epochNow();
+    std::vector<ReadAwaitable *> posted;
+    posted.reserve(primaries.size());
+    for (ReadAwaitable *aw : primaries) {
+        const Status pst = verbs_.postRead(aw->addr, aw->dst, aw->len);
+        if (ok(pst))
+            posted.push_back(aw);
+        else
+            aw->result = pst;
+    }
+    if (prefetch_bufs_.size() < specs.size())
+        prefetch_bufs_.resize(specs.size());
+    size_t nspec = 0;
+    for (const Spec &sp : specs) {
+        prefetch_bufs_[nspec].resize(sp.len);
+        if (ok(verbs_.postRead(RemotePtr::fromRaw(sp.addr_raw),
+                               prefetch_bufs_[nspec].data(), sp.len)))
+            specs[nspec++] = sp;
+    }
+    specs.resize(nspec);
+    verbs_.tagGatherOps(posted.size());
+    Status st = verbs_.readGather();
+    if (st == Status::InvalidArgument && !specs.empty()) {
+        // A learned candidate fell outside the target (stale prediction
+        // over reclaimed NVM): forget those predictions and re-run the
+        // round with the demanded reads alone.
+        for (const Spec &sp : specs)
+            prefetch_.invalidateDs(sp.ds);
+        specs.clear();
+        for (ReadAwaitable *aw : posted)
+            verbs_.postRead(aw->addr, aw->dst, aw->len);
+        verbs_.tagGatherOps(posted.size());
+        st = verbs_.readGather();
+    }
+    if (!ok(st)) {
+        // All-or-nothing chain failed on the demanded set itself (torn
+        // pointer out of bounds, back-end crash): serve each demanded
+        // read individually so only the broken op fails — exactly the
+        // status its serial traversal would have seen.
+        for (ReadAwaitable *aw : posted)
+            aw->result = verbs_.read(aw->addr, aw->dst, aw->len);
+    } else {
+        for (ReadAwaitable *aw : posted)
+            aw->result = Status::Ok;
+        if (!specs.empty()) {
+            ++prefetch_batches_;
+            prefetch_issued_ += specs.size();
+            for (size_t i = 0; i < specs.size(); ++i) {
+                const RemotePtr p = RemotePtr::fromRaw(specs[i].addr_raw);
+                cache_->insertSpeculative(specs[i].ds, p,
+                                          prefetch_bufs_[i].data(),
+                                          specs[i].len, issue_epoch);
+                if (tracking_)
+                    tracked_reads_.push_back(p);
+            }
+        }
+    }
+    for (auto &[dup, prim] : copies) {
+        dup->result = prim->result;
+        if (ok(prim->result)) {
+            std::memcpy(dup->dst, prim->dst, dup->len);
+            clock_.advance(lat_.dram_access_ns);
+        }
+    }
+    // Post-miss bookkeeping each op's serial path would have done
+    // (admission window, cache fill, batch-local pin).
+    for (ReadAwaitable *aw : round) {
+        if (!ok(aw->result))
+            continue;
+        if (aw->cacheable && aw->admitted) {
+            if (aw->hint.admission != nullptr)
+                aw->hint.admission->record(false);
+            cache_->insert(aw->hint.ds, aw->addr, aw->dst, aw->len);
+        }
+        if (aw->hint.pin) {
+            auto &slot = pinned_[aw->addr.raw()];
+            slot.assign(static_cast<uint8_t *>(aw->dst),
+                        static_cast<uint8_t *>(aw->dst) + aw->len);
+        }
+        hist_read_remote_.record(clock_.now() - t0);
+    }
+}
+
+void
+FrontendSession::executePipelined(std::span<OpTask> ops,
+                                  std::span<Status> results)
+{
+    assert(results.size() >= ops.size());
+    const uint32_t depth = std::max<uint32_t>(1, cfg_.pipeline_depth);
+    if (depth <= 1 || ops.size() <= 1 || pipeline_active_) {
+        // Serial baseline: with no reactor active, asyncRead never
+        // suspends, so one resume() drives each op to completion through
+        // the unchanged read/commit paths.
+        for (size_t i = 0; i < ops.size(); ++i) {
+            ops[i].resume();
+            results[i] = ops[i].status();
+        }
+        return;
+    }
+    pipeline_active_ = true;
+    ++pipe_runs_;
+    std::vector<size_t> window; // in-flight (suspended) op indices
+    window.reserve(depth);
+    size_t next = 0;
+    // Drive one op to its next suspension point; false once it is done.
+    auto pump = [&](size_t i) {
+        ops[i].resume();
+        if (ops[i].done()) {
+            results[i] = ops[i].status();
+            ++pipe_ops_;
+            return false;
+        }
+        return true;
+    };
+    auto admit = [&] {
+        while (window.size() < depth && next < ops.size()) {
+            const size_t i = next++;
+            if (pump(i))
+                window.push_back(i);
+        }
+    };
+    admit();
+    while (!window.empty()) {
+        pipe_max_in_flight_ =
+            std::max<uint64_t>(pipe_max_in_flight_, window.size());
+        // Every in-flight op is parked on exactly one demanded read:
+        // serve them all as one gather wave, then resume each op, which
+        // either finishes, re-parks at its next hop, or frees a window
+        // slot for the next admission.
+        serveBatchRound();
+        for (size_t w = 0; w < window.size();) {
+            if (pump(window[w]))
+                ++w;
+            else
+                window.erase(window.begin() + w);
+        }
+        admit();
+    }
+    pipeline_active_ = false;
+    if (pipeline_commit_deferred_) {
+        // In-flight ops' batch boundaries were coalesced: one group
+        // commit fences every posted op-log/memlog chain at window
+        // drain (composing with — not fighting — doorbell batching).
+        pipeline_commit_deferred_ = false;
+        ++pipe_deferred_commits_;
+        (void)flushAll();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Write path (apply): op log -> memory logs -> group commit
 // ---------------------------------------------------------------------
 
@@ -529,12 +841,15 @@ FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
                                      value, val_len);
         // Per-op persistence (batch == 1) makes the op log the write's
         // durability point: one synchronous RDMA_Write (Section 4.3).
-        // Inside a batch, op logs are posted and the group commit is the
-        // fence.
-        const bool sync = cfg_.batch_size <= 1;
+        // Inside a batch — or inside an active pipeline window, whose
+        // drain flush is the fence — op logs are posted and ride the
+        // doorbell chain.
+        const bool sync = cfg_.batch_size <= 1 && !pipeline_active_;
         const Status ast = appendOpLogRecord(*c, rec, sync);
         if (!ok(ast))
             return ast;
+        if (!sync && pipeline_active_)
+            pipeline_posted_ops_ = true;
         logfmt_.op_records += 1;
         logfmt_.op_wire_bytes += rec.size();
         logfmt_.op_payload_bytes += val_len;
@@ -625,8 +940,17 @@ FrontendSession::opEnd()
             return flushAll();
         return Status::Ok;
     }
-    if (ops_in_batch_ >= cfg_.batch_size)
+    if (ops_in_batch_ >= cfg_.batch_size) {
+        if (pipeline_active_) {
+            // Other in-flight ops are suspended mid-traversal: defer the
+            // group commit to the window drain, where ONE flush fences
+            // every pipelined op's posted chain together.
+            pipeline_commit_deferred_ = true;
+            processLocalRetired();
+            return Status::Ok;
+        }
         return flushAll();
+    }
     processLocalRetired();
     return Status::Ok;
 }
@@ -773,9 +1097,13 @@ FrontendSession::flushAllInner()
     const uint64_t commit_t0 = clock_.now();
     Status result = Status::Ok;
     // The final transaction write is the batch's commit point when op
-    // logs were posted asynchronously inside the batch.
+    // logs were posted asynchronously inside the batch — including op
+    // logs a pipelined window posted at nominal batch_size 1, whose
+    // durability point moved here (the drain flush).
     const bool need_sync =
-        cfg_.use_txlog && (cfg_.batch_size > 1 || !cfg_.use_oplog);
+        cfg_.use_txlog && (cfg_.batch_size > 1 || !cfg_.use_oplog ||
+                           pipeline_posted_ops_);
+    pipeline_posted_ops_ = false;
     // Collect the flush plan first so we know which write is last.
     // backends_ is an ordered map, so the plan is grouped by back-end.
     std::vector<std::pair<BackendCtx *, DsId>> plan;
@@ -1273,6 +1601,9 @@ FrontendSession::simulateCrash()
     cache_->clear();
     prefetch_.clear();   // learned runs are volatile front-end state
     verbs_.dropPosted(); // pending WQE chains die with the process
+    pending_reads_.clear(); // parked reads die with their frames
+    pipeline_posted_ops_ = false;
+    pipeline_commit_deferred_ = false;
     for (auto &[id, c] : backends_) {
         c.groups.clear();
         c.retired.clear();
@@ -1406,6 +1737,14 @@ FrontendSession::stats() const
     s.prefetch.hits = cache_->prefetchHits();
     s.prefetch.wasted = cache_->prefetchWasted();
     s.logfmt = logfmt_;
+    s.pipeline.depth = cfg_.pipeline_depth;
+    s.pipeline.ops = pipe_ops_;
+    s.pipeline.runs = pipe_runs_;
+    s.pipeline.rounds = pipe_rounds_;
+    s.pipeline.batched_reads = pipe_batched_reads_;
+    s.pipeline.solo_rounds = pipe_solo_rounds_;
+    s.pipeline.max_in_flight = pipe_max_in_flight_;
+    s.pipeline.deferred_commits = pipe_deferred_commits_;
     s.retry.failovers += failovers_completed_;
     s.retry.failover_wait_ns += failover_wait_ns_;
     for (const auto &[id, c] : backends_) {
@@ -1429,6 +1768,13 @@ FrontendSession::resetStats()
     cache_->resetStats();
     prefetch_batches_ = 0;
     prefetch_issued_ = 0;
+    pipe_ops_ = 0;
+    pipe_runs_ = 0;
+    pipe_rounds_ = 0;
+    pipe_batched_reads_ = 0;
+    pipe_solo_rounds_ = 0;
+    pipe_max_in_flight_ = 0;
+    pipe_deferred_commits_ = 0;
     hist_commit_ = Histogram{};
     hist_fanout_ = Histogram{};
     hist_read_remote_ = Histogram{};

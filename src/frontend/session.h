@@ -46,6 +46,7 @@
 #include "common/types.h"
 #include "frontend/allocator.h"
 #include "frontend/cache.h"
+#include "frontend/pipeline.h"
 #include "frontend/prefetch.h"
 #include "rdma/rpc.h"
 #include "rdma/verbs.h"
@@ -105,6 +106,23 @@ struct SessionConfig
      * and mirrors replicate raw byte ranges format-agnostically.
      */
     LogFormatKind log_format = LogFormatKind::Classic;
+    /**
+     * Operations kept in flight by the pipelined executor
+     * (executePipelined): while one coroutine op waits on its remote
+     * read, up to depth-1 others issue theirs, and each reactor round
+     * serves all demanded reads as one doorbell-batched gather. Depth 1
+     * (default) runs every op serially through the unchanged read path —
+     * bit-identical wire traffic to a non-pipelined session.
+     */
+    uint32_t pipeline_depth = 1;
+    /**
+     * Allocator reclaim hysteresis: FreeBlocks returns empty slabs to
+     * the back-end only beyond the peak demand of the last this-many
+     * alloc/free cycles (see FrontendAllocator::maybeReclaim). Raise it
+     * when a workload's alloc/free oscillation period exceeds two cycles
+     * and the FreeBlocks/AllocBlocks RPC ping-pong reappears.
+     */
+    uint32_t alloc_hysteresis_cycles = 2;
     uint64_t rng_seed = 99;
 
     /** AsymNVM-Naive: direct remote reads/writes, no logs/cache/batch. */
@@ -189,6 +207,7 @@ struct SessionStats
     RetryStats retry;      //!< transient-fault absorption + failover work
     PrefetchStats prefetch; //!< read-gather speculation outcome
     LogFormatStats logfmt;  //!< persisted log bytes by record class
+    PipelineStats pipeline; //!< op-pipelining overlap/stall profile
 };
 
 /** The client-side AsymNVM runtime for one front-end thread. */
@@ -225,6 +244,57 @@ class FrontendSession
      */
     Status read(RemotePtr addr, void *dst, uint32_t len,
                 const ReadHint &hint = {});
+
+    // ------------------------------------------------------------------
+    // Pipelined operations (coroutine reactor)
+    // ------------------------------------------------------------------
+
+    /**
+     * Awaitable remote read for OpTask coroutine bodies. The local
+     * phases (overlay, pins, symmetric, cache) complete inline; a remote
+     * miss inside an active pipeline parks the read with the reactor and
+     * suspends until the round's shared gather delivers it. Outside a
+     * pipeline (or at depth 1) it degrades to the serial read() — same
+     * verbs, same clock charges, bit-identical wire traffic.
+     *
+     * The hint's neighbors span must stay alive across the suspension;
+     * coroutine-frame arrays satisfy this naturally.
+     */
+    struct ReadAwaitable
+    {
+        FrontendSession *s = nullptr;
+        RemotePtr addr;
+        void *dst = nullptr;
+        uint32_t len = 0;
+        ReadHint hint;
+        Status result = Status::Ok;
+        bool cacheable = false; //!< computed by the local phase
+        bool admitted = false;  //!< admission decision, made pre-suspend
+
+        bool await_ready();
+        void await_suspend(std::coroutine_handle<> h);
+        Status await_resume() const { return result; }
+    };
+
+    ReadAwaitable asyncRead(RemotePtr addr, void *dst, uint32_t len,
+                            const ReadHint &hint = {})
+    {
+        return ReadAwaitable{this, addr, dst, len, hint};
+    }
+
+    /**
+     * Run @p ops with up to pipeline_depth of them in flight, overlapping
+     * their remote-read round trips (one doorbell-batched gather per
+     * reactor round) and coalescing their commits into one group-commit
+     * fence at window drain. Results land in @p results (same indexing);
+     * completion order is data-dependent, results order is not. At depth
+     * 1 every op runs to completion serially — the ablation baseline.
+     */
+    void executePipelined(std::span<OpTask> ops,
+                          std::span<Status> results);
+
+    /** True while the reactor owns this session's scheduling. */
+    bool pipelineActive() const { return pipeline_active_; }
 
     /**
      * rnvm_mem_log/rnvm_write: record one {address, value} modification
@@ -578,6 +648,23 @@ class FrontendSession
      */
     Status remoteReadWithPrefetch(RemotePtr addr, void *dst, uint32_t len,
                                   const ReadHint &hint);
+
+    /**
+     * Local phase of the pipelined read (mirrors readInner steps 1-3:
+     * tracking, overlay, pins, symmetric, prefetch training, admission,
+     * cache). Returns true when the awaitable completed inline; false
+     * means a remote miss — the caller suspends and the reactor serves
+     * it in the next shared gather round.
+     */
+    bool pipelineLocalRead(ReadAwaitable &aw);
+
+    /**
+     * Serve every parked PendingRead as one doorbell-batched gather per
+     * target (demanded reads deduped, speculative neighbors appended up
+     * to prefetch_degree per op), then apply the post-miss cache/pin
+     * bookkeeping each op's serial path would have done.
+     */
+    void serveBatchRound();
     Status logWriteInternal(DsId ds, RemotePtr addr, const void *value,
                             uint32_t len, bool op_ref, uint32_t val_off);
     Status appendOpLogRecord(BackendCtx &c,
@@ -666,6 +753,25 @@ class FrontendSession
     std::vector<std::vector<uint8_t>> prefetch_bufs_; //!< gather landing
     uint64_t prefetch_batches_ = 0; //!< gathers that carried speculation
     uint64_t prefetch_issued_ = 0;  //!< speculative WQEs issued
+
+    // Pipelined-operation reactor state (executePipelined).
+    bool pipeline_active_ = false; //!< reactor owns scheduling
+    /** Reads parked by suspended ops; the awaitables live in their
+     *  coroutine frames, which stay alive until resumed past co_await. */
+    std::vector<ReadAwaitable *> pending_reads_;
+    /** Set when a pipelined opBegin posted its op log asynchronously:
+     *  the drain flush must fence even at batch_size 1. */
+    bool pipeline_posted_ops_ = false;
+    /** Set when a pipelined opEnd hit its batch boundary: the commit is
+     *  coalesced into one flushAll at window drain. */
+    bool pipeline_commit_deferred_ = false;
+    uint64_t pipe_ops_ = 0;          //!< ops completed via the reactor
+    uint64_t pipe_runs_ = 0;         //!< executePipelined calls (depth>1)
+    uint64_t pipe_rounds_ = 0;       //!< gather service rounds
+    uint64_t pipe_batched_reads_ = 0; //!< demanded reads served in rounds
+    uint64_t pipe_solo_rounds_ = 0;  //!< rounds with <= 1 pending read
+    uint64_t pipe_max_in_flight_ = 0; //!< peak suspended ops
+    uint64_t pipe_deferred_commits_ = 0; //!< fences coalesced to drain
 
     /**
      * Symmetric baseline's replication target: the remote mirror the

@@ -426,6 +426,7 @@ Verbs::readGather()
             result = st;
     }
     read_chains_.clear();
+    next_gather_ops_ = 1; // the tag covers exactly one gather
     return result;
 }
 
@@ -505,7 +506,8 @@ Verbs::readGatherOnce(NodeId id, const std::vector<ReadWqe> &wqes)
             return Status::InvalidArgument;
 
     if (t.nic != nullptr)
-        clock_->advance(t.nic->reserveGather(n, clock_->now()));
+        clock_->advance(
+            t.nic->reserveGather(n, clock_->now(), next_gather_ops_));
     // One completion wait: the chained WQEs travel back to back, so the
     // session pays a single round trip plus the combined wire time.
     clock_->advance(lat_->rdma_read_rtt_ns + lat_->wireBytes(total));

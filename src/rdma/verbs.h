@@ -178,6 +178,19 @@ class Verbs
      */
     Status readGather();
 
+    /**
+     * Tag the NEXT readGather with the number of independent operations
+     * whose demanded reads its chains multiplex. Pipelined sessions set
+     * this to the round's in-flight op count so the target NIC can
+     * account multi-op arrivals (NicModel::reserveGather's ops
+     * parameter); the tag is consumed by the next readGather and resets
+     * to 1 afterwards. Purely observational — no cost model change.
+     */
+    void tagGatherOps(uint64_t ops)
+    {
+        next_gather_ops_ = ops == 0 ? 1 : ops;
+    }
+
     /** WQEs pending (posted, doorbell not yet rung) across all targets. */
     uint64_t pendingWqes() const;
 
@@ -328,6 +341,7 @@ class Verbs
     RetryStats retry_stats_;
     uint64_t verbs_issued_ = 0;
     uint64_t bytes_moved_ = 0;
+    uint64_t next_gather_ops_ = 1; //!< ops multiplexed by the next gather
     uint64_t partial_write_len_pending_ = 0;
     /** Set by begin() when this verb executes but its completion drops. */
     bool lost_completion_ = false;

@@ -84,20 +84,31 @@ class NicModel
      * Account a doorbell-batched read gather: @p n read WQEs launched by
      * one doorbell enter the queue as a single arrival, exactly like
      * reserveBatch, but are additionally counted so benchmarks can report
-     * how much of the read traffic arrives pre-batched.
+     * how much of the read traffic arrives pre-batched. @p ops is the
+     * number of independent *operations* whose demanded reads the chain
+     * multiplexes (pipelined sessions overlap several ops per arrival);
+     * gathers with ops > 1 are tracked separately so the arrival stream's
+     * op-interleaving is observable at the NIC.
      */
-    uint64_t reserveGather(uint64_t n, uint64_t now_ns)
+    uint64_t reserveGather(uint64_t n, uint64_t now_ns, uint64_t ops = 1)
     {
         if (n == 0)
             return 0;
         gather_batches_.add(1);
         gather_wqes_.add(n);
+        if (ops > 1) {
+            multi_op_batches_.add(1);
+            multi_op_wqes_.add(n);
+        }
         return reserveBatch(n, now_ns);
     }
 
     uint64_t verbCount() const { return verbs_.get(); }
     uint64_t gatherBatches() const { return gather_batches_.get(); }
     uint64_t gatherWqes() const { return gather_wqes_.get(); }
+    /** Gather arrivals multiplexing several in-flight ops' reads. */
+    uint64_t multiOpBatches() const { return multi_op_batches_.get(); }
+    uint64_t multiOpWqes() const { return multi_op_wqes_.get(); }
     uint64_t busyNs() const { return busy_ns_.get(); }
     uint64_t serviceNs() const { return service_ns_; }
 
@@ -120,6 +131,8 @@ class NicModel
         verbs_.reset();
         gather_batches_.reset();
         gather_wqes_.reset();
+        multi_op_batches_.reset();
+        multi_op_wqes_.reset();
         busy_ns_.reset();
         busy_since_reset_.store(0, std::memory_order_relaxed);
         base_now_ns_.store(max_now_ns_.load(std::memory_order_relaxed),
@@ -134,6 +147,8 @@ class NicModel
     Counter verbs_;
     Counter gather_batches_;
     Counter gather_wqes_;
+    Counter multi_op_batches_;
+    Counter multi_op_wqes_;
     Counter busy_ns_;
 };
 
