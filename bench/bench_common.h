@@ -239,6 +239,14 @@ printRetryCounters(const char *label, const RetryStats &r,
                 r.retries_posted, r.retries_atomic, r.timeouts,
                 r.qp_resets, r.backoff_ns / 1000.0, r.rpc_resends,
                 r.failovers);
+    if (r.promotions_won + r.promotions_lost + r.stale_epoch_fenced > 0)
+        // Multi-session failover only: how this session fared in the
+        // promotion races (epoch-claim CAS) and how often the epoch
+        // fence forced it to re-resolve a condemned back-end.
+        std::printf("  promo-won %2" PRIu64 "  promo-lost %3" PRIu64
+                    "  stale-fenced %3" PRIu64,
+                    r.promotions_won, r.promotions_lost,
+                    r.stale_epoch_fenced);
     if (reads != nullptr)
         // §6.3 failed-read ratio: optimistic-read attempts invalidated by
         // a concurrent writer and re-run. 0/0 on unshared runs.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "check/invariant_checker.h"
@@ -24,6 +26,19 @@ describe(const char *what, Status st)
     return std::string(what) + " -> " + statusName(st);
 }
 
+/** One front-end session with its own structures and shadow models.
+ *  Structures are per-session because the simulation is SWMR: each
+ *  writer owns its structures, but all share the back-end, its log
+ *  slots, heap, naming space — and its failures. */
+struct SessionCtx
+{
+    std::unique_ptr<FrontendSession> s;
+    HashTable ht;
+    Stack stk;
+    std::map<Key, uint64_t> shadow_hash;
+    std::vector<uint64_t> shadow_stack; // top at the back
+};
+
 } // namespace
 
 ChaosResult
@@ -38,74 +53,115 @@ runChaosSoak(const ChaosConfig &cfg)
         return res;
     };
 
+    const uint32_t nsessions = std::max(1u, cfg.sessions);
+
     ClusterConfig ccfg;
     ccfg.num_backends = 1;
     ccfg.mirrors_per_backend = cfg.mirrors;
-    ccfg.backend.nvm_size = 16ull << 20;
-    ccfg.backend.max_frontends = 4;
-    ccfg.backend.max_names = 16;
+    ccfg.backend.nvm_size = (16ull << 20) + nsessions * (2ull << 20);
+    ccfg.backend.max_frontends = std::max(4u, nsessions);
+    ccfg.backend.max_names = std::max(16u, 2 * nsessions + 4);
     ccfg.backend.memlog_ring_size = 256ull << 10;
     ccfg.backend.oplog_ring_size = 256ull << 10;
     ccfg.transparent_failover = true;
     Cluster cluster(ccfg);
 
-    auto s = cluster.makeSession(
-        SessionConfig::rcb(1, 1ull << 20, cfg.batch_size));
-    if (s == nullptr)
-        return fail("makeSession failed");
+    std::vector<SessionCtx> sess(nsessions);
+    std::set<uint64_t> session_ids;
+    for (uint32_t j = 0; j < nsessions; ++j) {
+        SessionCtx &sc = sess[j];
+        sc.s = cluster.makeSession(
+            SessionConfig::rcb(1, 1ull << 20, cfg.batch_size));
+        if (sc.s == nullptr)
+            return fail("makeSession failed");
+        session_ids.insert(sc.s->config().session_id);
+        Status st = HashTable::create(
+            *sc.s, 1, "chaos_hash_" + std::to_string(j), 64, &sc.ht);
+        if (!ok(st))
+            return fail(describe("HashTable::create", st));
+        st = Stack::create(*sc.s, 1,
+                           "chaos_stack_" + std::to_string(j), &sc.stk);
+        if (!ok(st))
+            return fail(describe("Stack::create", st));
+        st = sc.s->flushAll();
+        if (!ok(st))
+            return fail(describe("initial flushAll", st));
+    }
 
-    HashTable ht;
-    Status st = HashTable::create(*s, 1, "chaos_hash", 64, &ht);
-    if (!ok(st))
-        return fail(describe("HashTable::create", st));
-    Stack stk;
-    st = Stack::create(*s, 1, "chaos_stack", &stk);
-    if (!ok(st))
-        return fail(describe("Stack::create", st));
-    st = s->flushAll();
-    if (!ok(st))
-        return fail(describe("initial flushAll", st));
-
-    // In-DRAM shadow models of the acknowledged operations.
-    std::map<Key, uint64_t> shadow_hash;
-    std::vector<uint64_t> shadow_stack; // top at the back
-
-    // Audit the raw NVM image against the shadows (quiesced first).
+    // Audit the raw NVM image against every session's shadows (quiesced
+    // first), then the promotion ledger: epochs must be contiguous with
+    // exactly one promotion record each, won by a known session (or by
+    // the harness, winner 0).
     auto audit = [&](const char *when) -> bool {
-        const Status fst = s->flushAll();
-        if (!ok(fst)) {
-            fail(describe("audit flushAll", fst) + " (" + when + ")");
-            return false;
+        for (SessionCtx &sc : sess) {
+            const Status fst = sc.s->flushAll();
+            if (!ok(fst)) {
+                fail(describe("audit flushAll", fst) + " (" + when +
+                     ")");
+                return false;
+            }
         }
         BackendNode *be = cluster.backend(1);
         InvariantChecker chk(be, /*strict=*/true);
         AuditReport rep;
-        chk.checkLogControl(/*slot=*/0, &rep);
-        chk.checkQuiescent(ht.id(), &rep);
-        chk.checkQuiescent(stk.id(), &rep);
-        chk.checkHeap(ht.id(), &rep);
-        chk.checkHeap(stk.id(), &rep);
-        const auto hc = chk.hashContents(ht.id(), &rep);
-        const auto sc = chk.stackContents(stk.id(), &rep);
-        if (!rep.clean()) {
-            fail(std::string("invariants (") + when + "): " + rep.str());
-            return false;
+        for (uint32_t slot = 0; slot < nsessions; ++slot)
+            chk.checkLogControl(slot, &rep);
+        for (SessionCtx &sc : sess) {
+            chk.checkQuiescent(sc.ht.id(), &rep);
+            chk.checkQuiescent(sc.stk.id(), &rep);
+            chk.checkHeap(sc.ht.id(), &rep);
+            chk.checkHeap(sc.stk.id(), &rep);
+            const auto hc = chk.hashContents(sc.ht.id(), &rep);
+            const auto scs = chk.stackContents(sc.stk.id(), &rep);
+            if (!rep.clean()) {
+                fail(std::string("invariants (") + when +
+                     "): " + rep.str());
+                return false;
+            }
+            if (!hc.has_value() || *hc != sc.shadow_hash) {
+                fail(std::string(
+                         "hash contents diverge from shadow (") +
+                     when + "): NVM has " +
+                     std::to_string(hc.has_value() ? hc->size() : 0) +
+                     " keys, shadow has " +
+                     std::to_string(sc.shadow_hash.size()));
+                return false;
+            }
+            std::vector<uint64_t> want(sc.shadow_stack.rbegin(),
+                                       sc.shadow_stack.rend());
+            if (!scs.has_value() || *scs != want) {
+                fail(std::string(
+                         "stack contents diverge from shadow (") +
+                     when + "): NVM depth " +
+                     std::to_string(scs.has_value() ? scs->size()
+                                                    : 0) +
+                     ", shadow depth " + std::to_string(want.size()));
+                return false;
+            }
         }
-        if (!hc.has_value() || *hc != shadow_hash) {
-            fail(std::string("hash contents diverge from shadow (") +
-                 when + "): NVM has " +
-                 std::to_string(hc.has_value() ? hc->size() : 0) +
-                 " keys, shadow has " +
-                 std::to_string(shadow_hash.size()));
-            return false;
+        const auto hist = cluster.failoverEpochs().history();
+        uint64_t expect = 2; // slots are born at epoch 1
+        for (const auto &rec : hist) {
+            if (rec.node != 1) {
+                fail("promotion record for unexpected node");
+                return false;
+            }
+            if (rec.epoch != expect) {
+                fail("promotion epochs not contiguous (epoch " +
+                     std::to_string(rec.epoch) + ", expected " +
+                     std::to_string(expect) + ")");
+                return false;
+            }
+            if (rec.winner_session != 0 &&
+                session_ids.count(rec.winner_session) == 0) {
+                fail("promotion won by unknown session " +
+                     std::to_string(rec.winner_session));
+                return false;
+            }
+            ++expect;
         }
-        std::vector<uint64_t> want(shadow_stack.rbegin(),
-                                   shadow_stack.rend());
-        if (!sc.has_value() || *sc != want) {
-            fail(std::string("stack contents diverge from shadow (") +
-                 when + "): NVM depth " +
-                 std::to_string(sc.has_value() ? sc->size() : 0) +
-                 ", shadow depth " + std::to_string(want.size()));
+        if (cluster.slotEpoch(1) != 1 + hist.size()) {
+            fail("slot epoch diverges from promotion history");
             return false;
         }
         ++res.audits;
@@ -116,16 +172,26 @@ runChaosSoak(const ChaosConfig &cfg)
     bool condemned = false;
     uint32_t fault_ops_left = 0;
     FaultConfig window_cfg;
+    std::vector<uint64_t> fo_seen(nsessions, 0);
+
+    auto maxNow = [&] {
+        uint64_t mx = 0;
+        for (SessionCtx &sc : sess)
+            mx = std::max(mx, sc.s->clock().now());
+        return mx;
+    };
 
     for (uint32_t i = 0; res.ok && i < cfg.num_ops; ++i) {
-        const uint64_t now = s->clock().now();
+        SessionCtx &sc = sess[i % nsessions];
 
-        // Keepalive heartbeats: a live primary renews (a condemned one,
-        // by definition, never will again); surviving mirrors renew.
+        // Keepalive heartbeats at the frontier of virtual time: a live
+        // primary renews (a condemned one, by definition, never will
+        // again); surviving mirrors renew.
+        const uint64_t mx = maxNow();
         if (!condemned)
-            cluster.keepAlive().renew(1, now);
+            cluster.keepAlive().renew(1, mx);
         for (MirrorNode *m : cluster.mirrorsOf(1))
-            cluster.keepAlive().renew(m->id(), now);
+            cluster.keepAlive().renew(m->id(), mx);
 
         // Maintain the transient-network-fault window across failovers:
         // a replacement back-end arrives with a fresh, disarmed model.
@@ -148,11 +214,25 @@ runChaosSoak(const ChaosConfig &cfg)
             cluster.condemnBackend(1);
             condemned = true;
             ++res.permanent_failures;
+            // Detection delay: the group only declares the node dead
+            // once its lease lapses. Jump every session's clock past
+            // the lease in sub-lease steps (staggered, so no two
+            // sessions resolve at the same instant), renewing the
+            // surviving mirrors at each step — their keepalive agents
+            // outlive the primary's silence.
+            const uint64_t lease = cluster.keepAlive().leaseNs();
+            for (int step = 0; step < 3; ++step) {
+                for (uint32_t j = 0; j < nsessions; ++j)
+                    sess[j].s->clock().advance(lease / 2 + j * 1000);
+                const uint64_t t = maxNow();
+                for (MirrorNode *m : cluster.mirrorsOf(1))
+                    cluster.keepAlive().renew(m->id(), t);
+            }
         } else if (rng.nextBool(cfg.p_mirror_crash) &&
                    cluster.mirrorsOf(1).size() > 1) {
             // Keep at least one mirror so the availability promise holds.
             cluster.crashMirror(
-                1, rng.nextBounded(cluster.mirrorsOf(1).size()), now);
+                1, rng.nextBounded(cluster.mirrorsOf(1).size()), mx);
             ++res.mirror_crashes;
         } else if (fault_ops_left == 0 &&
                    rng.nextBool(cfg.p_fault_window)) {
@@ -165,29 +245,41 @@ runChaosSoak(const ChaosConfig &cfg)
             fault_ops_left = cfg.fault_window_ops;
             ++res.fault_windows;
         } else if (rng.nextBool(cfg.p_gray)) {
-            be->faults().slowDownUntil(now + 200000, /*extra_ns=*/500);
+            be->faults().slowDownUntil(mx + 200000, /*extra_ns=*/500);
             ++res.gray_bursts;
         }
 
-        // One workload operation. Every outcome other than Ok (or a
-        // shadow-consistent NotFound) is an availability violation: a
-        // promotable mirror or a restartable node always exists here.
-        const uint64_t fo_before = s->failoversCompleted();
+        // While the primary is condemned and down, every session probes
+        // the resolver (the KeepAlive rejoin path): once the lease
+        // lapses, k sessions race the promotion claim — exactly one may
+        // win it; the rest must observe the race and re-resolve.
+        const size_t hist_before =
+            cluster.failoverEpochs().history().size();
+        if (condemned && cluster.backend(1)->failure().crashed()) {
+            for (SessionCtx &x : sess)
+                x.s->tryHeal(1);
+        }
+
+        // One workload operation, on this session's own structures.
+        // Every outcome other than Ok (or a shadow-consistent NotFound)
+        // is an availability violation: a promotable mirror or a
+        // restartable node always exists here.
+        Status st;
         const uint32_t kind = static_cast<uint32_t>(rng.nextBounded(100));
         const Key key = rng.nextBounded(kKeySpace) + 1;
         if (kind < 30) {
             const uint64_t v = rng.next();
-            st = ht.put(key, Value::ofU64(v));
+            st = sc.ht.put(key, Value::ofU64(v));
             if (!ok(st)) {
                 fail(describe("hash put", st));
                 break;
             }
-            shadow_hash[key] = v;
+            sc.shadow_hash[key] = v;
         } else if (kind < 55) {
             Value v;
-            st = ht.get(key, &v);
-            const auto it = shadow_hash.find(key);
-            if (it == shadow_hash.end()) {
+            st = sc.ht.get(key, &v);
+            const auto it = sc.shadow_hash.find(key);
+            if (it == sc.shadow_hash.end()) {
                 if (st != Status::NotFound) {
                     fail(describe("hash get of absent key", st));
                     break;
@@ -197,43 +289,51 @@ runChaosSoak(const ChaosConfig &cfg)
                 break;
             }
         } else if (kind < 70) {
-            st = ht.erase(key);
-            const bool present = shadow_hash.erase(key) != 0;
+            st = sc.ht.erase(key);
+            const bool present = sc.shadow_hash.erase(key) != 0;
             if (present ? !ok(st) : st != Status::NotFound) {
                 fail(describe("hash erase", st));
                 break;
             }
         } else if (kind < 85) {
             const uint64_t v = rng.next();
-            st = stk.push(Value::ofU64(v));
+            st = sc.stk.push(Value::ofU64(v));
             if (!ok(st)) {
                 fail(describe("stack push", st));
                 break;
             }
-            shadow_stack.push_back(v);
+            sc.shadow_stack.push_back(v);
         } else {
             Value v;
-            st = stk.pop(&v);
-            if (shadow_stack.empty()) {
+            st = sc.stk.pop(&v);
+            if (sc.shadow_stack.empty()) {
                 if (st != Status::NotFound) {
                     fail(describe("stack pop of empty stack", st));
                     break;
                 }
-            } else if (!ok(st) || v.asU64() != shadow_stack.back()) {
+            } else if (!ok(st) || v.asU64() != sc.shadow_stack.back()) {
                 fail(describe("stack pop", st) + " (value mismatch)");
                 break;
             } else {
-                shadow_stack.pop_back();
+                sc.shadow_stack.pop_back();
             }
         }
         ++res.ops_done;
 
-        // A transparent heal ran inside the op: the condemned node (if
-        // any) was replaced by promotion. Audit the recovered image.
-        const uint64_t fo_after = s->failoversCompleted();
-        if (fo_after > fo_before) {
-            res.failovers += fo_after - fo_before;
-            condemned = false;
+        // Transparent heals ran inside the probes or the op. When a
+        // promotion landed (the ledger grew), the condemned node has
+        // been replaced; audit the recovered image.
+        uint64_t new_fo = 0;
+        for (uint32_t j = 0; j < nsessions; ++j) {
+            const uint64_t cur = sess[j].s->failoversCompleted();
+            new_fo += cur - fo_seen[j];
+            fo_seen[j] = cur;
+        }
+        if (new_fo > 0) {
+            res.failovers += new_fo;
+            if (cluster.failoverEpochs().history().size() >
+                hist_before)
+                condemned = false;
             if (!audit("after recovery"))
                 break;
         }
@@ -242,9 +342,16 @@ runChaosSoak(const ChaosConfig &cfg)
     if (res.ok)
         audit("end of run");
 
-    const SessionStats stats = s->stats();
-    res.verb_retries = stats.retry.totalRetries();
-    res.rpc_resends = stats.retry.rpc_resends;
+    for (SessionCtx &sc : sess) {
+        const SessionStats stats = sc.s->stats();
+        res.verb_retries += stats.retry.totalRetries();
+        res.rpc_resends += stats.retry.rpc_resends;
+        res.promotions_won += stats.retry.promotions_won;
+        res.promotions_lost += stats.retry.promotions_lost;
+        res.stale_fenced += stats.retry.stale_epoch_fenced;
+    }
+    res.promotions = cluster.failoverEpochs().history().size();
+    res.claim_takeovers = cluster.failoverEpochs().stats(1).takeovers;
     return res;
 }
 

@@ -37,6 +37,7 @@ struct ChaosConfig
 {
     uint64_t seed = 1;
     uint32_t num_ops = 240;
+    uint32_t sessions = 1;        //!< concurrent front-end sessions
     uint32_t mirrors = 2;
     uint32_t batch_size = 16;     //!< RCB group-commit size
     double p_transient = 0.02;    //!< transient back-end crash (Case 3)
@@ -54,7 +55,7 @@ struct ChaosResult
     std::string error; //!< first violation, empty when ok
 
     uint64_t ops_done = 0;
-    uint64_t failovers = 0; //!< transparent heals the session completed
+    uint64_t failovers = 0; //!< transparent heals the sessions completed
     uint64_t transient_crashes = 0;
     uint64_t permanent_failures = 0;
     uint64_t mirror_crashes = 0;
@@ -63,6 +64,16 @@ struct ChaosResult
     uint64_t verb_retries = 0; //!< transient faults absorbed by retries
     uint64_t rpc_resends = 0;
     uint64_t audits = 0; //!< invariant audits that ran (and passed)
+
+    // Multi-session promotion-race observability (epoch directory +
+    // per-session counters, summed). promotions == the number of epoch
+    // bumps; the audit separately proves one promotion *record* per
+    // epoch and contiguity.
+    uint64_t promotions = 0;
+    uint64_t promotions_won = 0;  //!< claim CAS wins, across sessions
+    uint64_t promotions_lost = 0; //!< claim races lost, across sessions
+    uint64_t stale_fenced = 0;    //!< zombie re-resolves forced by fence
+    uint64_t claim_takeovers = 0; //!< stalled claims taken over
 };
 
 /** Run one seeded chaos soak; see the file comment for the contract. */

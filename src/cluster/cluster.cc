@@ -4,6 +4,14 @@ namespace asymnvm {
 
 namespace {
 constexpr NodeId kMirrorIdBase = 100;
+/**
+ * Polls a pending promotion claim may stall (its winner not completing)
+ * before a waiting session takes the claim over. Generous enough that a
+ * winner mid-wait-loop always completes first; small enough that a
+ * winner that died between its claim and completion polls cannot strand
+ * the slot past one failover wait budget.
+ */
+constexpr uint64_t kClaimTakeoverPolls = 8;
 } // namespace
 
 Cluster::Cluster(const ClusterConfig &cfg) : cfg_(cfg)
@@ -12,7 +20,8 @@ Cluster::Cluster(const ClusterConfig &cfg) : cfg_(cfg)
         const NodeId id = static_cast<NodeId>(b + 1);
         backends_[id] = std::make_unique<BackendNode>(id, cfg_.backend,
                                                       cfg_.latency);
-        keepalive_.join(id, NodeRole::BackEnd, 0);
+        keepalive_.join(id, NodeRole::BackEnd, 0, /*has_nvm=*/true,
+                        kInvalidNode, epochs_.epoch(id));
         auto &mirror_list = mirrors_[id];
         for (uint32_t m = 0; m < cfg_.mirrors_per_backend; ++m) {
             const NodeId mid = static_cast<NodeId>(
@@ -64,9 +73,13 @@ Cluster::makeSession(SessionConfig scfg)
     if (cfg_.transparent_failover) {
         // Sessions are owned by the caller but never outlive the cluster
         // in this harness, so capturing `this` is safe.
-        s->setBackendResolver([this](NodeId id, uint64_t now_ns) {
-            return resolveBackend(id, now_ns);
+        s->setBackendResolver([this](const ResolveRequest &rq) {
+            return resolveBackend(rq);
         });
+        // Seed the observed epochs so the very first failover presents
+        // the connect-time epoch instead of "never resolved".
+        for (auto &[id, be] : backends_)
+            s->noteBackendEpoch(id, epochs_.epoch(id));
     }
     return s;
 }
@@ -84,6 +97,20 @@ Cluster::crashBackendTransient(NodeId id)
     be->nvm().crash();
 }
 
+void
+Cluster::retireNode(std::unique_ptr<BackendNode> node)
+{
+    // A retired incarnation must fail-stop forever: zombie sessions that
+    // slept through the failover still target it, and it shares its
+    // device with the live incarnation after a restart — a serving
+    // zombie would be the split brain the epoch fence exists to prevent.
+    if (!node->failure().crashed()) {
+        node->failure().armCrashAfterVerbs(0);
+        node->failure().onVerb(0);
+    }
+    retired_.push_back(std::move(node));
+}
+
 Status
 Cluster::restartBackend(NodeId id, uint64_t now_ns)
 {
@@ -92,20 +119,30 @@ Cluster::restartBackend(NodeId id, uint64_t now_ns)
         return Status::InvalidArgument;
     if (condemned_.count(id) != 0)
         return Status::Unavailable; // permanently dead; promotion only
+    // A claimed promotion of this slot is in flight: the group already
+    // moved past this incarnation, and re-admitting it now would fork
+    // the slot into two serving nodes once the claim completes.
+    if (epochs_.promotionInFlight(id))
+        return Status::Unavailable;
+    // The naming service fences stale incarnations (lease-epoch check):
+    // after a promotion bumped the slot epoch, the superseded incarnation
+    // can never re-register, no matter who drives the restart.
+    if (!keepalive_.join(id, NodeRole::BackEnd, now_ns, /*has_nvm=*/true,
+                         kInvalidNode, epochs_.epoch(id)))
+        return Status::Unavailable;
     auto device = it->second->device();
     auto replacement = std::make_unique<BackendNode>(id, cfg_.backend,
                                                      device, cfg_.latency);
     // The reborn node resumes replication to the surviving mirrors.
     for (auto &m : mirrors_[id])
         replacement->addMirror(m.get());
+    retireNode(std::move(it->second));
     it->second = std::move(replacement);
-    // A restarted node re-registers for a fresh lease.
-    keepalive_.join(id, NodeRole::BackEnd, now_ns);
     return Status::Ok;
 }
 
 Status
-Cluster::failBackendPermanently(NodeId id, uint64_t now_ns)
+Cluster::promoteMirror(NodeId id, uint64_t now_ns, uint64_t new_epoch)
 {
     auto it = backends_.find(id);
     if (it == backends_.end())
@@ -139,11 +176,28 @@ Cluster::failBackendPermanently(NodeId id, uint64_t now_ns)
             ++it2;
         }
     }
+    retireNode(std::move(it->second));
     it->second = std::move(replacement);
-    // The id is serving again: give it a fresh lease (the old incarnation
-    // may have been evicted) and clear any death sentence.
-    keepalive_.join(id, NodeRole::BackEnd, now_ns);
+    // The id serves again under the successor epoch: register it, fence
+    // the superseded epoch out of the namespace, lift the death sentence.
+    keepalive_.join(id, NodeRole::BackEnd, now_ns, /*has_nvm=*/true,
+                    kInvalidNode, new_epoch);
+    keepalive_.fenceBelow(id, new_epoch);
     condemned_.erase(id);
+    return Status::Ok;
+}
+
+Status
+Cluster::failBackendPermanently(NodeId id, uint64_t now_ns)
+{
+    const Status st =
+        promoteMirror(id, now_ns, epochs_.epoch(id) + 1);
+    if (!ok(st))
+        return st;
+    // Manually orchestrated promotion (the Section 7.2 unit tests): the
+    // epoch still bumps — and clears any pending claim, whose owner will
+    // observe the new epoch and re-resolve instead of double-promoting.
+    epochs_.recordManualPromotion(id);
     return Status::Ok;
 }
 
@@ -153,12 +207,18 @@ Cluster::condemnBackend(NodeId id)
     if (backend(id) == nullptr)
         return;
     condemned_.insert(id);
+    // Lease-epoch fence: the condemned incarnation (current epoch) can
+    // never re-join the namespace; only the promoted successor (epoch+1)
+    // can re-register the slot.
+    keepalive_.fenceBelow(id, epochs_.epoch(id) + 1);
     crashBackendTransient(id);
 }
 
-BackendNode *
-Cluster::resolveBackend(NodeId id, uint64_t now_ns)
+ResolveOutcome
+Cluster::resolveBackend(const ResolveRequest &rq)
 {
+    const NodeId id = rq.node;
+    const uint64_t now_ns = rq.now_ns;
     // Surviving mirrors are independent machines whose keepalive agents
     // renew regardless of the primary's fate; the single-threaded
     // simulation models that here, or every mirror lease would lapse in
@@ -166,35 +226,91 @@ Cluster::resolveBackend(NodeId id, uint64_t now_ns)
     for (auto &m : mirrors_[id])
         keepalive_.renew(m->id(), now_ns);
 
+    ResolveOutcome out;
+    out.epoch = epochs_.epoch(id);
+    if (rq.observed_epoch != 0 && rq.observed_epoch < out.epoch) {
+        // The session slept through a promotion: every verb it issued
+        // since carried a stale epoch and fail-stopped against the
+        // retired incarnation. Count the fence; handing back the current
+        // epoch (and, below, the current node) is the forced
+        // re-resolution.
+        epochs_.noteStaleFence(id);
+        out.stale_fenced = true;
+    }
     BackendNode *be = backend(id);
     if (be == nullptr)
-        return nullptr;
-    if (!be->failure().crashed())
-        return be; // healthy, or another session already healed it
+        return out;
+    if (!be->failure().crashed()) {
+        out.node = be; // healthy, or another session already healed it
+        return out;
+    }
+
+    // Promotion CAS, phase 2: a pending claim resolves before any other
+    // decision. The winner completes it; everyone else waits (and may
+    // take over a claim whose winner stopped polling).
+    if (epochs_.promotionInFlight(id)) {
+        if (epochs_.claimWinner(id) == rq.session_id) {
+            const uint64_t next = epochs_.epoch(id) + 1;
+            if (ok(promoteMirror(id, now_ns, next))) {
+                const uint64_t e =
+                    epochs_.completeClaim(id, rq.session_id);
+                if (e != 0) {
+                    out.won_promotion = true;
+                    out.epoch = e;
+                } else {
+                    // Superseded between polls (taken over / manual
+                    // promotion): the slot serves, but the win is not
+                    // ours to count.
+                    out.epoch = epochs_.epoch(id);
+                    out.lost_promotion = true;
+                }
+                out.node = backend(id);
+            } else {
+                // No promotable mirror survives. Abandon the claim; slow
+                // detection must not strand a restartable node (Case 3).
+                epochs_.abortClaim(id, rq.session_id);
+                if (ok(restartBackend(id, now_ns)))
+                    out.node = backend(id);
+            }
+            return out;
+        }
+        if (epochs_.noteClaimStall(id) >= kClaimTakeoverPolls &&
+            epochs_.takeOverClaim(id, rq.session_id)) {
+            // The original winner stopped polling; we own the claim now
+            // and complete it on our next poll.
+            return out;
+        }
+        out.lost_promotion = true;
+        return out;
+    }
+
+    const bool lease_alive = keepalive_.isAlive(id, now_ns);
     if (condemned_.count(id) != 0) {
         // Permanently dead: promotion must wait out the lease so the
         // group's vote is unambiguous (a condemned node never renews).
-        if (keepalive_.isAlive(id, now_ns))
-            return nullptr;
-        if (!ok(failBackendPermanently(id, now_ns)))
-            return nullptr;
-        return backend(id);
+        if (lease_alive)
+            return out;
+        if (epochs_.tryClaim(id, out.epoch, rq.session_id) !=
+            FailoverEpochDirectory::Claim::Won)
+            out.lost_promotion = true;
+        // Won: promotion underway, completed on our next poll. Either
+        // way the caller backs off one quantum and re-resolves.
+        return out;
     }
-    if (keepalive_.isAlive(id, now_ns)) {
+    if (lease_alive) {
         // Lease still current: the group treats this as a transient blip
         // (Case 3) and the node restarts from its own NVM.
-        if (!ok(restartBackend(id, now_ns)))
-            return nullptr;
-        return backend(id);
+        if (ok(restartBackend(id, now_ns)))
+            out.node = backend(id);
+        return out;
     }
-    // Lease lapsed: the group declared it dead (Case 4) — promote. When
-    // no promotable mirror survives, slow detection must not strand a
-    // restartable node: fall back to a Case 3 restart.
-    if (ok(failBackendPermanently(id, now_ns)))
-        return backend(id);
-    if (!ok(restartBackend(id, now_ns)))
-        return nullptr;
-    return backend(id);
+    // Lease lapsed: the group declared it dead (Case 4) — claim the
+    // promotion. The winner completes (or falls back to a Case 3
+    // restart) on its next poll.
+    if (epochs_.tryClaim(id, out.epoch, rq.session_id) !=
+        FailoverEpochDirectory::Claim::Won)
+        out.lost_promotion = true;
+    return out;
 }
 
 void

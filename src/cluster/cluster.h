@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "backend/backend_node.h"
+#include "cluster/epoch.h"
 #include "cluster/keepalive.h"
 #include "cluster/mirror.h"
 #include "frontend/session.h"
@@ -101,28 +102,66 @@ class Cluster
     void condemnBackend(NodeId id);
 
     /**
-     * Resolver consulted by sessions during transparent failover: returns
-     * the serving node for @p id, healing it if necessary.
+     * Resolver consulted by sessions during transparent failover: the
+     * epoch-fenced, multi-session-safe decision for @p rq.node.
      *
-     *  - not crashed            -> return it as-is (promotion already ran)
-     *  - crashed + condemned    -> lease still alive? nullptr (the vote
+     *  - not crashed            -> return it as-is (promotion already ran;
+     *                              a stale observed_epoch is fenced and
+     *                              re-pointed at the current incarnation)
+     *  - promotion in flight    -> the claim winner completes it on this
+     *                              poll; every other session waits (a
+     *                              stalled claim is taken over after a
+     *                              grace period so the slot never strands)
+     *  - crashed + condemned    -> lease still alive? wait (the vote
      *                              cannot run until the lease lapses);
-     *                              else promote a mirror (Case 4)
+     *                              else CLAIM the promotion — exactly one
+     *                              session wins the CAS, losers observe
+     *                              the race and re-resolve
      *  - crashed + lease alive  -> transient blip: restart from its own
      *                              device (Case 3)
-     *  - crashed + lease lapsed -> the group declared it dead: promote
-     *                              (Case 4)
+     *  - crashed + lease lapsed -> the group declared it dead: claim the
+     *                              promotion (Case 4); if no promotable
+     *                              mirror survives, the winner falls back
+     *                              to a Case 3 restart
      *
-     * Returns nullptr when the node cannot be healed *yet* (caller backs
-     * off and retries) or at all (no promotable mirror survives).
+     * The outcome's node is nullptr when the slot cannot be healed *yet*
+     * (caller backs off and retries) or at all (no mirror survives).
      */
-    BackendNode *resolveBackend(NodeId id, uint64_t now_ns);
+    ResolveOutcome resolveBackend(const ResolveRequest &rq);
+
+    /** Failover-epoch directory (promotion CAS + fence bookkeeping). */
+    FailoverEpochDirectory &failoverEpochs() { return epochs_; }
+
+    /** Current failover epoch of a back-end slot. */
+    uint64_t slotEpoch(NodeId id) const { return epochs_.epoch(id); }
 
   private:
+    /**
+     * Promotion mechanics shared by the claim protocol and the manual
+     * failBackendPermanently: vote a mirror, rebuild the node from its
+     * replica device under @p new_epoch, fence older incarnations out of
+     * the keepalive namespace. Directory bookkeeping (the epoch bump) is
+     * the caller's: completeClaim or recordManualPromotion.
+     */
+    Status promoteMirror(NodeId id, uint64_t now_ns, uint64_t new_epoch);
+
+    /**
+     * Park a replaced BackendNode incarnation instead of destroying it:
+     * sessions that slept through the failover still hold verbs
+     * endpoints into it, and those zombie verbs must fail cleanly with
+     * BackendCrashed (routing the session through the resolver's epoch
+     * fence) — not dangle. Retired incarnations are crashed forever.
+     */
+    void retireNode(std::unique_ptr<BackendNode> node);
+
     ClusterConfig cfg_;
     KeepAliveService keepalive_;
+    FailoverEpochDirectory epochs_;
     std::map<NodeId, std::unique_ptr<BackendNode>> backends_;
     std::map<NodeId, std::vector<std::unique_ptr<MirrorNode>>> mirrors_;
+    /** Superseded incarnations, kept alive (and fail-stopped) for the
+     *  cluster's lifetime so zombie sessions' endpoints stay valid. */
+    std::vector<std::unique_ptr<BackendNode>> retired_;
     std::set<NodeId> condemned_;
     uint64_t next_session_id_ = 1000;
 };

@@ -1,0 +1,248 @@
+#ifndef ASYMNVM_CLUSTER_EPOCH_H_
+#define ASYMNVM_CLUSTER_EPOCH_H_
+
+/**
+ * @file
+ * Failover-epoch directory: the naming-space side of epoch-fenced mirror
+ * promotion (Section 7.2, Case 4, under *concurrent* sessions).
+ *
+ * Every back-end slot carries a monotonically increasing failover epoch,
+ * persisted in the consensus service's namespace (the paper's ZooKeeper
+ * ensemble — here the same durable home as the keepAlive leases). The
+ * epoch advances exactly once per mirror promotion, and the promotion
+ * itself is a distributed CAS on this directory:
+ *
+ *  1. A session that observes {condemned/evicted, lease lapsed} tries to
+ *     *claim* the promotion for the epoch it read. The first claimant
+ *     wins; every other session observes the claim in flight, backs off,
+ *     and re-resolves — it can never run the vote a second time.
+ *  2. The winner completes the claim on its next resolver poll: the vote
+ *     runs, the mirror device is promoted under the dead node's id, and
+ *     the slot epoch bumps to fence the old incarnation.
+ *  3. A zombie session that slept through the promotion presents its
+ *     stale epoch on the next resolve and is *fenced*: the directory
+ *     counts the fence, the resolver hands back the new epoch, and the
+ *     session re-attaches to the current incarnation before any of its
+ *     verbs can reach NVM again (the condemned incarnation's endpoints
+ *     are retired and fail-stop, so stale writes land nowhere).
+ *
+ * A claim whose winner stops polling (the claiming session died between
+ * its claim and completion polls) would strand the slot, so waiters count
+ * their stalled polls and may take the claim over after a grace period;
+ * completion is still exactly-once because only the *current* winner's
+ * completeClaim() bumps the epoch, and a superseded winner's completion
+ * attempt is rejected.
+ *
+ * The directory is mutex-guarded: the simulation interleaves sessions on
+ * one thread, but the promotion CAS is precisely the piece that must stay
+ * correct when sessions are real threads (see epoch_race_test, which
+ * hammers it under ASYMNVM_TSAN).
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace asymnvm {
+
+/** One completed promotion: slot, the epoch it installed, who won. */
+struct PromotionRecord
+{
+    NodeId node = 0;
+    uint64_t epoch = 0;          //!< slot epoch AFTER the promotion
+    uint64_t winner_session = 0; //!< 0 = orchestrated outside a session
+};
+
+/** Aggregate fence/claim observability for one slot. */
+struct SlotEpochStats
+{
+    uint64_t promotions = 0;   //!< epoch bumps (completed promotions)
+    uint64_t claims_won = 0;   //!< successful tryClaim CASes
+    uint64_t claims_lost = 0;  //!< claims denied (race already decided)
+    uint64_t stale_fences = 0; //!< resolves that presented a stale epoch
+    uint64_t takeovers = 0;    //!< claims reassigned to a stalled waiter
+};
+
+/** Per-slot failover epochs plus the promotion claim CAS. */
+class FailoverEpochDirectory
+{
+  public:
+    enum class Claim : uint8_t
+    {
+        Won,      //!< caller now owns the promotion; complete it next poll
+        Lost,     //!< the epoch already moved past the caller's observation
+        InFlight, //!< another session's claim is pending; wait + re-resolve
+    };
+
+    /** Current failover epoch of @p node's slot (slots start at 1). */
+    uint64_t epoch(NodeId node) const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return slotOf(node).epoch;
+    }
+
+    /**
+     * Promotion CAS: claim the right to promote @p node's mirror, valid
+     * only while the slot still carries @p observed_epoch. Exactly one
+     * concurrent caller wins per epoch.
+     */
+    Claim tryClaim(NodeId node, uint64_t observed_epoch, uint64_t session)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        if (s.claim_pending) {
+            ++s.stats.claims_lost;
+            return Claim::InFlight;
+        }
+        if (s.epoch != observed_epoch) {
+            ++s.stats.claims_lost;
+            return Claim::Lost;
+        }
+        s.claim_pending = true;
+        s.claim_winner = session;
+        s.claim_stalls = 0;
+        ++s.stats.claims_won;
+        return Claim::Won;
+    }
+
+    bool promotionInFlight(NodeId node) const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return slotOf(node).claim_pending;
+    }
+
+    /** Session holding the pending claim; 0 when none. */
+    uint64_t claimWinner(NodeId node) const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        const Slot &s = slotOf(node);
+        return s.claim_pending ? s.claim_winner : 0;
+    }
+
+    /**
+     * Winner finishes its promotion: bumps the slot epoch, records the
+     * promotion, clears the claim. Returns the new epoch, or 0 when
+     * @p session no longer owns the claim (it was taken over, or the
+     * promotion already ran by other means) — the caller must re-resolve
+     * instead of treating the slot as promoted by itself.
+     */
+    uint64_t completeClaim(NodeId node, uint64_t session)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        if (!s.claim_pending || s.claim_winner != session)
+            return 0;
+        s.claim_pending = false;
+        s.claim_winner = 0;
+        bumpLocked(node, s, session);
+        return s.epoch;
+    }
+
+    /** Winner abandons a claim it could not complete (no mirror left). */
+    void abortClaim(NodeId node, uint64_t session)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        if (s.claim_pending && s.claim_winner == session) {
+            s.claim_pending = false;
+            s.claim_winner = 0;
+        }
+    }
+
+    /** A waiter polled while someone else's claim is pending. */
+    uint64_t noteClaimStall(NodeId node)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        return s.claim_pending ? ++s.claim_stalls : 0;
+    }
+
+    /**
+     * Reassign a stalled claim to @p session (the original winner stopped
+     * polling). The new winner completes on its next poll; the old
+     * winner's completeClaim() is rejected by the ownership check.
+     */
+    bool takeOverClaim(NodeId node, uint64_t session)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        if (!s.claim_pending || s.claim_winner == session)
+            return false;
+        s.claim_winner = session;
+        s.claim_stalls = 0;
+        ++s.stats.takeovers;
+        return true;
+    }
+
+    /**
+     * A promotion orchestrated outside the claim protocol (the manual
+     * Cluster::failBackendPermanently used by the recovery unit tests)
+     * still bumps the epoch and clears any pending claim — the claimant
+     * will observe the new epoch and re-resolve.
+     */
+    uint64_t recordManualPromotion(NodeId node)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        Slot &s = slotOf(node);
+        s.claim_pending = false;
+        s.claim_winner = 0;
+        bumpLocked(node, s, /*winner=*/0);
+        return s.epoch;
+    }
+
+    /** A resolve presented an epoch older than the slot's (zombie). */
+    void noteStaleFence(NodeId node)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        ++slotOf(node).stats.stale_fences;
+    }
+
+    /** Completed promotions in order; the multi-session chaos audit. */
+    std::vector<PromotionRecord> history() const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return history_;
+    }
+
+    SlotEpochStats stats(NodeId node) const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return slotOf(node).stats;
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t epoch = 1;
+        bool claim_pending = false;
+        uint64_t claim_winner = 0;
+        uint64_t claim_stalls = 0;
+        SlotEpochStats stats;
+    };
+
+    Slot &slotOf(NodeId node) { return slots_[node]; }
+    const Slot &slotOf(NodeId node) const
+    {
+        // const access must not observe a torn insert; operator[] under
+        // the caller's lock keeps slot creation race-free.
+        return const_cast<FailoverEpochDirectory *>(this)->slots_[node];
+    }
+
+    void bumpLocked(NodeId node, Slot &s, uint64_t winner)
+    {
+        ++s.epoch;
+        ++s.stats.promotions;
+        history_.push_back(PromotionRecord{node, s.epoch, winner});
+    }
+
+    mutable std::mutex mu_;
+    std::map<NodeId, Slot> slots_;
+    std::vector<PromotionRecord> history_;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_CLUSTER_EPOCH_H_

@@ -1,13 +1,33 @@
 #include "cluster/keepalive.h"
 
+#include <algorithm>
+
 namespace asymnvm {
 
-void
+bool
 KeepAliveService::join(NodeId node, NodeRole role, uint64_t now_ns,
-                       bool has_nvm, NodeId mirror_of)
+                       bool has_nvm, NodeId mirror_of, uint64_t epoch)
 {
+    const auto fit = join_fence_.find(node);
+    if (fit != join_fence_.end() && epoch < fit->second)
+        return false; // stale incarnation: fenced, never re-admitted
     members_[node] =
         Member{role, has_nvm, mirror_of, now_ns + lease_ns_, false};
+    return true;
+}
+
+void
+KeepAliveService::fenceBelow(NodeId node, uint64_t min_epoch)
+{
+    uint64_t &f = join_fence_[node];
+    f = std::max(f, min_epoch);
+}
+
+uint64_t
+KeepAliveService::fenceOf(NodeId node) const
+{
+    const auto it = join_fence_.find(node);
+    return it == join_fence_.end() ? 0 : it->second;
 }
 
 void
@@ -28,7 +48,13 @@ KeepAliveService::renew(NodeId node, uint64_t now_ns)
         it->second.evicted = true;
         return false;
     }
-    it->second.lease_until_ns = now_ns + lease_ns_;
+    // Heartbeats are timestamped by their senders' clocks, which need
+    // not agree: one arriving "from the past" (an observer whose clock
+    // trails the latest renewer's) must not roll the lease back, or the
+    // next current-clock observer would judge the node lapsed and evict
+    // it. A renewal can only ever extend.
+    it->second.lease_until_ns = std::max(it->second.lease_until_ns,
+                                         now_ns + lease_ns_);
     return true;
 }
 

@@ -42,9 +42,32 @@ class KeepAliveService
     /**
      * Register a node; the lease starts at @p now_ns. Mirror nodes
      * declare which back-end they replicate via @p mirror_of.
+     *
+     * @p epoch is the joining incarnation's failover epoch. A back-end
+     * slot that was condemned (or whose mirror promotion completed) is
+     * *fenced* below the successor epoch — see fenceBelow() — and a
+     * re-join presenting an older epoch is refused: an evicted
+     * incarnation racing a different session's in-flight promotion must
+     * not be re-admitted, or the slot would fork into two serving nodes.
+     * Returns false when the fence refused the join (membership is left
+     * untouched). Epoch 0 ("no epoch") is only accepted on unfenced
+     * slots — mirrors and test harnesses predating the fence.
      */
-    void join(NodeId node, NodeRole role, uint64_t now_ns,
-              bool has_nvm = true, NodeId mirror_of = kInvalidNode);
+    bool join(NodeId node, NodeRole role, uint64_t now_ns,
+              bool has_nvm = true, NodeId mirror_of = kInvalidNode,
+              uint64_t epoch = 0);
+
+    /**
+     * Lease-epoch fence: from now on, joins of @p node with an epoch
+     * below @p min_epoch are refused. Installed when a back-end is
+     * condemned and again when a promotion completes, so only the
+     * promoted successor (carrying the bumped epoch) can re-register
+     * under the slot's id. Fences only ratchet upward.
+     */
+    void fenceBelow(NodeId node, uint64_t min_epoch);
+
+    /** Current join fence for @p node (0 = none). */
+    uint64_t fenceOf(NodeId node) const;
 
     /** Remove a node from the group (Case 5 for mirrors). */
     void leave(NodeId node);
@@ -82,6 +105,7 @@ class KeepAliveService
 
     uint64_t lease_ns_;
     std::map<NodeId, Member> members_;
+    std::map<NodeId, uint64_t> join_fence_; //!< node -> min accepted epoch
 };
 
 } // namespace asymnvm

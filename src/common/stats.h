@@ -129,6 +129,9 @@ struct RetryStats
     uint64_t rpc_dup_responses = 0; //!< stale/duplicate responses dropped
     uint64_t failovers = 0;         //!< back-end failovers completed
     uint64_t failover_wait_ns = 0;  //!< virtual time waiting on promotion
+    uint64_t promotions_won = 0;    //!< mirror promotions this session won
+    uint64_t promotions_lost = 0;   //!< promotion races lost to a peer
+    uint64_t stale_epoch_fenced = 0; //!< re-resolves forced by epoch fence
 
     uint64_t totalRetries() const
     {
@@ -152,6 +155,9 @@ struct RetryStats
         rpc_dup_responses += o.rpc_dup_responses;
         failovers += o.failovers;
         failover_wait_ns += o.failover_wait_ns;
+        promotions_won += o.promotions_won;
+        promotions_lost += o.promotions_lost;
+        stale_epoch_fenced += o.stale_epoch_fenced;
     }
 };
 

@@ -4,20 +4,33 @@
 /**
  * @file
  * Key-hash partitioning (Section 8.3 "Data Structure Partition" and the
- * multi-back-end support of Section 4.3).
+ * multi-back-end support of Section 4.3), failure-aware.
  *
  * A partitioned structure is k independent instances, each with its own
  * writer lock and index, spread round-robin across the available back-end
  * nodes. The front-end routes each operation by key hash; readers of one
  * partition never contend with the writer of another, which is what
- * removes the lock bottleneck in Figure 10. The partition count (the
- * "mapping table between key range and partition") is persisted in the
- * naming space of the first back-end for recovery.
+ * removes the lock bottleneck in Figure 10.
+ *
+ * Failure awareness: each shard carries a health state. An operation
+ * routed to a shard whose back-end is down fast-fails with
+ * Status::Unavailable instead of blocking the caller in the session's
+ * full failover wait — the surviving k-1 shards keep serving at full
+ * speed. Unavailable shards re-attach in the background (any later
+ * operation, or an explicit tickHealth(), probes the back-end through
+ * the session's non-blocking heal path and rejoins once a promoted or
+ * restarted incarnation serves again). Reads may optionally be answered
+ * from a caller-provided degraded source while a shard is down.
+ *
+ * The partition count (the "mapping table between key range and
+ * partition") is persisted in the naming space of *every* back-end, so
+ * open() survives the death of any single node.
  */
 
 #include <deque>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/hash.h"
@@ -25,20 +38,35 @@
 
 namespace asymnvm {
 
+/** Health of one shard of a partitioned structure. */
+enum class ShardHealth
+{
+    Healthy,     //!< serving normally
+    FailingOver, //!< last op hit a back-end failure; re-probe pending
+    Degraded,    //!< back-end confirmed down; ops fast-fail Unavailable
+    Detached,    //!< administratively removed; never re-probed
+};
+
 /** k-way key-hash partitioning over any keyed structure. */
 template <typename DS>
 class Partitioned
 {
   public:
-    /** Creates partition i of @p nparts on its assigned back-end. */
+    /** Creates (or opens) partition i of @p nparts on its back-end. */
     using MakeFn = std::function<Status(FrontendSession &, NodeId,
                                         std::string_view, DS *)>;
+
+    /** Optional alternate read source while a shard is unavailable. */
+    using DegradedReadFn =
+        std::function<Status(uint32_t shard, Key key, Value *out)>;
 
     Partitioned() = default;
 
     /**
      * Create @p nparts partitions named "<name>/p<i>" spread over
-     * @p backends, plus the persistent coordinator entry.
+     * @p backends. The coordinator entry (partition count) is replicated
+     * into every back-end's naming space so a later open() does not
+     * depend on any single node surviving.
      */
     static Status create(FrontendSession &s,
                          std::span<const NodeId> backends,
@@ -47,21 +75,29 @@ class Partitioned
     {
         if (backends.empty() || nparts == 0)
             return Status::InvalidArgument;
-        DsId coord = 0;
-        Status st = s.createDs(backends[0], name, DsType::Raw, &coord);
-        if (!ok(st))
-            return st;
-        st = s.writeAux(coord, backends[0], 0, nparts);
-        if (!ok(st))
-            return st;
-        st = s.flushAll();
+        for (const NodeId be : backends) {
+            DsId coord = 0;
+            Status st = s.createDs(be, name, DsType::Raw, &coord);
+            if (!ok(st))
+                return st;
+            st = s.writeAux(coord, be, 0, nparts);
+            if (!ok(st))
+                return st;
+        }
+        Status st = s.flushAll();
         if (!ok(st))
             return st;
         return buildParts(s, backends, name, nparts, out,
-                          std::move(make));
+                          std::move(make), /*allow_degraded=*/false);
     }
 
-    /** Open an existing partitioned structure. */
+    /**
+     * Open an existing partitioned structure. The coordinator entry is
+     * read from the first back-end that answers (fast-fail probing, in
+     * roster order); shards whose back-end is down open in Degraded
+     * state — their k-1 siblings serve immediately, and the dead shards
+     * re-attach lazily once their back-end comes back.
+     */
     static Status open(FrontendSession &s,
                        std::span<const NodeId> backends,
                        std::string_view name, Partitioned *out,
@@ -69,88 +105,299 @@ class Partitioned
     {
         if (backends.empty())
             return Status::InvalidArgument;
-        DsId coord = 0;
-        DsType type = DsType::None;
-        Status st = s.openDs(backends[0], name, &coord, &type);
-        if (!ok(st))
-            return st;
-        if (type != DsType::Raw)
-            return Status::InvalidArgument;
         uint64_t nparts = 0;
-        st = s.readAux(coord, backends[0], 0, &nparts);
-        if (!ok(st))
-            return st;
+        bool have_coord = false;
+        for (const NodeId be : backends) {
+            FastFailoverScope ff(s, kProbeAttempts);
+            DsId coord = 0;
+            DsType type = DsType::None;
+            Status st = s.openDs(be, name, &coord, &type);
+            if (isShardFailure(st))
+                continue; // this replica of the entry is down; next
+            if (!ok(st))
+                return st;
+            if (type != DsType::Raw)
+                return Status::InvalidArgument;
+            st = s.readAux(coord, be, 0, &nparts);
+            if (isShardFailure(st))
+                continue;
+            if (!ok(st))
+                return st;
+            have_coord = true;
+            break;
+        }
+        if (!have_coord)
+            return Status::Unavailable;
         return buildParts(s, backends, name,
                           static_cast<uint32_t>(nparts), out,
-                          std::move(open_fn));
+                          std::move(open_fn), /*allow_degraded=*/true);
     }
 
-    /** The partition owning @p key. */
-    DS &partitionFor(Key key)
+    /** The shard index owning @p key. */
+    uint32_t shardForKey(Key key) const
     {
-        return parts_[mix64(key) % parts_.size()];
+        return static_cast<uint32_t>(mix64(key) % shards_.size());
     }
+
+    /** The partition owning @p key (health-blind direct access). */
+    DS &partitionFor(Key key) { return shards_[shardForKey(key)].ds; }
 
     uint32_t partitionCount() const
     {
-        return static_cast<uint32_t>(parts_.size());
+        return static_cast<uint32_t>(shards_.size());
     }
 
-    DS &partition(uint32_t i) { return parts_[i]; }
+    DS &partition(uint32_t i) { return shards_[i].ds; }
+
+    NodeId shardBackend(uint32_t i) const { return shards_[i].backend; }
+
+    ShardHealth shardHealth(uint32_t i) const
+    {
+        return shards_[i].health;
+    }
+
+    /** Administratively remove a shard; it is never probed again. */
+    void detachShard(uint32_t i)
+    {
+        shards_[i].health = ShardHealth::Detached;
+    }
+
+    /** Serve reads for unavailable shards from @p fn (e.g. a local
+     *  stale replica). Cleared by passing a default-constructed fn. */
+    void setDegradedRead(DegradedReadFn fn)
+    {
+        degraded_read_ = std::move(fn);
+    }
 
     /** Keyed insert routed by hash (put() or insert(), whichever DS has). */
     Status insert(Key key, const Value &v)
     {
-        DS &p = partitionFor(key);
-        if constexpr (requires { p.put(key, v); })
-            return p.put(key, v);
-        else
-            return p.insert(key, v);
+        return routed(shardForKey(key), [&](DS &p) {
+            if constexpr (requires { p.put(key, v); })
+                return p.put(key, v);
+            else
+                return p.insert(key, v);
+        });
     }
 
-    /** Keyed lookup routed by hash. */
+    /** Keyed lookup routed by hash; falls back to the degraded read
+     *  source (when configured) if the owning shard is unavailable. */
     Status find(Key key, Value *out)
     {
-        DS &p = partitionFor(key);
-        if constexpr (requires { p.get(key, out); })
-            return p.get(key, out);
-        else
-            return p.find(key, out);
+        const uint32_t idx = shardForKey(key);
+        const Status st = routed(idx, [&](DS &p) {
+            if constexpr (requires { p.get(key, out); })
+                return p.get(key, out);
+            else
+                return p.find(key, out);
+        });
+        if (st == Status::Unavailable && degraded_read_)
+            return degraded_read_(idx, key, out);
+        return st;
     }
 
     /** Keyed removal routed by hash. */
-    Status erase(Key key) { return partitionFor(key).erase(key); }
+    Status erase(Key key)
+    {
+        return routed(shardForKey(key),
+                      [&](DS &p) { return p.erase(key); });
+    }
 
+    /**
+     * Probe every unhealthy shard once (background re-attach driver).
+     * Returns the number of shards serving afterwards.
+     */
+    uint32_t tickHealth()
+    {
+        uint32_t serving = 0;
+        for (uint32_t i = 0; i < shards_.size(); ++i) {
+            Shard &sh = shards_[i];
+            if (sh.health != ShardHealth::Healthy &&
+                sh.health != ShardHealth::Detached)
+                tryReattach(i);
+            if (sh.health == ShardHealth::Healthy)
+                ++serving;
+        }
+        return serving;
+    }
+
+    /** Ops that fast-failed Unavailable because their shard was down. */
+    uint64_t unavailableOps() const { return unavailable_ops_; }
+
+    /** Entries across the shards that are open (degraded shards that
+     *  were never opened contribute nothing until they re-attach). */
     uint64_t size() const
     {
         uint64_t n = 0;
-        for (const DS &p : parts_)
-            n += p.size();
+        for (const Shard &sh : shards_) {
+            if (sh.opened)
+                n += sh.ds.size();
+        }
         return n;
     }
 
   private:
+    struct Shard
+    {
+        DS ds;
+        NodeId backend = 0;
+        ShardHealth health = ShardHealth::Healthy;
+        bool opened = false; //!< false: deferred by a degraded open()
+    };
+
+    /**
+     * Shard operations must not block in the session's full failover
+     * wait (max_attempts x wait_quantum of virtual time) — the whole
+     * point of per-shard health is that a dead shard costs its callers
+     * a fast Unavailable, not a stall. This scope temporarily swaps the
+     * session to a short, zero-wait probe budget.
+     */
+    class FastFailoverScope
+    {
+      public:
+        FastFailoverScope(FrontendSession &s, uint32_t attempts)
+            : s_(s), saved_(s.failoverConfig())
+        {
+            FailoverConfig fast;
+            fast.max_attempts = attempts;
+            fast.wait_quantum_ns = 0;
+            s_.setFailoverConfig(fast);
+        }
+        ~FastFailoverScope() { s_.setFailoverConfig(saved_); }
+        FastFailoverScope(const FastFailoverScope &) = delete;
+        FastFailoverScope &operator=(const FastFailoverScope &) = delete;
+
+      private:
+        FrontendSession &s_;
+        FailoverConfig saved_;
+    };
+
+    /** Probe polls granted to a fast-failing shard op: enough to ride
+     *  through an already-healed back-end, far short of a stall. */
+    static constexpr uint32_t kProbeAttempts = 2;
+
+    /** Failures that mean "this shard's back-end is down", as opposed
+     *  to structure-level outcomes like NotFound. */
+    static bool isShardFailure(Status st)
+    {
+        return st == Status::BackendCrashed || st == Status::Timeout ||
+               st == Status::QpError || st == Status::Unavailable;
+    }
+
+    template <typename Fn>
+    Status routed(uint32_t idx, Fn &&fn)
+    {
+        Shard &sh = shards_[idx];
+        if (sh.health == ShardHealth::Detached) {
+            ++unavailable_ops_;
+            return Status::Unavailable;
+        }
+        if (sh.health != ShardHealth::Healthy) {
+            tryReattach(idx);
+            if (sh.health != ShardHealth::Healthy) {
+                ++unavailable_ops_;
+                return Status::Unavailable;
+            }
+        }
+        Status st;
+        {
+            FastFailoverScope ff(*s_, kProbeAttempts);
+            st = fn(sh.ds);
+        }
+        if (isShardFailure(st)) {
+            sh.health = ShardHealth::FailingOver;
+            ++unavailable_ops_;
+            return Status::Unavailable;
+        }
+        return st;
+    }
+
+    /**
+     * One non-blocking re-attach attempt: heal the session's view of
+     * the shard's back-end (picks up a promoted or restarted
+     * incarnation if one serves), lazily open the shard if a degraded
+     * open() skipped it, and mark every opened sibling shard of the
+     * same back-end healthy again.
+     */
+    void tryReattach(uint32_t idx)
+    {
+        Shard &sh = shards_[idx];
+        if (sh.health == ShardHealth::Detached ||
+            sh.health == ShardHealth::Healthy)
+            return;
+        if (!ok(s_->tryHeal(sh.backend))) {
+            sh.health = ShardHealth::Degraded;
+            return;
+        }
+        if (!sh.opened) {
+            FastFailoverScope ff(*s_, kProbeAttempts);
+            const std::string pname =
+                name_ + "/p" + std::to_string(idx);
+            if (!ok(reopen_(*s_, sh.backend, pname, &sh.ds))) {
+                sh.health = ShardHealth::Degraded;
+                return;
+            }
+            sh.opened = true;
+        }
+        sh.health = ShardHealth::Healthy;
+        for (Shard &other : shards_) {
+            if (&other != &sh && other.backend == sh.backend &&
+                other.opened &&
+                (other.health == ShardHealth::FailingOver ||
+                 other.health == ShardHealth::Degraded))
+                other.health = ShardHealth::Healthy;
+        }
+    }
+
     static Status buildParts(FrontendSession &s,
                              std::span<const NodeId> backends,
                              std::string_view name, uint32_t nparts,
-                             Partitioned *out, MakeFn make)
+                             Partitioned *out, MakeFn make,
+                             bool allow_degraded)
     {
-        out->parts_.clear();
+        if (nparts == 0)
+            return Status::InvalidArgument;
+        out->s_ = &s;
+        out->name_ = std::string(name);
+        out->shards_.clear();
         // deque: handles must not relocate (their hooks capture `this`).
-        for (uint32_t i = 0; i < nparts; ++i)
-            out->parts_.emplace_back();
         for (uint32_t i = 0; i < nparts; ++i) {
-            const NodeId be = backends[i % backends.size()];
+            out->shards_.emplace_back();
+            out->shards_.back().backend = backends[i % backends.size()];
+        }
+        for (uint32_t i = 0; i < nparts; ++i) {
+            Shard &sh = out->shards_[i];
             const std::string pname =
                 std::string(name) + "/p" + std::to_string(i);
-            const Status st = make(s, be, pname, &out->parts_[i]);
-            if (!ok(st))
+            Status st;
+            if (allow_degraded) {
+                FastFailoverScope ff(s, kProbeAttempts);
+                st = make(s, sh.backend, pname, &sh.ds);
+            } else {
+                st = make(s, sh.backend, pname, &sh.ds);
+            }
+            if (ok(st)) {
+                sh.opened = true;
+                sh.health = ShardHealth::Healthy;
+            } else if (allow_degraded && isShardFailure(st)) {
+                // The back-end is down: serve the k-1 surviving shards
+                // now, open this one lazily when it re-attaches.
+                sh.opened = false;
+                sh.health = ShardHealth::Degraded;
+            } else {
                 return st;
+            }
         }
+        out->reopen_ = std::move(make);
         return Status::Ok;
     }
 
-    std::deque<DS> parts_;
+    FrontendSession *s_ = nullptr;
+    std::string name_;
+    MakeFn reopen_;
+    DegradedReadFn degraded_read_;
+    std::deque<Shard> shards_;
+    uint64_t unavailable_ops_ = 0;
 };
 
 } // namespace asymnvm

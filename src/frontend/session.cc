@@ -1703,11 +1703,35 @@ FrontendSession::handleBackendFailure(NodeId id)
             ++it;
     }
     Status result = Status::Unavailable;
+    PromotionCounters &pc = promo_[id];
+    uint64_t observed = 0;
+    if (const BackendCtx *c = ctx(id); c != nullptr)
+        observed = c->epoch;
+    // Race outcomes are per failover *episode*: a promotion lost (or a
+    // stale-epoch fence) reported by several polls of the same episode
+    // counts once.
+    bool lost_counted = false;
+    bool stale_counted = false;
     for (uint32_t i = 0; i < fo_cfg_.max_attempts; ++i) {
-        BackendNode *node = resolver_(id, clock_.now());
-        if (node != nullptr && !node->failure().crashed()) {
-            const Status st = failover(id, node);
+        const ResolveOutcome out =
+            resolver_(ResolveRequest{id, clock_.now(), cfg_.session_id,
+                                     observed});
+        if (out.stale_fenced && !stale_counted) {
+            ++pc.stale_epoch_fenced;
+            stale_counted = true;
+        }
+        if (out.lost_promotion && !lost_counted) {
+            ++pc.promotions_lost;
+            lost_counted = true;
+        }
+        if (out.won_promotion)
+            ++pc.promotions_won;
+        observed = out.epoch; // adopt the slot's current epoch
+        if (out.node != nullptr && !out.node->failure().crashed()) {
+            const Status st = failover(id, out.node);
             if (ok(st)) {
+                if (BackendCtx *c = ctx(id); c != nullptr)
+                    c->epoch = out.epoch;
                 ++failovers_completed_;
                 result = Status::Ok;
                 break;
@@ -1722,6 +1746,63 @@ FrontendSession::handleBackendFailure(NodeId id)
     }
     in_failover_ = false;
     return result;
+}
+
+Status
+FrontendSession::tryHeal(NodeId id)
+{
+    BackendCtx *c = ctx(id);
+    if (c == nullptr)
+        return Status::InvalidArgument;
+    if (resolver_ == nullptr || in_failover_)
+        return c->node->failure().crashed() ? Status::Unavailable
+                                            : Status::Ok;
+    const ResolveOutcome out = resolver_(
+        ResolveRequest{id, clock_.now(), cfg_.session_id, c->epoch});
+    PromotionCounters &pc = promo_[id];
+    if (out.stale_fenced)
+        ++pc.stale_epoch_fenced;
+    if (out.lost_promotion)
+        ++pc.promotions_lost;
+    if (out.won_promotion)
+        ++pc.promotions_won;
+    if (out.node == nullptr || out.node->failure().crashed())
+        return Status::Unavailable;
+    if (out.node == c->node && out.epoch == c->epoch &&
+        !c->node->failure().crashed()) {
+        return Status::Ok; // already attached to the serving incarnation
+    }
+    in_failover_ = true;
+    // Forget writer locks held on the superseded incarnation, exactly as
+    // the blocking heal does: the replacement releases them from the
+    // lock-ahead records and replay re-executes their owners.
+    for (auto it = held_locks_.begin(); it != held_locks_.end();) {
+        if (it->first.first == id)
+            it = held_locks_.erase(it);
+        else
+            ++it;
+    }
+    const Status st = failover(id, out.node);
+    in_failover_ = false;
+    if (!ok(st))
+        return Status::Unavailable;
+    c->epoch = out.epoch;
+    ++failovers_completed_;
+    return Status::Ok;
+}
+
+void
+FrontendSession::noteBackendEpoch(NodeId id, uint64_t epoch)
+{
+    if (BackendCtx *c = ctx(id); c != nullptr)
+        c->epoch = epoch;
+}
+
+uint64_t
+FrontendSession::backendEpoch(NodeId id) const
+{
+    const BackendCtx *c = ctx(id);
+    return c == nullptr ? 0 : c->epoch;
 }
 
 SessionStats
@@ -1747,6 +1828,11 @@ FrontendSession::stats() const
     s.pipeline.deferred_commits = pipe_deferred_commits_;
     s.retry.failovers += failovers_completed_;
     s.retry.failover_wait_ns += failover_wait_ns_;
+    for (const auto &[id, pc] : promo_) {
+        s.retry.promotions_won += pc.promotions_won;
+        s.retry.promotions_lost += pc.promotions_lost;
+        s.retry.stale_epoch_fenced += pc.stale_epoch_fenced;
+    }
     for (const auto &[id, c] : backends_) {
         if (c.rpc != nullptr) {
             s.retry.rpc_resends += c.rpc->resends();
@@ -1764,6 +1850,7 @@ FrontendSession::resetStats()
     logfmt_ = LogFormatStats{};
     failovers_completed_ = 0;
     failover_wait_ns_ = 0;
+    promo_.clear();
     verbs_.resetStats();
     cache_->resetStats();
     prefetch_batches_ = 0;

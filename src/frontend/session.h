@@ -184,6 +184,47 @@ struct FailoverConfig
 };
 
 /**
+ * One resolver poll (see FrontendSession::BackendResolver): the session
+ * identifies itself and presents the failover epoch it last observed for
+ * the slot, so the cluster can fence zombies and arbitrate the promotion
+ * CAS between concurrent sessions.
+ */
+struct ResolveRequest
+{
+    NodeId node = 0;
+    uint64_t now_ns = 0;
+    uint64_t session_id = 0;
+    uint64_t observed_epoch = 0; //!< 0 = never resolved (no fence check)
+};
+
+/**
+ * Resolver verdict. @p node is the serving back-end (nullptr while the
+ * slot cannot be healed yet — lease wait, promotion in flight — or at
+ * all); @p epoch is the slot's current failover epoch, which the session
+ * adopts. The flags report how this poll participated in a promotion
+ * race: it completed a promotion it had claimed (won), it observed or
+ * lost the CAS to a concurrent session (lost), or it presented a stale
+ * epoch and was fenced (its verbs target a superseded incarnation and
+ * the failover it is running IS the forced re-resolution).
+ */
+struct ResolveOutcome
+{
+    BackendNode *node = nullptr;
+    uint64_t epoch = 0;
+    bool won_promotion = false;
+    bool lost_promotion = false;
+    bool stale_fenced = false;
+};
+
+/** Per-backend promotion-race outcome counters kept by the session. */
+struct PromotionCounters
+{
+    uint64_t promotions_won = 0;
+    uint64_t promotions_lost = 0;
+    uint64_t stale_epoch_fenced = 0;
+};
+
+/**
  * Log-encoding accounting: wire vs payload bytes the session persisted
  * through its transaction and op-log appends. wire − payload is the
  * per-format framing overhead the log_format ablation compares.
@@ -482,13 +523,17 @@ class FrontendSession
     // ------------------------------------------------------------------
 
     /**
-     * Resolves a node id to its current serving BackendNode at virtual
-     * time now_ns — the restarted node, or the mirror promoted under the
-     * same id — or nullptr while the cluster still waits out the failed
-     * node's lease. Clusters install this via Cluster::makeSession when
-     * ClusterConfig::transparent_failover is set.
+     * Resolves a node id to its current serving BackendNode — the
+     * restarted node, or the mirror promoted under the same id — or a
+     * null outcome while the cluster still waits out the failed node's
+     * lease or another session's promotion. The request carries this
+     * session's identity and last-observed failover epoch (promotion CAS
+     * + zombie fencing); the outcome carries the slot's current epoch and
+     * the race verdict. Clusters install this via Cluster::makeSession
+     * when ClusterConfig::transparent_failover is set.
      */
-    using BackendResolver = std::function<BackendNode *(NodeId, uint64_t)>;
+    using BackendResolver =
+        std::function<ResolveOutcome(const ResolveRequest &)>;
 
     /**
      * Arm transparent failover: when a back-end fail-stops under a verb
@@ -506,6 +551,34 @@ class FrontendSession
     }
 
     void setFailoverConfig(const FailoverConfig &c) { fo_cfg_ = c; }
+    const FailoverConfig &failoverConfig() const { return fo_cfg_; }
+
+    /**
+     * One non-blocking resolver poll for @p id: heal the back-end if a
+     * serving replacement is available *right now*, otherwise return
+     * Unavailable without burning wait quanta. Partitioned<DS> uses this
+     * to probe degraded shards — each probe advances a pending promotion
+     * by one poll (claim, then complete) without stalling the k-1 healthy
+     * shards behind the full failover wait loop. Returns Ok when the
+     * backend is healthy (healed or already serving).
+     */
+    Status tryHeal(NodeId id);
+
+    /**
+     * Adopt @p epoch as the last-observed failover epoch for @p id
+     * (presented in future ResolveRequests). Cluster::makeSession seeds
+     * this at connect time; failover updates it from resolver outcomes.
+     */
+    void noteBackendEpoch(NodeId id, uint64_t epoch);
+
+    /** Last-observed failover epoch for @p id (0 = never resolved). */
+    uint64_t backendEpoch(NodeId id) const;
+
+    /** Per-backend promotion-race outcomes (won / lost / fenced). */
+    const std::map<NodeId, PromotionCounters> &promotionCounters() const
+    {
+        return promo_;
+    }
 
     // ------------------------------------------------------------------
     // Statistics
@@ -551,6 +624,7 @@ class FrontendSession
     {
         BackendNode *node = nullptr;
         uint32_t slot = 0;
+        uint64_t epoch = 0; //!< last-observed failover epoch of the slot
         std::unique_ptr<RfpRpc> rpc;
         std::unique_ptr<FrontendAllocator> alloc;
         // Local shadows of the log positions (persisted in LogControl).
@@ -739,6 +813,7 @@ class FrontendSession
     NodeId last_failed_node_ = 0; //!< set when a flush fails
     uint64_t failovers_completed_ = 0;
     uint64_t failover_wait_ns_ = 0;
+    std::map<NodeId, PromotionCounters> promo_; //!< race outcomes
 
     // Per-path latency observability (virtual ns).
     Histogram hist_commit_; //!< group-commit (opEnd / flushAll) latency

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Epoch-fenced mirror promotion (DESIGN.md §12): the per-slot failover
+ * epoch turns condemn/promote into a distributed decision — exactly one
+ * session wins the promotion claim, losers observe the race, zombie
+ * sessions carrying a stale epoch are fenced to the new incarnation, and
+ * the keepalive lease-epoch check keeps a condemned incarnation from
+ * re-admitting itself while another session's promotion is in flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "ds/hash_table.h"
+#include "frontend/session.h"
+
+namespace asymnvm {
+namespace {
+
+ClusterConfig
+fenceCluster(uint32_t mirrors = 2)
+{
+    ClusterConfig cfg;
+    cfg.num_backends = 1;
+    cfg.mirrors_per_backend = mirrors;
+    cfg.backend.nvm_size = 20ull << 20;
+    cfg.backend.max_frontends = 4;
+    cfg.backend.max_names = 16;
+    cfg.backend.memlog_ring_size = 256ull << 10;
+    cfg.backend.oplog_ring_size = 256ull << 10;
+    cfg.transparent_failover = true;
+    return cfg;
+}
+
+/** Advance both sessions' clocks past the primary's lease in sub-lease
+ *  steps, renewing the surviving mirrors along the way (their keepalive
+ *  agents outlive the primary's silence). */
+void
+jumpPastLease(Cluster &cluster, FrontendSession &a, FrontendSession &b)
+{
+    const uint64_t lease = cluster.keepAlive().leaseNs();
+    for (int step = 0; step < 3; ++step) {
+        a.clock().advance(lease / 2 + 1);
+        b.clock().advance(lease / 2 + 1000);
+        const uint64_t t = std::max(a.clock().now(), b.clock().now());
+        for (MirrorNode *m : cluster.mirrorsOf(1))
+            cluster.keepAlive().renew(m->id(), t);
+    }
+}
+
+TEST(KeepAliveFenceTest, StaleEpochIsNeverReadmitted)
+{
+    KeepAliveService ka;
+    EXPECT_TRUE(ka.join(1, NodeRole::BackEnd, 0, /*has_nvm=*/true,
+                        kInvalidNode, /*epoch=*/1));
+    ka.fenceBelow(1, 2);
+    ka.leave(1);
+    // The fenced incarnation can never re-register...
+    EXPECT_FALSE(ka.join(1, NodeRole::BackEnd, 0, true, kInvalidNode, 1));
+    EXPECT_FALSE(ka.isAlive(1, 0));
+    // ...while the promoted successor (fence epoch) can.
+    EXPECT_TRUE(ka.join(1, NodeRole::BackEnd, 0, true, kInvalidNode, 2));
+    EXPECT_TRUE(ka.isAlive(1, 0));
+    // The fence only ratchets upward.
+    ka.fenceBelow(1, 1);
+    EXPECT_EQ(ka.fenceOf(1), 2u);
+}
+
+TEST(KeepAliveFenceTest, OutOfOrderRenewalsNeverShortenTheLease)
+{
+    // Heartbeats carry their senders' clocks, and session clocks
+    // diverge: a renewal arriving "from the past" must not roll the
+    // lease back, or the next current-clock renewal would judge the
+    // node lapsed and evict it for good (this is exactly how a
+    // surviving mirror used to be lost mid-promotion under k sessions).
+    KeepAliveService ka;
+    const uint64_t lease = ka.leaseNs();
+    ASSERT_TRUE(ka.join(9, NodeRole::Mirror, 0, true, /*mirror_of=*/1));
+    ASSERT_TRUE(ka.renew(9, lease));         // fresh clock: until 2*lease
+    ASSERT_TRUE(ka.renew(9, lease / 4));     // stale clock: no rollback
+    ASSERT_TRUE(ka.renew(9, 2 * lease - 1)); // must still be alive
+    EXPECT_TRUE(ka.isAlive(9, 2 * lease));
+    // A genuinely lapsed node still evicts and stays evicted.
+    EXPECT_FALSE(ka.renew(9, 5 * lease));
+    EXPECT_FALSE(ka.isAlive(9, 5 * lease));
+    EXPECT_FALSE(ka.renew(9, 5 * lease + 1));
+}
+
+TEST(EpochFenceTest, ExactlyOneSessionWinsThePromotionClaim)
+{
+    Cluster cluster(fenceCluster());
+    auto a = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    auto b = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(a->config().session_id, b->config().session_id);
+    EXPECT_EQ(cluster.slotEpoch(1), 1u);
+
+    cluster.keepAlive().renew(1, 0);
+    cluster.condemnBackend(1);
+    // The condemned incarnation's epoch is fenced out of the namespace
+    // the moment the death sentence lands.
+    EXPECT_FALSE(cluster.keepAlive().join(1, NodeRole::BackEnd, 0, true,
+                                          kInvalidNode,
+                                          cluster.slotEpoch(1)));
+
+    jumpPastLease(cluster, *a, *b);
+
+    // A's probe claims the promotion (phase 1 of the CAS): the slot is
+    // not serving yet, but the claim is A's.
+    EXPECT_EQ(a->tryHeal(1), Status::Unavailable);
+    EXPECT_TRUE(cluster.failoverEpochs().promotionInFlight(1));
+    EXPECT_EQ(cluster.failoverEpochs().claimWinner(1),
+              a->config().session_id);
+    // While the claim is in flight, the dead incarnation cannot sneak
+    // back in through the restart path.
+    EXPECT_EQ(cluster.restartBackend(1, a->clock().now()),
+              Status::Unavailable);
+
+    // B's probe loses the race and backs off.
+    EXPECT_EQ(b->tryHeal(1), Status::Unavailable);
+    EXPECT_EQ(b->promotionCounters().at(1).promotions_lost, 1u);
+
+    // A's next probe completes the promotion: epoch 2 serves.
+    EXPECT_EQ(a->tryHeal(1), Status::Ok);
+    EXPECT_EQ(a->promotionCounters().at(1).promotions_won, 1u);
+    EXPECT_EQ(cluster.slotEpoch(1), 2u);
+    EXPECT_FALSE(cluster.failoverEpochs().promotionInFlight(1));
+
+    // B re-resolves: the fence reports its observed epoch as stale and
+    // re-points it at the promoted incarnation.
+    EXPECT_EQ(b->tryHeal(1), Status::Ok);
+    EXPECT_GE(b->promotionCounters().at(1).stale_epoch_fenced, 1u);
+    EXPECT_EQ(b->backendEpoch(1), 2u);
+
+    // Exactly one promotion record, won by A.
+    const auto hist = cluster.failoverEpochs().history();
+    ASSERT_EQ(hist.size(), 1u);
+    EXPECT_EQ(hist[0].node, 1u);
+    EXPECT_EQ(hist[0].epoch, 2u);
+    EXPECT_EQ(hist[0].winner_session, a->config().session_id);
+}
+
+TEST(EpochFenceTest, ZombieSessionIsFencedOntoTheNewIncarnation)
+{
+    Cluster cluster(fenceCluster());
+    auto a = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    auto b = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    HashTable ha, hb;
+    ASSERT_EQ(HashTable::create(*a, 1, "fence_a", 64, &ha), Status::Ok);
+    ASSERT_EQ(HashTable::create(*b, 1, "fence_b", 64, &hb), Status::Ok);
+    for (uint64_t k = 1; k <= 10; ++k) {
+        ASSERT_EQ(ha.put(k, Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(hb.put(k, Value::ofU64(k * 3)), Status::Ok);
+    }
+    ASSERT_EQ(a->flushAll(), Status::Ok);
+    ASSERT_EQ(b->flushAll(), Status::Ok);
+
+    cluster.keepAlive().renew(1, std::max(a->clock().now(),
+                                          b->clock().now()));
+    BackendNode *old = cluster.backend(1);
+    cluster.condemnBackend(1);
+    jumpPastLease(cluster, *a, *b);
+
+    // A alone rides its next op through the full failover path: wait out
+    // what's left of the lease, claim, complete — one promotion.
+    ASSERT_EQ(ha.put(11, Value::ofU64(11)), Status::Ok);
+    EXPECT_EQ(a->promotionCounters().at(1).promotions_won, 1u);
+    EXPECT_NE(cluster.backend(1), old);
+    EXPECT_EQ(cluster.slotEpoch(1), 2u);
+
+    // B slept through all of it: its verbs still target the retired
+    // incarnation, which is parked fail-stopped — the write fails, the
+    // fence flags B's stale epoch, and B re-resolves transparently.
+    ASSERT_EQ(hb.put(11, Value::ofU64(33)), Status::Ok);
+    EXPECT_GE(b->stats().retry.stale_epoch_fenced, 1u);
+    EXPECT_EQ(b->backendEpoch(1), 2u);
+
+    // Both sessions' data survived the promotion intact.
+    ASSERT_EQ(a->flushAll(), Status::Ok);
+    ASSERT_EQ(b->flushAll(), Status::Ok);
+    for (uint64_t k = 1; k <= 10; ++k) {
+        Value va, vb;
+        ASSERT_EQ(ha.get(k, &va), Status::Ok);
+        EXPECT_EQ(va.asU64(), k);
+        ASSERT_EQ(hb.get(k, &vb), Status::Ok);
+        EXPECT_EQ(vb.asU64(), k * 3);
+    }
+}
+
+TEST(EpochFenceTest, StalledClaimIsTakenOverNotStranded)
+{
+    Cluster cluster(fenceCluster());
+    auto a = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    auto b = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    cluster.keepAlive().renew(1, 0);
+    cluster.condemnBackend(1);
+    jumpPastLease(cluster, *a, *b);
+
+    // A claims the promotion, then goes silent (never polls again).
+    EXPECT_EQ(a->tryHeal(1), Status::Unavailable);
+    EXPECT_EQ(cluster.failoverEpochs().claimWinner(1),
+              a->config().session_id);
+
+    // B keeps polling; after the takeover grace period it inherits the
+    // claim and completes the promotion itself.
+    Status st = Status::Unavailable;
+    for (int poll = 0; poll < 16 && st != Status::Ok; ++poll)
+        st = b->tryHeal(1);
+    EXPECT_EQ(st, Status::Ok);
+    EXPECT_EQ(cluster.slotEpoch(1), 2u);
+    EXPECT_GE(cluster.failoverEpochs().stats(1).takeovers, 1u);
+    EXPECT_EQ(b->promotionCounters().at(1).promotions_won, 1u);
+
+    // Still exactly one promotion record for the epoch.
+    const auto hist = cluster.failoverEpochs().history();
+    ASSERT_EQ(hist.size(), 1u);
+    EXPECT_EQ(hist[0].epoch, 2u);
+    EXPECT_EQ(hist[0].winner_session, b->config().session_id);
+}
+
+TEST(EpochFenceTest, ManualPromotionSupersedesAnInFlightClaim)
+{
+    Cluster cluster(fenceCluster());
+    auto a = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    auto b = cluster.makeSession(SessionConfig::rcb(1, 1 << 20, 16));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    cluster.keepAlive().renew(1, 0);
+    cluster.condemnBackend(1);
+    jumpPastLease(cluster, *a, *b);
+
+    ASSERT_EQ(a->tryHeal(1), Status::Unavailable); // A claims
+    // The harness promotes by hand (the Section 7.2 orchestration path):
+    // the pending claim is cleared, the epoch bumps once.
+    ASSERT_EQ(cluster.failBackendPermanently(1, a->clock().now()),
+              Status::Ok);
+    EXPECT_EQ(cluster.slotEpoch(1), 2u);
+    EXPECT_FALSE(cluster.failoverEpochs().promotionInFlight(1));
+
+    // A's completion poll finds its claim gone; it re-resolves to the
+    // served slot without double-promoting.
+    EXPECT_EQ(a->tryHeal(1), Status::Ok);
+    EXPECT_EQ(a->promotionCounters().at(1).promotions_won, 0u);
+    EXPECT_EQ(cluster.slotEpoch(1), 2u);
+    const auto hist = cluster.failoverEpochs().history();
+    ASSERT_EQ(hist.size(), 1u);
+    EXPECT_EQ(hist[0].winner_session, 0u) << "manual promotions record "
+                                             "no winning session";
+}
+
+} // namespace
+} // namespace asymnvm
