@@ -39,6 +39,7 @@ BackendNode::BackendNode(NodeId id, const BackendConfig &cfg,
       device_(std::make_shared<NvmDevice>(cfg.nvm_size)),
       nic_(lat.nic_verb_service_ns)
 {
+    nic_.setQos(cfg_.nic_qos);
     // Format: the fresh device is zero-filled, so only the superblock
     // needs explicit initialization.
     layout_.super.epoch = 1;
@@ -67,6 +68,7 @@ BackendNode::BackendNode(NodeId id, const BackendConfig &cfg,
     : id_(id), cfg_(cfg), lat_(lat), layout_(Layout::compute(cfg)),
       device_(std::move(device)), nic_(lat.nic_verb_service_ns)
 {
+    nic_.setQos(cfg_.nic_qos);
     SuperBlock sb;
     device_->read(0, &sb, sizeof(sb));
     if (sb.magic != kSuperMagic)
@@ -217,8 +219,21 @@ BackendNode::flushReplicationLocked(uint64_t now_ns)
     }
     // Modeled batch latency: one chained RDMA transfer plus one remote
     // persist fence; posting it is back-end CPU time.
-    repl_hist_.record(lat_.rdma_write_rtt_ns + lat_.wireBytes(batch_bytes) +
-                      lat_.persist_fence_ns);
+    uint64_t queue_ns = 0;
+    if (nic_.qosEnabled() && now_ns != 0) {
+        // Replication shipping shares the NIC with foreground verbs. The
+        // per-QP model accounts the batch as one Background-class burst
+        // on this node's shipper QP — so a storm of it is visible to (and
+        // rate-capped against) live sessions. The legacy scalar model
+        // never charged replication here; keeping that path unchanged
+        // preserves every pre-existing result bit-identically. now_ns==0
+        // marks control-path flushes with no session clock to anchor to.
+        queue_ns = nic_.reserveBatch(repl_batch_.ranges.size(), now_ns,
+                                     kShipperQpBase + id_,
+                                     VerbClass::Background);
+    }
+    repl_hist_.record(queue_ns + lat_.rdma_write_rtt_ns +
+                      lat_.wireBytes(batch_bytes) + lat_.persist_fence_ns);
     busy_ns_.add(lat_.post_overhead_ns);
     repl_batch_.clear();
 }

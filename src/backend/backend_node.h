@@ -64,6 +64,14 @@ enum class TxValidation : uint8_t
     Torn,  //!< last transaction torn; front-end must re-flush
 };
 
+/**
+ * QP-id namespace base for back-end background shippers at the shared
+ * NIC's per-QP contention model. Front-end sessions use their (small)
+ * session ids as QP ids; a back-end's replication shipper registers as
+ * kShipperQpBase + node id so the two arrival streams never collide.
+ */
+constexpr uint64_t kShipperQpBase = 1ull << 32;
+
 /** The back-end NVM node (one NVM "blade" of the AsymNVM architecture). */
 class BackendNode
 {

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "sim/nic_qos.h"
 
 namespace asymnvm {
 
@@ -133,6 +134,12 @@ struct BackendConfig
     uint64_t block_size = 1024;            //!< slab granularity
     /** Lazy GC delay n + l from Section 6.2, in virtual nanoseconds. */
     uint64_t gc_delay_ns = (4000 + 1000) * 1000ull;
+    /**
+     * Shared-NIC per-QP contention / QoS knobs (sim/nic_qos.h). Default
+     * keeps the legacy scalar model — and every existing result —
+     * bit-identical; volatile configuration only, not persisted.
+     */
+    NicQosConfig nic_qos;
 };
 
 /** Computed region offsets for a given configuration and device size. */

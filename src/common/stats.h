@@ -61,6 +61,14 @@ class Histogram
     /** Approximate percentile (0..100) from the log-scale buckets. */
     uint64_t percentile(double p) const;
 
+    /**
+     * Percentile with rank interpolation inside the containing log
+     * bucket — resolves tails (p99.9) a power-of-two bucket bound
+     * cannot. percentile() is kept as-is (its values appear in the
+     * established benchmark tables); sweeps that report p999 use this.
+     */
+    uint64_t percentileInterp(double p) const;
+
     /** Render a short human-readable summary line. */
     std::string summary() const;
 
@@ -69,6 +77,18 @@ class Histogram
     uint64_t sum_ = 0;
     uint64_t count_ = 0;
     uint64_t max_ = 0;
+};
+
+/**
+ * Per-queue-pair burst/WQE accounting snapshot from the back-end NIC's
+ * per-QP contention model (src/sim/nic.h). One entry per QP that rang a
+ * doorbell since the last reset; benchmarks print these to show how the
+ * arrival stream divides across sessions and background shippers.
+ */
+struct NicQpCounters
+{
+    uint64_t bursts = 0; //!< doorbell arrivals accounted to this QP
+    uint64_t wqes = 0;   //!< WQEs those arrivals carried
 };
 
 /**

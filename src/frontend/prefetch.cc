@@ -30,7 +30,7 @@ PrefetchEngine::onAccess(DsId ds, uint64_t stream, uint64_t addr_raw,
 
 void
 PrefetchEngine::collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
-                        std::vector<PrefetchCandidate> *out) const
+                        std::vector<PrefetchCandidate> *out)
 {
     if (stream == 0)
         return;
@@ -41,6 +41,10 @@ PrefetchEngine::collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
     for (size_t i = 0; i < run.size(); ++i) {
         if (run[i].addr_raw != demanded_raw)
             continue;
+        // The prediction fired: credit the stream so eviction favors
+        // cold never-hit streams over this one.
+        ++it->second.hits;
+        it->second.last_hit = ++tick_;
         out->insert(out->end(), run.begin() + i + 1, run.end());
         return;
     }
@@ -49,10 +53,17 @@ PrefetchEngine::collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
 void
 PrefetchEngine::evictColdest()
 {
+    // Hit-rate-weighted LRU: recency plus a per-hit credit, so a stream
+    // whose predictions were actually served survives newer streams that
+    // never produced a hit (the LRU-of-streams ROADMAP note).
+    const auto score = [](const Run &r) {
+        return r.last_hit +
+               std::min(r.hits, kMaxHitCredit) * kHitBonusTicks;
+    };
     auto coldest = streams_.end();
     for (auto it = streams_.begin(); it != streams_.end(); ++it) {
         if (coldest == streams_.end() ||
-            it->second.last_hit < coldest->second.last_hit)
+            score(it->second) < score(coldest->second))
             coldest = it;
     }
     if (coldest != streams_.end())

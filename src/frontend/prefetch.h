@@ -61,10 +61,11 @@ class PrefetchEngine
     /**
      * Append to @p out the committed successors of @p demanded_raw in
      * @p stream's predicted run (empty when the stream is unknown or the
-     * address is not part of the prediction).
+     * address is not part of the prediction). A successful prediction
+     * counts as a hit on the stream and refreshes its eviction score.
      */
     void collect(DsId ds, uint64_t stream, uint64_t demanded_raw,
-                 std::vector<PrefetchCandidate> *out) const;
+                 std::vector<PrefetchCandidate> *out);
 
     /** Forget every prediction for @p ds (gc epoch bump / structure drop). */
     void invalidateDs(DsId ds);
@@ -78,18 +79,29 @@ class PrefetchEngine
   private:
     /** Longest run recorded per stream (bounds memory and gather size). */
     static constexpr size_t kMaxRunLen = 64;
-    /** Tracked-stream cap; overflow evicts the least-recently-hit
-     *  stream so hot predictions survive bursts of one-shot streams. */
+    /** Tracked-stream cap; overflow evicts the lowest-scoring stream
+     *  (hit-rate-weighted LRU) so hot predictions survive bursts of
+     *  one-shot streams. */
     static constexpr size_t kMaxStreams = 4096;
+    /**
+     * Eviction-score credit per served prediction, in recency ticks. One
+     * hit is worth a full table turnover of cold streams: a stream whose
+     * prediction actually fired outlives every never-hit stream that
+     * merely arrived later, until the table churns past its credit.
+     */
+    static constexpr uint64_t kHitBonusTicks = kMaxStreams;
+    /** Hits credited at most this many times (bounds score staleness). */
+    static constexpr uint64_t kMaxHitCredit = 4;
 
     struct Run
     {
         std::vector<PrefetchCandidate> committed; //!< last full traversal
         std::vector<PrefetchCandidate> building;  //!< traversal in progress
         uint64_t last_hit = 0;                    //!< recency (tick_ stamp)
+        uint64_t hits = 0; //!< predictions served (collect() matches)
     };
 
-    /** Drop the least-recently-hit stream to make room (table at cap). */
+    /** Drop the lowest-scoring stream to make room (table at cap). */
     void evictColdest();
 
     uint64_t tick_ = 0;

@@ -74,6 +74,7 @@ FrontendSession::FrontendSession(const SessionConfig &cfg,
                                  const LatencyModel &lat)
     : cfg_(cfg), lat_(lat), verbs_(&clock_, &lat_)
 {
+    verbs_.setQpId(cfg_.qp_id != 0 ? cfg_.qp_id : cfg_.session_id);
     cache_ = std::make_unique<PageCache>(cfg_.cache_policy,
                                          cfg_.cache_bytes, &clock_, &lat_,
                                          cfg_.cache_sample_k,
@@ -1614,6 +1615,10 @@ FrontendSession::simulateCrash()
 Status
 FrontendSession::recover()
 {
+    // Recovery replay is not on any client's critical path: its verbs
+    // run Background so the NIC's QoS arbiter can keep it from crowding
+    // live sessions (no-op under the legacy scalar model).
+    Verbs::ClassScope bg(verbs_, VerbClass::Background);
     for (auto &[id, c] : backends_) {
         // Fetch the authoritative log positions.
         clock_.advance(lat_.rdma_read_rtt_ns +

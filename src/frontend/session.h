@@ -59,6 +59,13 @@ namespace asymnvm {
 struct SessionConfig
 {
     uint64_t session_id = 1;    //!< identity for log-slot reattachment
+    /**
+     * Queue-pair identity at the shared back-end NIC's per-QP contention
+     * model; 0 (default) adopts session_id, so distinct sessions land on
+     * distinct QPs without extra configuration. Only meaningful when the
+     * back-end enables NicQosConfig::cross_session_merge.
+     */
+    uint64_t qp_id = 0;
     bool use_oplog = true;      //!< decoupled op-log persistency (R)
     bool use_txlog = true;      //!< memory logs via transactions
     bool use_cache = true;      //!< front-end DRAM cache (C)

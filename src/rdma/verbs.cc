@@ -18,8 +18,8 @@ Verbs::flushChain(NodeId id, PostChain &chain, bool own_doorbell)
     clock_->advance(cost);
     auto it = targets_.find(id);
     if (it != targets_.end() && it->second.nic != nullptr)
-        clock_->advance(
-            it->second.nic->reserveBatch(chain.wqes, clock_->now()));
+        clock_->advance(it->second.nic->reserveBatch(
+            chain.wqes, clock_->now(), qp_id_, verb_class_));
     chain = PostChain{};
 }
 
@@ -83,7 +83,8 @@ Verbs::begin(NodeId id, VerbKind kind, uint64_t write_len, RdmaTarget **out)
         }
     }
     if (t.nic != nullptr)
-        clock_->advance(t.nic->reserve(clock_->now()));
+        clock_->advance(
+            t.nic->reserve(clock_->now(), qp_id_, verb_class_));
     return Status::Ok;
 }
 
@@ -378,7 +379,8 @@ Verbs::ringDoorbellFanout()
             lat_->rdma_write_rtt_ns + lat_->wireBytes(chain.bytes);
         auto it = targets_.find(id);
         if (it != targets_.end() && it->second.nic != nullptr)
-            wait += it->second.nic->reserveBatch(chain.wqes, clock_->now());
+            wait += it->second.nic->reserveBatch(
+                chain.wqes, clock_->now(), qp_id_, verb_class_);
         max_wait = std::max(max_wait, wait);
         chain = PostChain{};
     }
@@ -506,8 +508,8 @@ Verbs::readGatherOnce(NodeId id, const std::vector<ReadWqe> &wqes)
             return Status::InvalidArgument;
 
     if (t.nic != nullptr)
-        clock_->advance(
-            t.nic->reserveGather(n, clock_->now(), next_gather_ops_));
+        clock_->advance(t.nic->reserveGather(
+            n, clock_->now(), next_gather_ops_, qp_id_, verb_class_));
     // One completion wait: the chained WQEs travel back to back, so the
     // session pays a single round trip plus the combined wire time.
     clock_->advance(lat_->rdma_read_rtt_ns + lat_->wireBytes(total));

@@ -95,6 +95,42 @@ class Verbs
         : clock_(clock), lat_(lat), rng_(policy_.seed)
     {}
 
+    /**
+     * Identity of this endpoint's queue pair at the shared back-end NIC.
+     * Sessions set it from their session id so the NIC's per-QP
+     * contention model can tell the arrival streams apart; 0 (the
+     * default) is an anonymous QP, which the legacy scalar model — and
+     * every single-session test — never needs to distinguish.
+     */
+    void setQpId(uint64_t qp) { qp_id_ = qp; }
+    uint64_t qpId() const { return qp_id_; }
+
+    /**
+     * QoS class stamped on every verb this endpoint issues until
+     * changed. Foreground by default; recovery replay and other
+     * non-critical-path work run under a ClassScope.
+     */
+    void setVerbClass(VerbClass cls) { verb_class_ = cls; }
+    VerbClass verbClass() const { return verb_class_; }
+
+    /** RAII re-tag of the endpoint's verb class (e.g. recovery replay). */
+    class ClassScope
+    {
+      public:
+        ClassScope(Verbs &v, VerbClass cls)
+            : v_(v), prev_(v.verbClass())
+        {
+            v_.setVerbClass(cls);
+        }
+        ~ClassScope() { v_.setVerbClass(prev_); }
+        ClassScope(const ClassScope &) = delete;
+        ClassScope &operator=(const ClassScope &) = delete;
+
+      private:
+        Verbs &v_;
+        VerbClass prev_;
+    };
+
     /** Register a reachable back-end under its node id. */
     void attach(NodeId id, RdmaTarget target) { targets_[id] = target; }
 
@@ -341,6 +377,8 @@ class Verbs
     RetryStats retry_stats_;
     uint64_t verbs_issued_ = 0;
     uint64_t bytes_moved_ = 0;
+    uint64_t qp_id_ = 0; //!< per-session QP identity at the shared NIC
+    VerbClass verb_class_ = VerbClass::Foreground; //!< current QoS class
     uint64_t next_gather_ops_ = 1; //!< ops multiplexed by the next gather
     uint64_t partial_write_len_pending_ = 0;
     /** Set by begin() when this verb executes but its completion drops. */

@@ -1,0 +1,57 @@
+#ifndef ASYMNVM_SIM_NIC_QOS_H_
+#define ASYMNVM_SIM_NIC_QOS_H_
+
+/**
+ * @file
+ * QoS classes and per-QP contention knobs of the shared back-end NIC.
+ *
+ * Split from sim/nic.h so configuration surfaces (BackendConfig) can
+ * name them without pulling in the NicModel implementation; see
+ * sim/nic.h for the model the knobs drive.
+ */
+
+#include <cstdint>
+
+namespace asymnvm {
+
+/** QoS class of a verb arriving at the shared back-end NIC. */
+enum class VerbClass : uint8_t
+{
+    Foreground = 0, //!< session critical path (data structure ops)
+    Background = 1, //!< replication shipping, recovery replay, resync
+};
+
+/** Per-QP contention / QoS arbitration knobs of one back-end NIC. */
+struct NicQosConfig
+{
+    /**
+     * Master switch (the `nic_cross_session_merge` ablation flag): off
+     * reproduces the legacy cumulative-utilization model bit-identically;
+     * on enables the per-QP arrival tracks, doorbell merging and the
+     * two-class arbiter.
+     */
+    bool cross_session_merge = false;
+    /**
+     * Doorbells from different QPs of the same class coalesce into one
+     * NIC arrival burst (joiners skip arrival_overhead_ns) when they
+     * land within this window of the previous same-class arrival, or
+     * while same-class backlog from other QPs is still draining. 0
+     * disables aggregation entirely while keeping the per-QP contention
+     * model — the merge-off baseline of the session sweep.
+     */
+    uint64_t merge_window_ns = 600;
+    /** Per-doorbell NIC arrival processing (MMIO + WQE fetch setup). */
+    uint64_t arrival_overhead_ns = 240;
+    /**
+     * Background-class share of NIC WQE slots, in percent. 100 = no
+     * arbitration (background backlog drains FIFO ahead of foreground —
+     * the storm-collapse baseline); lower values bound the background
+     * WQEs served ahead of a foreground burst and pace background
+     * bursts to that fraction of line rate.
+     */
+    uint32_t bg_share_pct = 100;
+};
+
+} // namespace asymnvm
+
+#endif // ASYMNVM_SIM_NIC_QOS_H_

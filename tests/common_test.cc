@@ -193,6 +193,51 @@ TEST(HistogramTest, MergeAccumulates)
     EXPECT_EQ(a.max(), 200u);
 }
 
+TEST(HistogramTest, InterpolatedPercentilesAgainstKnownDistribution)
+{
+    // Uniform 1..10000, one sample each: percentile p should come out
+    // near p% of the range. The log-bucket layout alone only resolves
+    // powers of two; interpolation inside the containing bucket must do
+    // substantially better than a bucket bound.
+    Histogram h;
+    for (uint64_t v = 1; v <= 10000; ++v)
+        h.record(v);
+    EXPECT_NEAR(static_cast<double>(h.percentileInterp(50)), 5000.0,
+                900.0);
+    EXPECT_NEAR(static_cast<double>(h.percentileInterp(99)), 9900.0,
+                600.0);
+    EXPECT_NEAR(static_cast<double>(h.percentileInterp(99.9)), 9990.0,
+                600.0);
+    // Ordering and clamping invariants.
+    EXPECT_LE(h.percentileInterp(50), h.percentileInterp(99));
+    EXPECT_LE(h.percentileInterp(99), h.percentileInterp(99.9));
+    EXPECT_LE(h.percentileInterp(99.9), h.max());
+    EXPECT_EQ(h.percentileInterp(100), h.max());
+    // The bucket-bound percentile stays what existing tables print.
+    EXPECT_EQ(h.percentile(50), (1ULL << 13) - 1);
+    EXPECT_EQ(Histogram{}.percentileInterp(99), 0u);
+}
+
+TEST(HistogramTest, MergeEqualsRecordingUnion)
+{
+    // Merging two histograms must answer percentiles exactly as if every
+    // sample had been recorded into one.
+    Histogram a, b, all;
+    for (uint64_t v = 1; v <= 3000; ++v) {
+        ((v % 3 == 0) ? a : b).record(v * 7);
+        all.record(v * 7);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.max(), all.max());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+        EXPECT_EQ(a.percentileInterp(p), all.percentileInterp(p))
+            << "p=" << p;
+    }
+}
+
 TEST(ThroughputTest, KopsComputedAgainstVirtualTime)
 {
     Throughput t{1000, 1000000}; // 1000 ops in 1 ms of virtual time

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Shared-NIC contention model: per-QP accounting, cross-session doorbell
+ * aggregation, the two-class QoS arbiter, and the resetStats seqlock.
+ *
+ * The single-threaded cases pin the model's arithmetic exactly — the
+ * legacy scalar path because existing benchmark cells must reproduce
+ * bit-identically with the ablation flag off, the per-QP path because
+ * the multisession sweep's shape depends on it. The threaded cases are
+ * the real-thread coverage for cross-session accounting (exactly-once
+ * burst/WQE accounting, monotone counters) and the regression test for
+ * the resetStats coherence race; run them under -DASYMNVM_TSAN=ON
+ * alongside epoch_race_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/nic.h"
+
+namespace asymnvm {
+namespace {
+
+constexpr uint64_t kService = 150;
+
+NicQosConfig
+perQpConfig(uint64_t merge_window_ns = 600, uint32_t bg_share_pct = 100)
+{
+    NicQosConfig q;
+    q.cross_session_merge = true;
+    q.merge_window_ns = merge_window_ns;
+    q.bg_share_pct = bg_share_pct;
+    return q;
+}
+
+// ---------------------------------------------------------------------
+// Legacy scalar model: exact values (bit-identity with the flag off)
+// ---------------------------------------------------------------------
+
+TEST(NicLegacyTest, ScalarDelayMathUnchanged)
+{
+    NicModel nic(kService);
+    // Not enough signal yet: span below 10 service times.
+    EXPECT_EQ(nic.reserveBatch(1, 0), 0u);
+    // busy=1500ns over span=3000ns: rho=0.500 -> W = s*500/(2*500) = 75.
+    EXPECT_EQ(nic.reserveBatch(9, 3000), 75u);
+    // busy=3000ns over span=4500ns: ppk=666 -> 150*666/668 = 149 (integer).
+    EXPECT_EQ(nic.reserveBatch(10, 4500), 149u);
+    EXPECT_EQ(nic.verbCount(), 20u);
+    EXPECT_EQ(nic.busyNs(), 20 * kService);
+    // The per-QP machinery stays dormant: no class/QP accounting.
+    EXPECT_EQ(nic.classBursts(VerbClass::Foreground), 0u);
+    EXPECT_TRUE(nic.qpSnapshot().empty());
+}
+
+TEST(NicLegacyTest, ResetRebasesUtilizationAtCurrentTime)
+{
+    NicModel nic(kService);
+    for (int i = 1; i <= 20; ++i)
+        (void)nic.reserve(i * 10 * kService);
+    EXPECT_NEAR(nic.utilization(), 0.1, 0.01);
+    nic.resetStats();
+    EXPECT_DOUBLE_EQ(nic.utilization(), 0.0);
+    // Post-reset the model behaves like a fresh one anchored at the
+    // reset time: the first arrival is inside the warm-up span again,
+    // and utilization measures only post-reset busy time over the
+    // post-reset span (150ns busy over the 100ns span).
+    EXPECT_EQ(nic.reserveBatch(1, 20 * 10 * kService + 100), 0u);
+    EXPECT_DOUBLE_EQ(nic.utilization(), 1.5);
+}
+
+// ---------------------------------------------------------------------
+// Per-QP contention: deterministic delay math
+// ---------------------------------------------------------------------
+
+TEST(NicPerQpTest, RoundRobinDrainAndOwnFifoBacklog)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig());
+    // First burst on an idle NIC: only the arrival processing.
+    EXPECT_EQ(nic.reserveBatch(4, 10000, /*qp=*/1), 240u);
+    // QP1's horizon: 10000 + 4*150 + 240 = 10840 (backlog of 6 slots).
+    // QP2 arrives while that drains: round-robin caps QP1's share at
+    // n=4 slots, and the draining backlog means the doorbell merges
+    // (no arrival overhead): wait = 4*150 = 600.
+    EXPECT_EQ(nic.reserveBatch(4, 10000, /*qp=*/2), 600u);
+    // QP1 again at the same instant: queues behind its OWN 6 undrained
+    // slots in full (FIFO) plus min(4,4) of QP2's; merged again.
+    EXPECT_EQ(nic.reserveBatch(4, 10000, /*qp=*/1), 1500u);
+    EXPECT_EQ(nic.classBursts(VerbClass::Foreground), 3u);
+    EXPECT_EQ(nic.classWqes(VerbClass::Foreground), 12u);
+    EXPECT_EQ(nic.classMerged(VerbClass::Foreground), 2u);
+    // Queue-wait excludes arrival overheads: 0 + 600 + 1500.
+    EXPECT_EQ(nic.classQueueWaitNs(VerbClass::Foreground), 2100u);
+}
+
+TEST(NicPerQpTest, MergeWindowCoalescesIdleNicArrivals)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig(/*merge_window_ns=*/600));
+    // QP1 arrives; its backlog fully drains long before QP2's arrival,
+    // so only the timestamp window can merge the second doorbell.
+    EXPECT_EQ(nic.reserveBatch(2, 100000, 1), 240u);
+    // 400ns later from another QP: inside the window, merged, and the
+    // earlier backlog has drained (horizon 100540 < 100400? no — still
+    // draining: 100000+300+240 = 100540 > 100400, backlog 1 slot).
+    EXPECT_EQ(nic.reserveBatch(2, 100400, 2), 150u);
+    EXPECT_EQ(nic.classMerged(VerbClass::Foreground), 1u);
+    // Far outside the window on an idle NIC: full arrival overhead.
+    EXPECT_EQ(nic.reserveBatch(2, 200000, 1), 240u);
+    EXPECT_EQ(nic.classMerged(VerbClass::Foreground), 1u);
+    // Same QP re-ringing within the window does NOT merge (aggregation
+    // is a cross-session effect; a QP's own chain already batched).
+    NicModel own(kService);
+    own.setQos(perQpConfig(600));
+    (void)own.reserveBatch(1, 50000, 7);
+    (void)own.reserveBatch(1, 50000 + 390 + 240, 7); // own drain is over
+    EXPECT_EQ(own.classMerged(VerbClass::Foreground), 0u);
+}
+
+TEST(NicPerQpTest, MergeWindowZeroDisablesAggregation)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig(/*merge_window_ns=*/0));
+    EXPECT_EQ(nic.reserveBatch(4, 10000, 1), 240u);
+    // Same instant, other QP: still pays its own arrival processing on
+    // top of the round-robin drain (no-merge ablation baseline).
+    EXPECT_EQ(nic.reserveBatch(4, 10000, 2), 600u + 240u);
+    EXPECT_EQ(nic.classMerged(VerbClass::Foreground), 0u);
+}
+
+TEST(NicPerQpTest, GatherReservationsLandOnTheQpTrack)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig());
+    EXPECT_EQ(nic.reserveGather(8, 10000, /*ops=*/2, /*qp=*/3), 240u);
+    EXPECT_EQ(nic.gatherBatches(), 1u);
+    EXPECT_EQ(nic.gatherWqes(), 8u);
+    EXPECT_EQ(nic.multiOpBatches(), 1u);
+    const auto qps = nic.qpSnapshot();
+    ASSERT_EQ(qps.size(), 1u);
+    EXPECT_EQ(qps[0].first, 3u);
+    EXPECT_EQ(qps[0].second.bursts, 1u);
+    EXPECT_EQ(qps[0].second.wqes, 8u);
+}
+
+// ---------------------------------------------------------------------
+// QoS arbiter: background rate cap and foreground protection
+// ---------------------------------------------------------------------
+
+TEST(NicQosTest, UncappedBackgroundBacklogDrainsAheadOfForeground)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig(600, /*bg_share_pct=*/100));
+    // A replication storm parks 100 WQEs of background backlog.
+    EXPECT_EQ(nic.reserveBatch(100, 0, 99, VerbClass::Background), 240u);
+    // Horizon 100*150+240 = 15240 -> 102 backlog slots. Uncapped, a
+    // foreground burst waits out ALL of it (cross-class arrivals do not
+    // merge; the foreground class is idle so no window match either).
+    EXPECT_EQ(nic.reserveBatch(4, 0, 1, VerbClass::Foreground),
+              102 * kService + 240);
+}
+
+TEST(NicQosTest, CapBoundsBackgroundSlotsAheadOfForeground)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig(600, /*bg_share_pct=*/25));
+    // Background pays its pacing up front: 100 WQEs at 25% of line rate
+    // stall 100*150*75/25 = 45000ns beyond the service itself.
+    EXPECT_EQ(nic.reserveBatch(100, 0, 99, VerbClass::Background),
+              45000u + 240u);
+    EXPECT_EQ(nic.bgThrottleNs(), 45000u);
+    // Foreground now sees at most n*25/75 = 1 background slot ahead of
+    // its 4-WQE burst, not the full 102-slot backlog.
+    EXPECT_EQ(nic.reserveBatch(4, 0, 1, VerbClass::Foreground),
+              1 * kService + 240);
+}
+
+TEST(NicQosTest, BackgroundAlwaysWaitsOutForegroundBacklog)
+{
+    NicModel nic(kService);
+    nic.setQos(perQpConfig(600, /*bg_share_pct=*/25));
+    EXPECT_EQ(nic.reserveBatch(4, 0, 1, VerbClass::Foreground), 240u);
+    // fg horizon 840 -> 6 slots. Background waits the full foreground
+    // backlog plus its own pacing: 6*150 + 2*150*3 + arrival.
+    EXPECT_EQ(nic.reserveBatch(2, 0, 99, VerbClass::Background),
+              6 * kService + 900 + 240);
+}
+
+// ---------------------------------------------------------------------
+// Real threads: exactly-once accounting and the reset seqlock
+// ---------------------------------------------------------------------
+
+TEST(NicThreadedTest, ExactlyOnceBurstAccountingMergeOnAndOff)
+{
+    for (const uint64_t window : {uint64_t{0}, uint64_t{600}}) {
+        NicModel nic(kService);
+        nic.setQos(perQpConfig(window));
+        constexpr int kThreads = 8;
+        constexpr uint64_t kCalls = 200;
+        constexpr uint64_t kWqes = 3;
+        std::vector<std::thread> workers;
+        workers.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&nic, t] {
+                uint64_t now = 1000 + static_cast<uint64_t>(t) * 37;
+                for (uint64_t i = 0; i < kCalls; ++i) {
+                    if (i % 2 == 0)
+                        (void)nic.reserveBatch(kWqes, now, t + 1);
+                    else
+                        (void)nic.reserveGather(kWqes, now, 2, t + 1);
+                    now += 5 * kService;
+                }
+            });
+        }
+        // A racing reader must only ever observe monotone counters.
+        std::atomic<bool> done{false};
+        std::thread reader([&nic, &done] {
+            uint64_t last_bursts = 0, last_wqes = 0, last_verbs = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                const uint64_t b = nic.classBursts(VerbClass::Foreground);
+                const uint64_t w = nic.classWqes(VerbClass::Foreground);
+                const uint64_t v = nic.verbCount();
+                EXPECT_GE(b, last_bursts);
+                EXPECT_GE(w, last_wqes);
+                EXPECT_GE(v, last_verbs);
+                last_bursts = b;
+                last_wqes = w;
+                last_verbs = v;
+            }
+        });
+        for (std::thread &w : workers)
+            w.join();
+        done.store(true, std::memory_order_release);
+        reader.join();
+
+        const uint64_t bursts = kThreads * kCalls;
+        EXPECT_EQ(nic.classBursts(VerbClass::Foreground), bursts);
+        EXPECT_EQ(nic.classWqes(VerbClass::Foreground), bursts * kWqes);
+        EXPECT_EQ(nic.verbCount(), bursts * kWqes);
+        EXPECT_EQ(nic.busyNs(), bursts * kWqes * kService);
+        EXPECT_EQ(nic.gatherBatches(), bursts / 2);
+        if (window == 0)
+            EXPECT_EQ(nic.classMerged(VerbClass::Foreground), 0u);
+        else
+            EXPECT_LE(nic.classMerged(VerbClass::Foreground), bursts);
+        const auto qps = nic.qpSnapshot();
+        ASSERT_EQ(qps.size(), static_cast<size_t>(kThreads));
+        for (const auto &[id, c] : qps) {
+            EXPECT_EQ(c.bursts, kCalls);
+            EXPECT_EQ(c.wqes, kCalls * kWqes);
+        }
+    }
+}
+
+TEST(NicThreadedTest, ResetStatsSeqlockRegression)
+{
+    // Regression for the resetStats coherence race: the busy counter
+    // used to be zeroed separately from the time rebase, so a reader
+    // could pair pre-reset busy time with a post-reset (near-zero) span
+    // and see utilization orders of magnitude above reality. Writers
+    // keep ~10% duty; readers sample while a resetter storms: every
+    // observation must stay near that, never above full line rate.
+    NicModel nic(kService);
+    std::atomic<uint64_t> shared_now{0};
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&nic, &shared_now, &stop] {
+            while (!stop.load(std::memory_order_acquire)) {
+                const uint64_t now =
+                    shared_now.fetch_add(10 * kService,
+                                         std::memory_order_relaxed) +
+                    10 * kService;
+                (void)nic.reserve(now);
+            }
+        });
+    }
+    std::thread resetter([&nic, &stop] {
+        while (!stop.load(std::memory_order_acquire))
+            nic.resetStats();
+    });
+    for (int i = 0; i < 200000; ++i) {
+        const double u = nic.utilization();
+        ASSERT_LE(u, 1.0) << "utilization over-report after reset race";
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread &w : writers)
+        w.join();
+    resetter.join();
+}
+
+} // namespace
+} // namespace asymnvm

@@ -2,9 +2,11 @@
  * @file
  * PrefetchEngine stream-table tests: learned-run commit/collect
  * semantics and the overflow policy. The table caps at 4096 streams;
- * overflow must evict only the least-recently-hit stream, never wipe
- * the table — a hot stream's committed prediction has to survive a
- * burst of one-shot cold streams (scan anchors, dying buckets).
+ * overflow must evict only the lowest-scoring stream under
+ * hit-rate-weighted LRU — recency plus a credit per served prediction —
+ * never wipe the table: a stream whose predictions actually fired has
+ * to survive bursts of newer cold streams (scan anchors, dying
+ * buckets), but only until the table churns past its credit.
  */
 
 #include <gtest/gtest.h>
@@ -71,6 +73,41 @@ TEST(PrefetchEngineTest, OverflowEvictsTheColdestStreamFirst)
     std::vector<PrefetchCandidate> out;
     eng.collect(1, 200, 0x1000, &out);
     EXPECT_FALSE(out.empty()) << "recently touched stream evicted";
+}
+
+TEST(PrefetchEngineTest, ServedPredictionOutlivesColdNewerStreams)
+{
+    PrefetchEngine eng;
+    const uint64_t kHit = 0xaaaa;
+    walkHotChain(eng, 1, kHit);
+    std::vector<PrefetchCandidate> out;
+    eng.collect(1, kHit, 0x1000, &out); // prediction served: one hit
+    ASSERT_EQ(out.size(), 3u);
+
+    // Fill to the cap with cold streams, every one of them touched more
+    // recently than the hit stream.
+    for (uint64_t i = 0; eng.streamCount() < kCap; ++i)
+        eng.onAccess(2, 0x10000 + i, 0x200000 + i * 64, 64);
+
+    // Overflow once. Plain LRU-of-streams would evict the hit stream —
+    // it has the oldest touch in the table; the hit credit must make a
+    // cold filler the victim instead.
+    eng.onAccess(3, 0x4242, 0x600000, 64);
+    EXPECT_EQ(eng.streamCount(), kCap);
+    out.clear();
+    eng.collect(1, kHit, 0x1000, &out);
+    EXPECT_EQ(out.size(), 3u)
+        << "stream with a served prediction lost to cold newer streams";
+
+    // The credit is one table turnover per served hit (two by now), not
+    // immortality: once the table churns past it, the stale hit stream
+    // goes too.
+    for (uint64_t i = 0; i < 3 * kCap + 256; ++i)
+        eng.onAccess(4, 0x800000 + i, 0x900000 + i * 64, 64);
+    out.clear();
+    eng.collect(1, kHit, 0x1000, &out);
+    EXPECT_TRUE(out.empty())
+        << "stale hit stream must age out after a full table turnover";
 }
 
 } // namespace
