@@ -261,7 +261,11 @@ printRetryCounters(const char *label, const RetryStats &r,
  * through the reactor, gather rounds and the demanded reads they served
  * (overlap = reads per round — the RTT amortization factor), stall
  * rounds (<= 1 read pending), peak in-flight ops, and commit fences
- * coalesced to window drains. All zeros on a non-pipelined run.
+ * coalesced to window drains. Write-pipelining adds op-log appends that
+ * rode a batched WQE chain instead of a solo fenced write, per-op
+ * commit fences absorbed into the drain flushAll, and dependency
+ * stalls (same-key ordering waits + read-set validation restarts).
+ * All zeros on a non-pipelined run.
  */
 inline void
 printPipelineCounters(const char *label, const PipelineStats &p)
@@ -273,6 +277,14 @@ printPipelineCounters(const char *label, const PipelineStats &p)
                 label, p.depth, p.ops, p.rounds, p.batched_reads,
                 p.overlap(), p.solo_rounds, p.max_in_flight,
                 p.deferred_commits);
+    if (p.batched_appends + p.coalesced_fences + p.dep_stalls > 0)
+        // Write-side profile: only printed when write ops actually ran
+        // through a pipelined window.
+        std::printf("%-14s   batched-appends %6" PRIu64
+                    "  coalesced-fences %6" PRIu64
+                    "  dep-stalls %6" PRIu64 "\n",
+                    "", p.batched_appends, p.coalesced_fences,
+                    p.dep_stalls);
 }
 
 /** True when ASYMNVM_BENCH_TINY requests smoke-test parameters. */

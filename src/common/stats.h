@@ -250,6 +250,12 @@ struct PipelineStats
     uint64_t solo_rounds = 0;   //!< rounds with <= 1 pending read (stalls)
     uint64_t max_in_flight = 0; //!< peak ops suspended concurrently
     uint64_t deferred_commits = 0; //!< commit fences coalesced to drain
+    uint64_t batched_appends = 0;  //!< op-log appends posted onto a WQE
+                                   //!< chain instead of fenced solo
+    uint64_t coalesced_fences = 0; //!< per-op commit fences absorbed into
+                                   //!< the single drain flushAll
+    uint64_t dep_stalls = 0;       //!< same-key dependency waits + read-set
+                                   //!< validation restarts inside windows
 
     double overlap() const
     {

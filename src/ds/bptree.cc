@@ -328,6 +328,241 @@ BpTree::insert(Key key, const Value &v)
 }
 
 Status
+BpTree::insertWriteout(std::vector<std::pair<uint64_t, Node>> &path,
+                       Key key, const Value &v, bool *added)
+{
+    // Mirrors insertRecurse's side-effect sequence exactly, but against
+    // the node copies captured by the validated descent: leaf step first
+    // (existing-key overwrite or fresh cell), then the bottom-up unwind
+    // where each level either absorbs the pending separator or splits
+    // and propagates it, stopping at the first absorption.
+    Node &leaf = path.back().second;
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+        if (leaf.keys[i] == key) {
+            return s_->logWriteFromOp(id_,
+                                      RemotePtr::fromRaw(leaf.children[i]),
+                                      v.bytes.data(), Value::kSize);
+        }
+    }
+    RemotePtr cell;
+    Status st = s_->alloc(backend_, Value::kSize, &cell);
+    if (!ok(st))
+        return st;
+    st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        return st;
+    *added = true;
+
+    Key ins_key = key;
+    uint64_t ins_child = cell.raw();
+    for (size_t lvl = path.size(); lvl-- > 0;) {
+        Node &node = path[lvl].second;
+        const RemotePtr node_ptr = RemotePtr::fromRaw(path[lvl].first);
+        if (node.count == kFanout) {
+            Node right{};
+            right.is_leaf = node.is_leaf;
+            right.count = kFanout / 2;
+            for (uint32_t i = 0; i < kFanout / 2; ++i) {
+                right.keys[i] = node.keys[kFanout / 2 + i];
+                right.children[i] = node.children[kFanout / 2 + i];
+            }
+            if (node.is_leaf)
+                right.next_raw = node.next_raw;
+            RemotePtr right_ptr;
+            st = s_->alloc(backend_, sizeof(Node), &right_ptr);
+            if (!ok(st))
+                return st;
+            node.count = kFanout / 2;
+            if (node.is_leaf)
+                node.next_raw = right_ptr.raw();
+
+            Node *target = ins_key >= right.keys[0] ? &right : &node;
+            uint32_t pos = 0;
+            while (pos < target->count && target->keys[pos] < ins_key)
+                ++pos;
+            for (uint32_t i = target->count; i > pos; --i) {
+                target->keys[i] = target->keys[i - 1];
+                target->children[i] = target->children[i - 1];
+            }
+            target->keys[pos] = ins_key;
+            target->children[pos] = ins_child;
+            ++target->count;
+
+            st = writeNode(right_ptr, right);
+            if (!ok(st))
+                return st;
+            st = writeNode(node_ptr, node);
+            if (!ok(st))
+                return st;
+            ins_key = right.keys[0];
+            ins_child = right_ptr.raw();
+            continue; // propagate the split upward
+        }
+        uint32_t pos = 0;
+        while (pos < node.count && node.keys[pos] < ins_key)
+            ++pos;
+        for (uint32_t i = node.count; i > pos; --i) {
+            node.keys[i] = node.keys[i - 1];
+            node.children[i] = node.children[i - 1];
+        }
+        node.keys[pos] = ins_key;
+        node.children[pos] = ins_child;
+        ++node.count;
+        return writeNode(node_ptr, node); // absorbed: unwind stops here
+    }
+    // The split propagated past the root: grow the tree (same sentinel
+    // layout as insertOne's root-growth branch).
+    Node new_root{};
+    new_root.is_leaf = 0;
+    new_root.count = 2;
+    new_root.keys[0] = 0;
+    new_root.children[0] = path[0].first;
+    new_root.keys[1] = ins_key;
+    new_root.children[1] = ins_child;
+    RemotePtr root_ptr;
+    st = allocNode(new_root, &root_ptr);
+    if (!ok(st))
+        return st;
+    return writeRoot(root_ptr.raw());
+}
+
+OpTask
+BpTree::insertAsync(Key key, Value v)
+{
+    // Prologue: identical to insert() — lock, then shared-count reload.
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            co_return st;
+    }
+    // Same-key ordering: a later op on this key parks until the earlier
+    // one's local effects (overlay writes) have landed.
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Insert, key, v.bytes.data(),
+                     Value::kSize);
+    if (!ok(st))
+        co_return st;
+    // Sibling ops may opBegin while this descent is suspended; remember
+    // our own op-log record so phase B's memory logs reference it.
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    std::vector<std::pair<uint64_t, Node>> path;
+    std::vector<FrontendSession::ReadStamp> stamps;
+    uint64_t root_raw = 0;
+    while (true) {
+        // Phase A: suspendable descent, reads only. Every read is
+        // stamped with the write sequence it observed so the set can be
+        // validated against sibling window writes before we mutate.
+        path.clear();
+        stamps.clear();
+        root_raw = 0;
+        {
+            ReadHint hint;
+            hint.ds = id_;
+            hint.cacheable = true;
+            hint.level = 0;
+            const RemotePtr rp =
+                s_->namingField(id_, backend_, naming_field::kRoot);
+            auto aw = s_->asyncRead(rp, &root_raw, 8, hint);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({rp.raw(), aw.served_seq});
+        }
+        if (root_raw != 0) {
+            uint64_t cur_raw = root_raw;
+            uint32_t d = 0;
+            while (true) {
+                if (d > kMaxHeight)
+                    co_return Status::Conflict;
+                Node node;
+                auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw),
+                                        &node, d, true, false);
+                const Status rst = co_await aw;
+                if (!ok(rst))
+                    co_return rst;
+                stamps.push_back({cur_raw, aw.served_seq});
+                if (node.count > kFanout)
+                    co_return Status::Corruption;
+                path.emplace_back(cur_raw, node);
+                if (node.is_leaf)
+                    break;
+                cur_raw = node.children[routeIndex(node, key)];
+                ++d;
+            }
+        }
+        if (s_->pipelineReadSetClean(stamps))
+            break;
+        // A sibling wrote under us while suspended; the descent re-runs
+        // against the local tiers (its nodes are now overlay/cache-hot).
+        s_->notePipelineRestart();
+    }
+
+    // Phase B: inline write-out — atomic with respect to sibling ops.
+    s_->restoreOpRef(backend_, opref);
+    bool added = false;
+    if (root_raw == 0) {
+        RemotePtr cell;
+        st = s_->alloc(backend_, Value::kSize, &cell);
+        if (!ok(st))
+            co_return st;
+        st = s_->logWriteFromOp(id_, cell, v.bytes.data(), Value::kSize);
+        if (!ok(st))
+            co_return st;
+        Node leaf{};
+        leaf.is_leaf = 1;
+        leaf.count = 1;
+        leaf.keys[0] = key;
+        leaf.children[0] = cell.raw();
+        RemotePtr leaf_ptr;
+        st = allocNode(leaf, &leaf_ptr);
+        if (!ok(st))
+            co_return st;
+        st = writeRoot(leaf_ptr.raw());
+        if (!ok(st))
+            co_return st;
+        added = true;
+    } else {
+        st = insertWriteout(path, key, v, &added);
+        if (!ok(st))
+            co_return st;
+    }
+    if (added) {
+        ++count_;
+        st = s_->writeAux(id_, backend_, 1, count_);
+        if (!ok(st))
+            co_return st;
+    }
+    co_return s_->opEnd();
+}
+
+Status
+BpTree::insertMany(std::span<const std::pair<Key, Value>> kvs,
+                   Status *results)
+{
+    if (kvs.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < kvs.size(); ++i)
+            results[i] = insert(kvs[i].first, kvs[i].second);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(kvs.size());
+    for (const auto &[key, value] : kvs)
+        ops.push_back(insertAsync(key, value));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, kvs.size()));
+    return Status::Ok;
+}
+
+Status
 BpTree::insertBatch(std::span<const std::pair<Key, Value>> kvs)
 {
     Status st = lockForWrite();
@@ -455,6 +690,13 @@ BpTree::findAsync(Key key, Value *out)
     // reactor batches it with the other in-flight lookups' misses. The
     // candidate arrays live in the coroutine frame, so the hint spans
     // stay valid across suspension.
+    //
+    // Read-your-writes: a same-key write admitted earlier in this
+    // window holds the (ds, key) gate until its local effects land;
+    // wait it out so this lookup observes them. Readers hold nothing,
+    // so concurrent lookups never serialize on each other.
+    while (s_->pipelineGateHeld(id_, key))
+        co_await s_->pipelineYield();
     uint64_t cur_raw = 0;
     {
         ReadHint hint;
@@ -669,6 +911,144 @@ BpTree::erase(Key key)
     }
     st = s_->opEnd();
     return ok(st) ? Status::NotFound : st;
+}
+
+OpTask
+BpTree::eraseAsync(Key key)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 1, &count_);
+        if (!ok(st))
+            co_return st;
+    }
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        co_return st;
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    // Phase A: findLeaf's descent (no prefetch — write path), with every
+    // read stamped for validation. `desc_st` carries findLeaf's verdict
+    // (NotFound on empty tree, Conflict on a torn view).
+    uint64_t leaf_raw = 0;
+    Node leaf{};
+    Status desc_st = Status::Ok;
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        desc_st = Status::Ok;
+        uint64_t cur_raw = 0;
+        {
+            ReadHint hint;
+            hint.ds = id_;
+            hint.cacheable = true;
+            hint.level = 0;
+            const RemotePtr rp =
+                s_->namingField(id_, backend_, naming_field::kRoot);
+            auto aw = s_->asyncRead(rp, &cur_raw, 8, hint);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({rp.raw(), aw.served_seq});
+        }
+        if (cur_raw == 0) {
+            desc_st = Status::NotFound;
+        } else {
+            uint32_t d = 0;
+            while (true) {
+                if (d > kMaxHeight) {
+                    desc_st = Status::Conflict;
+                    break;
+                }
+                Node node;
+                auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw),
+                                        &node, d, true, false);
+                const Status rst = co_await aw;
+                if (!ok(rst))
+                    co_return rst;
+                stamps.push_back({cur_raw, aw.served_seq});
+                if (node.count > kFanout) {
+                    desc_st = Status::Conflict; // torn view
+                    break;
+                }
+                if (node.is_leaf) {
+                    leaf_raw = cur_raw;
+                    leaf = node;
+                    break;
+                }
+                if (node.count == 0) {
+                    desc_st = Status::Conflict;
+                    break;
+                }
+                cur_raw = node.children[routeIndex(node, key)];
+                ++d;
+            }
+        }
+        if (s_->pipelineReadSetClean(stamps))
+            break;
+        s_->notePipelineRestart();
+    }
+    if (desc_st == Status::NotFound) {
+        st = s_->opEnd();
+        co_return ok(st) ? Status::NotFound : st;
+    }
+    if (!ok(desc_st))
+        co_return desc_st;
+
+    // Phase B: erase()'s leaf compaction, inline.
+    s_->restoreOpRef(backend_, opref);
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+        if (leaf.keys[i] != key)
+            continue;
+        const RemotePtr cell = RemotePtr::fromRaw(leaf.children[i]);
+        for (uint32_t j = i + 1; j < leaf.count; ++j) {
+            leaf.keys[j - 1] = leaf.keys[j];
+            leaf.children[j - 1] = leaf.children[j];
+        }
+        --leaf.count;
+        st = writeNode(RemotePtr::fromRaw(leaf_raw), leaf);
+        if (!ok(st))
+            co_return st;
+        if (opt_.shared)
+            s_->retire(id_, cell, Value::kSize);
+        else {
+            st = s_->free(cell, Value::kSize);
+            if (!ok(st))
+                co_return st;
+        }
+        --count_;
+        st = s_->writeAux(id_, backend_, 1, count_);
+        if (!ok(st))
+            co_return st;
+        co_return s_->opEnd();
+    }
+    st = s_->opEnd();
+    co_return ok(st) ? Status::NotFound : st;
+}
+
+Status
+BpTree::eraseMany(std::span<const Key> keys, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = erase(keys[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (const Key key : keys)
+        ops.push_back(eraseAsync(key));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
 }
 
 } // namespace asymnvm

@@ -37,6 +37,29 @@ class BpTree : public DsBase
     /** Insert or update. */
     Status insert(Key key, const Value &v);
 
+    /**
+     * Insert/update as a resumable pipeline op: the descent co_awaits
+     * every remote read (phase A), then — once the read set validates
+     * against sibling window writes — replays the serial write-out
+     * inline (phase B: allocs, memory logs, splits, root growth, in
+     * exactly insert()'s order). Same-key ops in one window are ordered
+     * by a WindowGate; a sibling write under the descent restarts it
+     * from the (now hot) local tiers. Depth 1 never suspends, so the
+     * op is bit-identical to insert().
+     */
+    OpTask insertAsync(Key key, Value v);
+
+    /**
+     * Pipelined multi-insert: up to SessionConfig::pipeline_depth
+     * insertAsync descents in flight; their traversal reads share the
+     * per-round gather, their op-log appends ride one doorbell chain,
+     * and all commit fences coalesce into one flushAll at drain.
+     * Shared handles without the writer lock fall back to serial
+     * insert() per pair.
+     */
+    Status insertMany(std::span<const std::pair<Key, Value>> kvs,
+                      Status *results);
+
     /** Vector insertion (Algorithm 3; sorted, path-sharing). */
     Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
 
@@ -67,6 +90,17 @@ class BpTree : public DsBase
 
     /** Remove; NotFound when absent. */
     Status erase(Key key);
+
+    /**
+     * Remove as a resumable pipeline op. Phase A descends to the leaf
+     * with suspendable reads; phase B replays erase()'s compaction,
+     * cell free/retire and aux update inline after read-set validation.
+     * Same WindowGate / restart discipline as insertAsync.
+     */
+    OpTask eraseAsync(Key key);
+
+    /** Pipelined multi-erase; results[i] receives keys[i]'s status. */
+    Status eraseMany(std::span<const Key> keys, Status *results);
 
     bool contains(Key key);
     uint64_t size() const { return count_; }
@@ -112,6 +146,16 @@ class BpTree : public DsBase
     Status findLeaf(Key key, bool pin, uint64_t *leaf_raw, Node *leaf,
                     uint32_t *depth, bool prefetch = false);
     Status findLocked(Key key, Value *out, bool pin);
+
+    /**
+     * Phase B of insertAsync: replay insert()'s exact write sequence
+     * (value-cell alloc + memory log, leaf insert or split, bottom-up
+     * split absorption, root growth) against the validated node copies
+     * captured during the suspendable descent. Runs inline — no
+     * suspension — so it is atomic with respect to sibling window ops.
+     */
+    Status insertWriteout(std::vector<std::pair<uint64_t, Node>> &path,
+                          Key key, const Value &v, bool *added);
 
     /** Index of the child to descend into (internal nodes). */
     static uint32_t routeIndex(const Node &n, Key key);

@@ -197,6 +197,122 @@ HashTable::put(Key key, const Value &v)
     return s_->opEnd();
 }
 
+OpTask
+HashTable::putAsync(Key key, Value v)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 2, &count_);
+        if (!ok(st))
+            co_return st;
+    }
+    // Same-key ordering: a later op on this key parks until the earlier
+    // one's local effects (overlay writes) have landed.
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Insert, key, v.bytes.data(),
+                     Value::kSize);
+    if (!ok(st))
+        co_return st;
+    // Sibling ops may opBegin while this walk is suspended; remember our
+    // own op-log record so phase B's memory logs reference it.
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    // Phase A: put()'s chain walk with every read stamped so the set can
+    // be validated against sibling window writes before we mutate.
+    uint64_t head_raw = 0;
+    uint64_t match_raw = 0;
+    Node match{};
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        match_raw = 0;
+        {
+            ReadHint hint;
+            hint.ds = id_;
+            hint.cacheable = true; // hot buckets stay in front-end DRAM
+            auto aw = s_->asyncRead(bucketPtr(key), &head_raw, 8, hint);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({bucketPtr(key).raw(), aw.served_seq});
+        }
+        uint64_t cur_raw = head_raw;
+        uint32_t hops = 0;
+        while (cur_raw != 0 && hops++ < kMaxChainHops) {
+            Node node;
+            auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw), &node, 0,
+                                    false, false);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({cur_raw, aw.served_seq});
+            if (node.key == key) {
+                match_raw = cur_raw;
+                match = node;
+                break;
+            }
+            cur_raw = node.next_raw;
+        }
+        if (s_->pipelineReadSetClean(stamps))
+            break;
+        // A sibling relinked this chain while we were suspended; re-walk
+        // against the now-hot local tiers.
+        s_->notePipelineRestart();
+    }
+
+    // Phase B: put()'s serial tail, inline and unsuspended.
+    s_->restoreOpRef(backend_, opref);
+    if (match_raw != 0) {
+        match.value = v; // update in place (whole-node rewrite)
+        st = writeNode(RemotePtr::fromRaw(match_raw), match);
+        if (!ok(st))
+            co_return st;
+        co_return s_->opEnd();
+    }
+    Node fresh{};
+    fresh.key = key;
+    fresh.next_raw = head_raw;
+    fresh.value = v;
+    RemotePtr p;
+    st = allocNode(fresh, &p);
+    if (!ok(st))
+        co_return st;
+    const uint64_t new_head = p.raw();
+    st = s_->logWrite(id_, bucketPtr(key), &new_head, 8);
+    if (!ok(st))
+        co_return st;
+    ++count_;
+    st = s_->writeAux(id_, backend_, 2, count_);
+    if (!ok(st))
+        co_return st;
+    co_return s_->opEnd();
+}
+
+Status
+HashTable::putMany(std::span<const std::pair<Key, Value>> kvs,
+                   Status *results)
+{
+    if (kvs.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < kvs.size(); ++i)
+            results[i] = put(kvs[i].first, kvs[i].second);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(kvs.size());
+    for (const auto &[key, value] : kvs)
+        ops.push_back(putAsync(key, value));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, kvs.size()));
+    return Status::Ok;
+}
+
 Status
 HashTable::getLocked(Key key, Value *out)
 {
@@ -236,6 +352,12 @@ HashTable::getAsync(Key key, Value *out)
     // Mirror of getLocked with every remote read co_awaited: a cache
     // miss suspends the walk and the session reactor gathers it with
     // the other in-flight lookups' misses.
+    //
+    // Read-your-writes: wait out a same-key write admitted earlier in
+    // this window (it holds the (ds, key) gate until its local effects
+    // land); readers hold nothing and never serialize on each other.
+    while (s_->pipelineGateHeld(id_, key))
+        co_await s_->pipelineYield();
     uint64_t cur_raw = 0;
     {
         ReadHint hint;
@@ -350,6 +472,120 @@ HashTable::erase(Key key)
     }
     st = s_->opEnd();
     return ok(st) ? Status::NotFound : st;
+}
+
+OpTask
+HashTable::eraseAsync(Key key)
+{
+    const bool held = s_->holdsWriterLock(id_, backend_);
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    if (opt_.shared && !held) {
+        st = s_->readAux(id_, backend_, 2, &count_);
+        if (!ok(st))
+            co_return st;
+    }
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        co_return st;
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    // Phase A: erase()'s chain walk (tracking the predecessor copy),
+    // stamped for validation.
+    uint64_t match_raw = 0;
+    Node match{};
+    uint64_t prev_raw = 0;
+    Node prev{};
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        match_raw = 0;
+        prev_raw = 0;
+        uint64_t head_raw = 0;
+        {
+            ReadHint hint;
+            hint.ds = id_;
+            hint.cacheable = true;
+            auto aw = s_->asyncRead(bucketPtr(key), &head_raw, 8, hint);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({bucketPtr(key).raw(), aw.served_seq});
+        }
+        uint64_t cur_raw = head_raw;
+        uint32_t hops = 0;
+        while (cur_raw != 0 && hops++ < kMaxChainHops) {
+            Node node;
+            auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw), &node, 0,
+                                    false, false);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({cur_raw, aw.served_seq});
+            if (node.key == key) {
+                match_raw = cur_raw;
+                match = node;
+                break;
+            }
+            prev_raw = cur_raw;
+            prev = node;
+            cur_raw = node.next_raw;
+        }
+        if (s_->pipelineReadSetClean(stamps))
+            break;
+        s_->notePipelineRestart();
+    }
+    if (match_raw == 0) {
+        st = s_->opEnd();
+        co_return ok(st) ? Status::NotFound : st;
+    }
+
+    // Phase B: unlink, free/retire, count update — inline.
+    s_->restoreOpRef(backend_, opref);
+    const RemotePtr cur = RemotePtr::fromRaw(match_raw);
+    if (prev_raw == 0) {
+        st = s_->logWrite(id_, bucketPtr(key), &match.next_raw, 8);
+    } else {
+        prev.next_raw = match.next_raw;
+        st = writeNode(RemotePtr::fromRaw(prev_raw), prev);
+    }
+    if (!ok(st))
+        co_return st;
+    if (opt_.shared) {
+        s_->retire(id_, cur, sizeof(Node));
+    } else {
+        st = s_->free(cur, sizeof(Node));
+        if (!ok(st))
+            co_return st;
+    }
+    --count_;
+    st = s_->writeAux(id_, backend_, 2, count_);
+    if (!ok(st))
+        co_return st;
+    co_return s_->opEnd();
+}
+
+Status
+HashTable::eraseMany(std::span<const Key> keys, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = erase(keys[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (const Key key : keys)
+        ops.push_back(eraseAsync(key));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
 }
 
 } // namespace asymnvm

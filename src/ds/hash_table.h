@@ -38,6 +38,19 @@ class HashTable : public DsBase
     /** Insert or update. */
     Status put(Key key, const Value &v);
 
+    /**
+     * Insert/update as a resumable pipeline op: the chain walk co_awaits
+     * every remote read (phase A); after the read set validates against
+     * sibling window writes, put()'s serial tail (in-place rewrite, or
+     * fresh node + bucket-head relink) runs inline and unsuspended
+     * (phase B). Same-key ops in one window are WindowGate-ordered.
+     */
+    OpTask putAsync(Key key, Value v);
+
+    /** Pipelined multi-put; results[i] receives kvs[i]'s status. */
+    Status putMany(std::span<const std::pair<Key, Value>> kvs,
+                   Status *results);
+
     /** Point lookup. */
     Status get(Key key, Value *out);
 
@@ -58,6 +71,16 @@ class HashTable : public DsBase
 
     /** Remove; NotFound when absent. */
     Status erase(Key key);
+
+    /**
+     * Remove as a resumable pipeline op: suspendable chain walk
+     * (phase A), then erase()'s unlink/free tail inline after read-set
+     * validation (phase B).
+     */
+    OpTask eraseAsync(Key key);
+
+    /** Pipelined multi-erase; results[i] receives keys[i]'s status. */
+    Status eraseMany(std::span<const Key> keys, Status *results);
 
     /** True when the key is present. */
     bool contains(Key key);

@@ -34,6 +34,22 @@ class MvBpTree : public MvBase
                        const DsOptions &opt = {});
 
     Status insert(Key key, const Value &v);
+
+    /**
+     * Insert/update as a resumable pipeline op. Phase A descends with
+     * suspendable reads; phase B replays insertRec's path-copy write-out
+     * (retires, cell + node allocs, splits, root staging) inline after
+     * read-set validation. Every MV write supersedes the whole root
+     * path, so window writes to the same tree are ordered by one
+     * per-structure WindowGate rather than per-key gates — sibling
+     * *reads* and ops on other structures still overlap freely.
+     */
+    OpTask insertAsync(Key key, Value v);
+
+    /** Pipelined multi-insert; results[i] receives kvs[i]'s status. */
+    Status insertMany(std::span<const std::pair<Key, Value>> kvs,
+                      Status *results);
+
     Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
     Status find(Key key, Value *out);
 
@@ -51,6 +67,17 @@ class MvBpTree : public MvBase
     Status findMany(std::span<const Key> keys, Value *vals,
                     Status *results);
     Status erase(Key key);
+
+    /**
+     * Remove as a resumable pipeline op: suspendable descent, then
+     * eraseRec's path-copy tail inline after validation. Same
+     * per-structure write ordering as insertAsync.
+     */
+    OpTask eraseAsync(Key key);
+
+    /** Pipelined multi-erase; results[i] receives keys[i]'s status. */
+    Status eraseMany(std::span<const Key> keys, Status *results);
+
     bool contains(Key key);
     uint64_t size() const { return count_; }
 

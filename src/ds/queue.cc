@@ -1,6 +1,7 @@
 #include "ds/queue.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace asymnvm {
 
@@ -175,6 +176,130 @@ Queue::dequeue(Value *out)
     }
     st = s_->opEnd();
     return ok(st) ? Status::NotFound : st;
+}
+
+OpTask
+Queue::enqueueAsync(Value v)
+{
+    // Queues are single-front-end (Section 9.5) and the head/tail/count
+    // shadows are member state, so window ops on one queue serialize on
+    // a per-structure gate taken before opBegin (op-log order matches
+    // effect order). The materialized path's old-tail read stays
+    // synchronous inside the serial tail: it follows the new node's
+    // alloc in enqueue(), so hoisting it into a suspendable phase A
+    // would reorder it across a write. The pipeline win here is
+    // log-side — batched appends and one coalesced fence per window.
+    FrontendSession::WindowGate gate(s_, id_, 0);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    Status st = s_->opBegin(id_, backend_, OpType::Enqueue, 0,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        co_return st;
+    if (deferWrites()) {
+        pending_.push_back(v);
+    } else {
+        st = materializeOne(v);
+        if (!ok(st))
+            co_return st;
+        st = writeShadows();
+        if (!ok(st))
+            co_return st;
+    }
+    co_return s_->opEnd();
+}
+
+Status
+Queue::enqueueMany(std::span<const Value> vals, Status *results)
+{
+    if (vals.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < vals.size(); ++i)
+            results[i] = enqueue(vals[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(vals.size());
+    for (const Value &v : vals)
+        ops.push_back(enqueueAsync(v));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, vals.size()));
+    return Status::Ok;
+}
+
+OpTask
+Queue::dequeueAsync(Value *out)
+{
+    FrontendSession::WindowGate gate(s_, id_, 0);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    Status st = s_->opBegin(id_, backend_, OpType::Dequeue, 0, nullptr, 0);
+    if (!ok(st))
+        co_return st;
+    if (count_ > 0) {
+        // Phase A: the head-node read is dequeue()'s first data access,
+        // so it can suspend and share the window's read round trip. The
+        // gate excludes same-queue writers; validation keeps the
+        // discipline uniform (the address could be recycled by another
+        // structure's free while we were suspended).
+        const RemotePtr head = RemotePtr::fromRaw(head_raw_);
+        Node node;
+        std::vector<FrontendSession::ReadStamp> stamps;
+        while (true) {
+            stamps.clear();
+            auto aw = readNodeAsync(head, &node, /*level=*/0,
+                                    /*use_admission=*/false,
+                                    /*pin=*/false);
+            st = co_await aw;
+            if (!ok(st))
+                co_return st;
+            stamps.push_back({head.raw(), aw.served_seq});
+            if (s_->pipelineReadSetClean(stamps))
+                break;
+            s_->notePipelineRestart();
+        }
+        // Phase B: dequeue()'s shadow-update/free tail, inline.
+        *out = node.value;
+        head_raw_ = node.next_raw;
+        if (head_raw_ == 0)
+            tail_raw_ = 0;
+        --count_;
+        st = writeShadows();
+        if (!ok(st))
+            co_return st;
+        st = s_->free(head, sizeof(Node));
+        if (!ok(st))
+            co_return st;
+        co_return s_->opEnd();
+    }
+    if (!pending_.empty()) {
+        // Annulment: the gate ordered us after the pending enqueue.
+        *out = pending_.front();
+        pending_.pop_front();
+        co_return s_->opEnd();
+    }
+    st = s_->opEnd();
+    co_return ok(st) ? Status::NotFound : st;
+}
+
+Status
+Queue::dequeueMany(std::span<Value> outs, Status *results)
+{
+    if (outs.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < outs.size(); ++i)
+            results[i] = dequeue(&outs[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(outs.size());
+    for (Value &v : outs)
+        ops.push_back(dequeueAsync(&v));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, outs.size()));
+    return Status::Ok;
 }
 
 Status

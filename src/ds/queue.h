@@ -38,6 +38,30 @@ class Queue : public DsBase
     /** Remove the oldest value; NotFound when empty. */
     Status dequeue(Value *out);
 
+    /**
+     * Enqueue as a resumable pipeline op. The deferred path is fully
+     * local; the materialized path's old-tail read co_awaits (phase A)
+     * before the link/shadow write-out runs inline (phase B). Ops on one
+     * queue are ordered by a per-structure WindowGate (head/tail/count
+     * shadows are member state); ops on other structures overlap freely.
+     */
+    OpTask enqueueAsync(Value v);
+
+    /** Pipelined multi-enqueue; results[i] receives vals[i]'s status. */
+    Status enqueueMany(std::span<const Value> vals, Status *results);
+
+    /**
+     * Dequeue as a resumable pipeline op. Annulment and the empty case
+     * resolve locally; the materialized path co_awaits the head-node
+     * read (phase A) and replays dequeue()'s shadow-update/free tail
+     * inline after read-set validation (phase B). Same per-structure
+     * WindowGate ordering as enqueueAsync.
+     */
+    OpTask dequeueAsync(Value *out);
+
+    /** Pipelined multi-dequeue; results[i] receives outs[i]'s status. */
+    Status dequeueMany(std::span<Value> outs, Status *results);
+
     /** Peek the oldest value. */
     Status front(Value *out);
 

@@ -252,6 +252,154 @@ SkipList::insertOne(Key key, const Value &v, bool pin)
     return s_->opEnd();
 }
 
+OpTask
+SkipList::insertAsync(Key key, Value v)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    // Same-key ordering: a later op on this key parks until the earlier
+    // one's local effects (overlay writes) have landed.
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Insert, key, v.bytes.data(),
+                     Value::kSize);
+    if (!ok(st))
+        co_return st;
+    // Sibling ops may opBegin while this walk is suspended; remember our
+    // own op-log record so phase B's memory logs reference it.
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    // Phase A: the findPosition walk (write-path flavor: no prefetch,
+    // no pin), every read stamped for validation against sibling window
+    // writes. A dirty set means a sibling relinked under us — re-walk
+    // against the now-hot local tiers.
+    uint64_t preds[kMaxLevel], succs[kMaxLevel];
+    bool found = false;
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        found = false;
+        uint64_t cur_raw = head_raw_;
+        Node cur;
+        {
+            auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw), &cur, 0,
+                                    true, false);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({cur_raw, aw.served_seq});
+        }
+        uint32_t hops = 0;
+        bool torn = false;
+        for (int lvl = kMaxLevel - 1; lvl >= 0 && !torn; --lvl) {
+            while (cur.next[lvl] != 0) {
+                if (++hops > kMaxHops) {
+                    torn = true;
+                    break;
+                }
+                Node next;
+                auto aw = readNodeAsync(RemotePtr::fromRaw(cur.next[lvl]),
+                                        &next, kMaxLevel - 1 - lvl, true,
+                                        false);
+                const Status rst = co_await aw;
+                if (!ok(rst))
+                    co_return rst;
+                stamps.push_back({cur.next[lvl], aw.served_seq});
+                if (next.key >= key || next.level == 0 ||
+                    next.level > kMaxLevel) {
+                    if (next.key == key && next.level >= 1 &&
+                        next.level <= kMaxLevel)
+                        found = true;
+                    break;
+                }
+                cur_raw = cur.next[lvl];
+                cur = next;
+            }
+            if (torn)
+                break;
+            preds[lvl] = cur_raw;
+            succs[lvl] = cur.next[lvl];
+        }
+        if (s_->pipelineReadSetClean(stamps)) {
+            if (torn)
+                co_return Status::Conflict; // genuine torn view
+            break;
+        }
+        s_->notePipelineRestart();
+    }
+
+    // Phase B: insertOne's serial tail, inline and unsuspended (its
+    // reads run synchronously — they are local after the walk), so the
+    // whole write-out is atomic with respect to sibling ops.
+    s_->restoreOpRef(backend_, opref);
+    if (found) {
+        const RemotePtr target = RemotePtr::fromRaw(succs[0]);
+        Node node;
+        st = readNode(target, &node, kMaxLevel - 1);
+        if (!ok(st))
+            co_return st;
+        node.value = v;
+        st = writeNode(target, node);
+        if (!ok(st))
+            co_return st;
+        co_return s_->opEnd();
+    }
+    const uint32_t level = randomLevel();
+    Node fresh{};
+    fresh.key = key;
+    fresh.level = level;
+    fresh.value = v;
+    for (uint32_t l = 0; l < level; ++l)
+        fresh.next[l] = succs[l];
+    RemotePtr p;
+    st = allocNode(fresh, &p);
+    if (!ok(st))
+        co_return st;
+    std::unordered_map<uint64_t, Node> pred_copies;
+    for (uint32_t l = 0; l < level; ++l) {
+        auto it = pred_copies.find(preds[l]);
+        if (it == pred_copies.end()) {
+            Node copy;
+            st = readNode(RemotePtr::fromRaw(preds[l]), &copy,
+                          kMaxLevel - 1 - l, true, false);
+            if (!ok(st))
+                co_return st;
+            it = pred_copies.emplace(preds[l], copy).first;
+        }
+        it->second.next[l] = p.raw();
+        st = writeNode(RemotePtr::fromRaw(preds[l]), it->second);
+        if (!ok(st))
+            co_return st;
+    }
+    ++count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        co_return st;
+    co_return s_->opEnd();
+}
+
+Status
+SkipList::insertMany(std::span<const std::pair<Key, Value>> kvs,
+                     Status *results)
+{
+    if (kvs.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < kvs.size(); ++i)
+            results[i] = insert(kvs[i].first, kvs[i].second);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(kvs.size());
+    for (const auto &[key, value] : kvs)
+        ops.push_back(insertAsync(key, value));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, kvs.size()));
+    return Status::Ok;
+}
+
 Status
 SkipList::findLocked(Key key, Value *out)
 {
@@ -286,6 +434,12 @@ SkipList::findAsync(Key key, Value *out)
     // cache miss suspends the walk and the session reactor gathers it
     // with the other in-flight lookups' misses. The candidate array
     // lives in the coroutine frame, valid across suspension.
+    //
+    // Read-your-writes: wait out a same-key write admitted earlier in
+    // this window (it holds the (ds, key) gate until its local effects
+    // land); readers hold nothing and never serialize on each other.
+    while (s_->pipelineGateHeld(id_, key))
+        co_await s_->pipelineYield();
     uint64_t cur_raw = head_raw_;
     Node cur;
     Status st = co_await readNodeAsync(RemotePtr::fromRaw(cur_raw), &cur,
@@ -466,6 +620,139 @@ SkipList::erase(Key key)
     if (!ok(st))
         return st;
     return s_->opEnd();
+}
+
+OpTask
+SkipList::eraseAsync(Key key)
+{
+    Status st = lockForWrite();
+    if (!ok(st))
+        co_return st;
+    FrontendSession::WindowGate gate(s_, id_, key);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    st = s_->opBegin(id_, backend_, OpType::Erase, key, nullptr, 0);
+    if (!ok(st))
+        co_return st;
+    const FrontendSession::OpRef opref = s_->currentOpRef(backend_);
+
+    // Phase A: suspendable findPosition walk, stamped (see insertAsync).
+    uint64_t preds[kMaxLevel], succs[kMaxLevel];
+    bool found = false;
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        found = false;
+        uint64_t cur_raw = head_raw_;
+        Node cur;
+        {
+            auto aw = readNodeAsync(RemotePtr::fromRaw(cur_raw), &cur, 0,
+                                    true, false);
+            const Status rst = co_await aw;
+            if (!ok(rst))
+                co_return rst;
+            stamps.push_back({cur_raw, aw.served_seq});
+        }
+        uint32_t hops = 0;
+        bool torn = false;
+        for (int lvl = kMaxLevel - 1; lvl >= 0 && !torn; --lvl) {
+            while (cur.next[lvl] != 0) {
+                if (++hops > kMaxHops) {
+                    torn = true;
+                    break;
+                }
+                Node next;
+                auto aw = readNodeAsync(RemotePtr::fromRaw(cur.next[lvl]),
+                                        &next, kMaxLevel - 1 - lvl, true,
+                                        false);
+                const Status rst = co_await aw;
+                if (!ok(rst))
+                    co_return rst;
+                stamps.push_back({cur.next[lvl], aw.served_seq});
+                if (next.key >= key || next.level == 0 ||
+                    next.level > kMaxLevel) {
+                    if (next.key == key && next.level >= 1 &&
+                        next.level <= kMaxLevel)
+                        found = true;
+                    break;
+                }
+                cur_raw = cur.next[lvl];
+                cur = next;
+            }
+            if (torn)
+                break;
+            preds[lvl] = cur_raw;
+            succs[lvl] = cur.next[lvl];
+        }
+        if (s_->pipelineReadSetClean(stamps)) {
+            if (torn)
+                co_return Status::Conflict;
+            break;
+        }
+        s_->notePipelineRestart();
+    }
+    if (!found) {
+        st = s_->opEnd();
+        co_return ok(st) ? Status::NotFound : st;
+    }
+
+    // Phase B: erase()'s serial tail — victim read, top-down unlink,
+    // free/retire — inline and unsuspended.
+    s_->restoreOpRef(backend_, opref);
+    const RemotePtr target = RemotePtr::fromRaw(succs[0]);
+    Node victim;
+    st = readNode(target, &victim, kMaxLevel - 1);
+    if (!ok(st))
+        co_return st;
+    std::unordered_map<uint64_t, Node> pred_copies;
+    for (uint32_t l = victim.level; l-- > 0;) {
+        if (succs[l] != target.raw())
+            continue;
+        auto it = pred_copies.find(preds[l]);
+        if (it == pred_copies.end()) {
+            Node copy;
+            st = readNode(RemotePtr::fromRaw(preds[l]), &copy,
+                          kMaxLevel - 1 - l);
+            if (!ok(st))
+                co_return st;
+            it = pred_copies.emplace(preds[l], copy).first;
+        }
+        it->second.next[l] = victim.next[l];
+        st = writeNode(RemotePtr::fromRaw(preds[l]), it->second);
+        if (!ok(st))
+            co_return st;
+    }
+    if (opt_.shared)
+        s_->retire(id_, target, sizeof(Node));
+    else {
+        st = s_->free(target, sizeof(Node));
+        if (!ok(st))
+            co_return st;
+    }
+    --count_;
+    st = s_->writeAux(id_, backend_, 1, count_);
+    if (!ok(st))
+        co_return st;
+    co_return s_->opEnd();
+}
+
+Status
+SkipList::eraseMany(std::span<const Key> keys, Status *results)
+{
+    if (keys.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i] = erase(keys[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(keys.size());
+    for (const Key key : keys)
+        ops.push_back(eraseAsync(key));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, keys.size()));
+    return Status::Ok;
 }
 
 } // namespace asymnvm

@@ -39,6 +39,20 @@ class SkipList : public DsBase
     /** Insert or update (Figure 2's workflow). */
     Status insert(Key key, const Value &v);
 
+    /**
+     * Insert/update as a resumable pipeline op: the findPosition walk
+     * co_awaits every remote read (phase A); once the walk's read set
+     * validates against sibling window writes, the serial tail — update
+     * in place, or fresh tower + bottom-up predecessor linking — runs
+     * inline and unsuspended (phase B), so it is atomic with respect to
+     * sibling ops and byte-identical to insert()'s write sequence.
+     */
+    OpTask insertAsync(Key key, Value v);
+
+    /** Pipelined multi-insert; results[i] receives kvs[i]'s status. */
+    Status insertMany(std::span<const std::pair<Key, Value>> kvs,
+                      Status *results);
+
     /** Vector insertion (sorted batch with path pinning, Section 8.4). */
     Status insertBatch(std::span<const std::pair<Key, Value>> kvs);
 
@@ -62,6 +76,16 @@ class SkipList : public DsBase
 
     /** Remove; NotFound when absent. */
     Status erase(Key key);
+
+    /**
+     * Remove as a resumable pipeline op: suspendable findPosition walk
+     * (phase A), then erase()'s serial tail (victim read, top-down
+     * unlink, free/retire) inline after read-set validation (phase B).
+     */
+    OpTask eraseAsync(Key key);
+
+    /** Pipelined multi-erase; results[i] receives keys[i]'s status. */
+    Status eraseMany(std::span<const Key> keys, Status *results);
 
     /** Range scan: up to @p limit pairs with key >= @p from. */
     Status scan(Key from, uint32_t limit,

@@ -1,6 +1,7 @@
 #include "ds/stack.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace asymnvm {
 
@@ -163,6 +164,126 @@ Stack::pop(Value *out)
     if (!ok(st))
         return st;
     return s_->opEnd();
+}
+
+OpTask
+Stack::pushAsync(Value v)
+{
+    // Stacks are single-front-end (Section 9.5) and the head/count
+    // shadows are member state, so window ops on one stack serialize on
+    // a per-structure gate; the gate is taken before opBegin so op-log
+    // order matches effect order.
+    FrontendSession::WindowGate gate(s_, id_, 0);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    Status st = s_->opBegin(id_, backend_, OpType::Push, 0,
+                            v.bytes.data(), Value::kSize);
+    if (!ok(st))
+        co_return st;
+    if (deferWrites()) {
+        pending_.push_back(v);
+    } else {
+        st = materializeOne(v);
+        if (!ok(st))
+            co_return st;
+        const uint64_t vals[2] = {head_raw_, count_};
+        st = s_->writeAuxRange(id_, backend_, 0, vals, 2);
+        if (!ok(st))
+            co_return st;
+    }
+    co_return s_->opEnd();
+}
+
+Status
+Stack::pushMany(std::span<const Value> vals, Status *results)
+{
+    if (vals.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < vals.size(); ++i)
+            results[i] = push(vals[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(vals.size());
+    for (const Value &v : vals)
+        ops.push_back(pushAsync(v));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, vals.size()));
+    return Status::Ok;
+}
+
+OpTask
+Stack::popAsync(Value *out)
+{
+    FrontendSession::WindowGate gate(s_, id_, 0);
+    while (!gate.tryAcquire())
+        co_await s_->pipelineYield();
+    Status st = s_->opBegin(id_, backend_, OpType::Pop, 0, nullptr, 0);
+    if (!ok(st))
+        co_return st;
+    if (!pending_.empty()) {
+        // Annulment works in pipelined windows too: the gate ordered us
+        // after the push that populated pending_.
+        *out = pending_.back();
+        pending_.pop_back();
+        co_return s_->opEnd();
+    }
+    if (head_raw_ == 0) {
+        st = s_->opEnd();
+        co_return ok(st) ? Status::NotFound : st;
+    }
+    // Phase A: the head-node read, suspendable so sibling ops on other
+    // structures overlap this round trip. The gate already excludes
+    // same-stack writers, but a validation pass keeps the discipline
+    // uniform (e.g. the address could be recycled by another
+    // structure's free while we were suspended).
+    const RemotePtr head = RemotePtr::fromRaw(head_raw_);
+    Node node;
+    std::vector<FrontendSession::ReadStamp> stamps;
+    while (true) {
+        stamps.clear();
+        auto aw = readNodeAsync(head, &node, /*level=*/0,
+                                /*use_admission=*/false, /*pin=*/false);
+        st = co_await aw;
+        if (!ok(st))
+            co_return st;
+        stamps.push_back({head.raw(), aw.served_seq});
+        if (s_->pipelineReadSetClean(stamps))
+            break;
+        s_->notePipelineRestart();
+    }
+    // Phase B: popMaterialized's tail, inline.
+    *out = node.value;
+    head_raw_ = node.next_raw;
+    --count_;
+    const uint64_t vals[2] = {head_raw_, count_};
+    st = s_->writeAuxRange(id_, backend_, 0, vals, 2);
+    if (!ok(st))
+        co_return st;
+    st = s_->free(head, sizeof(Node));
+    if (!ok(st))
+        co_return st;
+    co_return s_->opEnd();
+}
+
+Status
+Stack::popMany(std::span<Value> outs, Status *results)
+{
+    if (outs.empty())
+        return Status::Ok;
+    if (!pipelineEligible()) {
+        for (size_t i = 0; i < outs.size(); ++i)
+            results[i] = pop(&outs[i]);
+        return Status::Ok;
+    }
+    std::vector<OpTask> ops;
+    ops.reserve(outs.size());
+    for (Value &v : outs)
+        ops.push_back(popAsync(&v));
+    s_->executePipelined(std::span<OpTask>(ops),
+                         std::span<Status>(results, outs.size()));
+    return Status::Ok;
 }
 
 Status

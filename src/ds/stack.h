@@ -45,6 +45,32 @@ class Stack : public DsBase
     /** Pop the newest value; NotFound when empty. */
     Status pop(Value *out);
 
+    /**
+     * Push as a resumable pipeline op. The body has no suspendable
+     * remote reads (deferred pushes stay local; materialization writes
+     * through the overlay), so the pipeline win is purely log-side: the
+     * op-log append rides the window's doorbell-batched WQE chain and
+     * the commit fence coalesces into the window drain. Ops on one stack
+     * are ordered by a per-structure WindowGate (head/count shadows are
+     * member state); ops on other structures overlap freely.
+     */
+    OpTask pushAsync(Value v);
+
+    /** Pipelined multi-push; results[i] receives vals[i]'s status. */
+    Status pushMany(std::span<const Value> vals, Status *results);
+
+    /**
+     * Pop as a resumable pipeline op. Annulment and the empty case
+     * resolve locally; the materialized path co_awaits the head-node
+     * read (phase A) and replays pop()'s shadow-update/free tail inline
+     * after read-set validation (phase B). Same per-structure WindowGate
+     * ordering as pushAsync.
+     */
+    OpTask popAsync(Value *out);
+
+    /** Pipelined multi-pop; results[i] receives outs[i]'s status. */
+    Status popMany(std::span<Value> outs, Status *results);
+
     /** Read the newest value without removing it. */
     Status top(Value *out);
 

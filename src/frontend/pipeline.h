@@ -11,12 +11,13 @@
  * its pointer-chase depth — but one *session* can, by keeping several
  * independent operations in flight and overlapping their round trips.
  *
- * The data structure read paths (bptree, mv_bptree, skiplist, hash_table)
- * are decomposed into resumable C++20 coroutines returning OpTask. Each
- * remote fetch becomes a suspension point (`co_await session->asyncRead`):
- * when the requested bytes are local (overlay / pin / cache) the awaitable
- * completes inline and the coroutine keeps running; on a remote miss it
- * parks a PendingRead with the session's reactor and suspends. The reactor
+ * The data structure read AND write paths (bptree, mv_bptree, skiplist,
+ * hash_table, stack, queue) are decomposed into resumable C++20
+ * coroutines returning OpTask. Each remote fetch becomes a suspension
+ * point (`co_await session->asyncRead`): when the requested bytes are
+ * local (overlay / pin / cache) the awaitable completes inline and the
+ * coroutine keeps running; on a remote miss it parks a PendingRead with
+ * the session's reactor and suspends. The reactor
  * (FrontendSession::executePipelined) keeps a window of
  * `SessionConfig::pipeline_depth` operations admitted, collects every
  * suspended op's demanded read, and serves the whole round as ONE
@@ -24,8 +25,23 @@
  * arrival, one RTT plus combined wire bytes). N in-flight depth-d lookups
  * thus cost ~d round trips instead of N*d.
  *
+ * Write ops pipeline in two phases. Phase A — the traversal reads the
+ * serial op performs before its first write — suspends like a lookup and
+ * joins the shared read round; every read is stamped with the
+ * session-local write sequence it observed. Phase B — the serial write
+ * tail, verbatim — runs inline and unsuspended once the read set
+ * validates, so it is atomic with respect to sibling window ops. A
+ * same-key/same-structure conflict is prevented up front by a
+ * WindowGate (later ops park until the earlier one retires), and a
+ * stale read set (a sibling wrote under a suspended descent) triggers a
+ * re-descent against the now-local tiers rather than a wire retry. The
+ * ops' op-log/memory-log appends ride one doorbell-batched WQE chain
+ * per round, and their commit fences coalesce into a single flush at
+ * window drain (PipelineStats::{batched_appends, coalesced_fences}).
+ *
  * Depth 1 (the default) never suspends: asyncRead falls through to the
- * serial FrontendSession::read, keeping wire traffic bit-identical to the
+ * serial FrontendSession::read and opBegin/opEnd keep their serial
+ * fence behavior, keeping wire traffic bit-identical to the
  * non-pipelined session — the ablation baseline.
  *
  * No OS threads are involved: coroutine frames are resumed from the

@@ -411,6 +411,7 @@ FrontendSession::ReadAwaitable::await_ready()
         // histograms. Depth-1 pipelined runs are bit-identical to
         // serial ones by this fall-through.
         result = s->read(addr, dst, len, hint);
+        served_seq = s->pipe_write_seq_; // 0 outside a window
         return true;
     }
     const uint64_t t0 = s->clock_.now();
@@ -436,6 +437,7 @@ FrontendSession::pipelineLocalRead(ReadAwaitable &aw)
     // Mirrors readInner steps 1-3 exactly (order and clock charges): an
     // op must observe the same overlay/pin/cache state pipelined as it
     // would serially.
+    aw.served_seq = pipe_write_seq_; // service happens now (or at park)
     if (tracking_)
         tracked_reads_.push_back(aw.addr);
     if (!overlay_.empty() && overlayLookup(aw.addr, aw.dst, aw.len)) {
@@ -471,17 +473,78 @@ FrontendSession::pipelineLocalRead(ReadAwaitable &aw)
     return false;
 }
 
+bool
+FrontendSession::pipelineRecheckLocal(ReadAwaitable &aw)
+{
+    const uint64_t t0 = clock_.now();
+    if (!overlay_.empty() && overlayLookup(aw.addr, aw.dst, aw.len)) {
+        clock_.advance(lat_.dram_access_ns);
+        aw.result = Status::Ok;
+        hist_read_local_.record(clock_.now() - t0);
+        return true;
+    }
+    if (aw.hint.pin && !pinned_.empty()) {
+        auto it = pinned_.find(aw.addr.raw());
+        if (it != pinned_.end() && it->second.size() == aw.len) {
+            std::memcpy(aw.dst, it->second.data(), aw.len);
+            clock_.advance(lat_.dram_access_ns);
+            aw.result = Status::Ok;
+            hist_read_local_.record(clock_.now() - t0);
+            return true;
+        }
+    }
+    // Admission was decided pre-suspend; do NOT re-run onAccess/admit —
+    // the serial path consults them exactly once per read.
+    if (aw.cacheable && cache_->lookup(aw.addr, aw.dst, aw.len)) {
+        if (aw.hint.admission != nullptr && aw.admitted)
+            aw.hint.admission->record(true);
+        aw.result = Status::Ok;
+        hist_read_local_.record(clock_.now() - t0);
+        return true;
+    }
+    return false;
+}
+
+void
+FrontendSession::pipelineRefreshIfStale(ReadAwaitable &aw)
+{
+    if (!ok(aw.result))
+        return;
+    const auto it = pipe_dirty_.find(aw.addr.raw());
+    if (it == pipe_dirty_.end() || it->second <= aw.served_seq)
+        return;
+    if (pipelineRecheckLocal(aw))
+        aw.served_seq = pipe_write_seq_;
+}
+
 void
 FrontendSession::serveBatchRound()
 {
     if (pending_reads_.empty())
         return;
-    ++pipe_rounds_;
-    if (pending_reads_.size() <= 1)
-        ++pipe_solo_rounds_; // nothing to overlap with: a pipeline stall
-    pipe_batched_reads_ += pending_reads_.size();
     std::vector<ReadAwaitable *> round = std::move(pending_reads_);
     pending_reads_.clear();
+    // A sibling op's window write may have landed at a parked read's
+    // address after it suspended: such reads re-run the local tiers
+    // (overlay now holds the fresh bytes — read-your-writes) instead of
+    // fetching a stale remote image. Reads at clean addresses skip the
+    // recheck entirely, so write-free (read-only) rounds are untouched.
+    std::vector<ReadAwaitable *> remote;
+    remote.reserve(round.size());
+    for (ReadAwaitable *aw : round) {
+        aw->served_seq = pipe_write_seq_; // service time is now
+        if (pipe_dirty_.count(aw->addr.raw()) != 0 &&
+            pipelineRecheckLocal(*aw))
+            continue;
+        remote.push_back(aw);
+    }
+    if (remote.empty())
+        return; // everything was served locally: not a gather round
+    round = std::move(remote);
+    ++pipe_rounds_;
+    if (round.size() <= 1)
+        ++pipe_solo_rounds_; // nothing to overlap with: a pipeline stall
+    pipe_batched_reads_ += round.size();
     const uint64_t t0 = clock_.now();
 
     // Dedupe demanded addresses across ops: the first op fetches, the
@@ -651,9 +714,17 @@ FrontendSession::executePipelined(std::span<OpTask> ops,
     if (depth <= 1 || ops.size() <= 1 || pipeline_active_) {
         // Serial baseline: with no reactor active, asyncRead never
         // suspends, so one resume() drives each op to completion through
-        // the unchanged read/commit paths.
+        // the unchanged read/commit paths. Under a re-entrant call (an
+        // outer reactor already owns scheduling) an op CAN suspend on a
+        // parked read — drive it through service rounds until done; the
+        // outer window's single drain flush still fences everything, so
+        // no extra commit is charged here.
         for (size_t i = 0; i < ops.size(); ++i) {
             ops[i].resume();
+            while (!ops[i].done()) {
+                serveBatchRound();
+                ops[i].resume();
+            }
             results[i] = ops[i].status();
         }
         return;
@@ -698,6 +769,13 @@ FrontendSession::executePipelined(std::span<OpTask> ops,
         admit();
     }
     pipeline_active_ = false;
+    // Window-scoped conflict state dies with the window: gates were
+    // released at each op's co_return (these clears are insurance for
+    // ops destroyed mid-flight), and the dirty map only orders reads
+    // against writes *within* one window.
+    pipe_gates_.clear();
+    pipe_dirty_.clear();
+    pipe_write_seq_ = 0;
     if (pipeline_commit_deferred_) {
         // In-flight ops' batch boundaries were coalesced: one group
         // commit fences every posted op-log/memlog chain at window
@@ -706,6 +784,66 @@ FrontendSession::executePipelined(std::span<OpTask> ops,
         ++pipe_deferred_commits_;
         (void)flushAll();
     }
+}
+
+// ---------------------------------------------------------------------
+// Write-pipelining window primitives (gates, op-ref capture)
+// ---------------------------------------------------------------------
+
+bool
+FrontendSession::WindowGate::tryAcquire()
+{
+    if (ticket_ != 0)
+        return true; // already holding the key
+    if (!s_->pipeline_active_)
+        return true; // serial: no sibling ops can exist
+    auto it = s_->pipe_gates_.find(key_);
+    if (it == s_->pipe_gates_.end()) {
+        ticket_ = ++s_->pipe_ticket_;
+        s_->pipe_gates_.emplace(key_, ticket_);
+        return true;
+    }
+    if (!stalled_) {
+        // One dependency stall per wait episode, however many service
+        // rounds the waiter sleeps through.
+        stalled_ = true;
+        ++s_->pipe_dep_stalls_;
+    }
+    return false;
+}
+
+void
+FrontendSession::WindowGate::release()
+{
+    if (ticket_ == 0)
+        return;
+    auto it = s_->pipe_gates_.find(key_);
+    if (it != s_->pipe_gates_.end() && it->second == ticket_)
+        s_->pipe_gates_.erase(it);
+    ticket_ = 0;
+    stalled_ = false;
+}
+
+FrontendSession::OpRef
+FrontendSession::currentOpRef(NodeId backend) const
+{
+    const BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return OpRef{};
+    return OpRef{c->last_oplog_pos, c->last_oplog_len};
+}
+
+void
+FrontendSession::restoreOpRef(NodeId backend, const OpRef &ref)
+{
+    BackendCtx *c = ctx(backend);
+    if (c == nullptr)
+        return;
+    // Serially this is a no-op (nothing ran since opBegin); inside a
+    // window it re-points op-ref encoding at THIS op's record after
+    // sibling opBegins moved the shadows during the suspendable phase.
+    c->last_oplog_pos = ref.pos;
+    c->last_oplog_len = ref.len;
 }
 
 // ---------------------------------------------------------------------
@@ -763,6 +901,13 @@ FrontendSession::logWriteInternal(DsId ds, RemotePtr addr,
                                   const void *value, uint32_t len,
                                   bool op_ref, uint32_t val_off)
 {
+    if (pipeline_active_) {
+        // Window write: stamp the address so sibling descents that read
+        // it earlier fail read-set validation (and parked reads re-check
+        // the local tiers instead of fetching a stale remote image).
+        // Bookkeeping only — no clock charge, no wire traffic.
+        pipe_dirty_[addr.raw()] = ++pipe_write_seq_;
+    }
     if (cfg_.symmetric)
         return symmetricWrite(addr, value, len);
     if (!cfg_.use_txlog) {
@@ -849,8 +994,10 @@ FrontendSession::opBegin(DsId ds, NodeId backend, OpType op, Key key,
         const Status ast = appendOpLogRecord(*c, rec, sync);
         if (!ok(ast))
             return ast;
-        if (!sync && pipeline_active_)
+        if (!sync && pipeline_active_) {
             pipeline_posted_ops_ = true;
+            ++pipe_batched_appends_; // rode the WQE chain, not a fence
+        }
         logfmt_.op_records += 1;
         logfmt_.op_wire_bytes += rec.size();
         logfmt_.op_payload_bytes += val_len;
@@ -947,6 +1094,7 @@ FrontendSession::opEnd()
             // group commit to the window drain, where ONE flush fences
             // every pipelined op's posted chain together.
             pipeline_commit_deferred_ = true;
+            ++pipe_coalesced_fences_; // this op's fence moved to drain
             processLocalRetired();
             return Status::Ok;
         }
@@ -1264,6 +1412,11 @@ FrontendSession::free(RemotePtr p, uint64_t size)
     BackendCtx *c = ctx(p.backend);
     if (c == nullptr)
         return Status::Unavailable;
+    if (pipeline_active_) {
+        // A freed node's bytes may be reused within the window: poison
+        // any sibling descent that read it before the free landed.
+        pipe_dirty_[p.raw()] = ++pipe_write_seq_;
+    }
     clock_.advance(lat_.dram_access_ns);
     if (cfg_.use_cache)
         cache_->invalidate(p);
@@ -1605,6 +1758,9 @@ FrontendSession::simulateCrash()
     pending_reads_.clear(); // parked reads die with their frames
     pipeline_posted_ops_ = false;
     pipeline_commit_deferred_ = false;
+    pipe_gates_.clear();
+    pipe_dirty_.clear();
+    pipe_write_seq_ = 0;
     for (auto &[id, c] : backends_) {
         c.groups.clear();
         c.retired.clear();
@@ -1831,6 +1987,9 @@ FrontendSession::stats() const
     s.pipeline.solo_rounds = pipe_solo_rounds_;
     s.pipeline.max_in_flight = pipe_max_in_flight_;
     s.pipeline.deferred_commits = pipe_deferred_commits_;
+    s.pipeline.batched_appends = pipe_batched_appends_;
+    s.pipeline.coalesced_fences = pipe_coalesced_fences_;
+    s.pipeline.dep_stalls = pipe_dep_stalls_;
     s.retry.failovers += failovers_completed_;
     s.retry.failover_wait_ns += failover_wait_ns_;
     for (const auto &[id, pc] : promo_) {
@@ -1867,6 +2026,9 @@ FrontendSession::resetStats()
     pipe_solo_rounds_ = 0;
     pipe_max_in_flight_ = 0;
     pipe_deferred_commits_ = 0;
+    pipe_batched_appends_ = 0;
+    pipe_coalesced_fences_ = 0;
+    pipe_dep_stalls_ = 0;
     hist_commit_ = Histogram{};
     hist_fanout_ = Histogram{};
     hist_read_remote_ = Histogram{};

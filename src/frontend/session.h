@@ -318,10 +318,27 @@ class FrontendSession
         Status result = Status::Ok;
         bool cacheable = false; //!< computed by the local phase
         bool admitted = false;  //!< admission decision, made pre-suspend
+        /** Pipeline write sequence observed when this read was served
+         *  (read-set validation: a later same-address window write makes
+         *  the captured bytes stale). */
+        uint64_t served_seq = 0;
 
         bool await_ready();
         void await_suspend(std::coroutine_handle<> h);
-        Status await_resume() const { return result; }
+        /**
+         * Read-your-writes at resume: a sibling write op resumed earlier
+         * in the SAME service round may have landed at this address
+         * after the round's gather copied its bytes — the refresh
+         * replays the local tiers (the overlay now holds the fresh
+         * image) before the coroutine consumes them. No-op outside a
+         * pipeline and for clean addresses.
+         */
+        Status await_resume()
+        {
+            if (s != nullptr && s->pipeline_active_)
+                s->pipelineRefreshIfStale(*this);
+            return result;
+        }
     };
 
     ReadAwaitable asyncRead(RemotePtr addr, void *dst, uint32_t len,
@@ -343,6 +360,123 @@ class FrontendSession
 
     /** True while the reactor owns this session's scheduling. */
     bool pipelineActive() const { return pipeline_active_; }
+
+    /**
+     * Cooperative yield for write coroutines blocked on a window
+     * dependency (same-key sibling still in flight): completes inline
+     * outside a pipeline, suspends back to the reactor inside one. The
+     * reactor re-resumes every windowed op each service round, so the
+     * waiter re-polls its WindowGate after the owner's local effects
+     * land.
+     */
+    struct YieldAwaitable
+    {
+        FrontendSession *s = nullptr;
+        bool await_ready() const { return !s->pipeline_active_; }
+        void await_suspend(std::coroutine_handle<>) {}
+        void await_resume() const {}
+    };
+
+    YieldAwaitable pipelineYield() { return YieldAwaitable{this}; }
+
+    /**
+     * True while a write coroutine in the current window holds the
+     * (ds, key) gate. Read coroutines poll this at entry — `while
+     * (held) co_await pipelineYield()` — so a read admitted after a
+     * same-key write waits out that write's local effects
+     * (read-your-writes) without acquiring anything itself: readers
+     * never block readers, and outside a pipeline the check is
+     * constant-false (no window, no siblings).
+     */
+    bool pipelineGateHeld(uint64_t ds, uint64_t key) const
+    {
+        return pipeline_active_ &&
+               pipe_gates_.find({ds, key}) != pipe_gates_.end();
+    }
+
+    /**
+     * Same-key/same-structure dependency ordering inside a pipelined
+     * window (write pipelining, DESIGN.md §14). A write coroutine
+     * constructs a gate over its conflict key — (ds, key) for keyed
+     * structures, (ds, 0) for whole-structure ordering (stack/queue,
+     * MV writers) — and spins `while (!gate.tryAcquire())
+     * co_await s->pipelineYield();` before its first side effect. Later
+     * ops on the same key suspend until the earlier op's local effects
+     * (overlay writes, shadow updates) land, which keeps every
+     * same-key sequence in admission order — exactly the serial order —
+     * while different-key ops interleave freely. Outside a pipeline the
+     * gate acquires immediately and holds nothing (depth-1 ops never
+     * have siblings). Released on destruction (coroutine locals are
+     * destroyed at co_return, before the op leaves the window).
+     */
+    class WindowGate
+    {
+      public:
+        WindowGate(FrontendSession *s, DsId ds, Key key)
+            : s_(s), key_{ds, key}
+        {
+        }
+        ~WindowGate() { release(); }
+        WindowGate(const WindowGate &) = delete;
+        WindowGate &operator=(const WindowGate &) = delete;
+
+        /** True when this op owns the key (idempotent once acquired). */
+        bool tryAcquire();
+        void release();
+
+      private:
+        FrontendSession *s_;
+        std::pair<uint64_t, uint64_t> key_;
+        uint64_t ticket_ = 0; //!< 0 = not holding a pipeline slot
+        bool stalled_ = false; //!< one dep_stall per wait episode
+    };
+
+    /**
+     * Read-set validation for pipelined write descents: a stamp pairs a
+     * remote address with the pipeline write sequence observed when the
+     * bytes were read. The descent re-checks its stamps right before its
+     * write phase; a sibling op's window write to any stamped address in
+     * between makes the descent stale and it restarts (overlay/cache are
+     * hot, so the re-descent is cheap and charge-free where it matters).
+     */
+    struct ReadStamp
+    {
+        uint64_t addr_raw = 0;
+        uint64_t seq = 0;
+    };
+
+    /** Current pipeline write sequence (0 outside a window). */
+    uint64_t pipelineWriteSeq() const { return pipe_write_seq_; }
+
+    /** True when no stamped address was overwritten after its stamp. */
+    bool pipelineReadSetClean(std::span<const ReadStamp> stamps) const
+    {
+        for (const ReadStamp &rs : stamps) {
+            auto it = pipe_dirty_.find(rs.addr_raw);
+            if (it != pipe_dirty_.end() && it->second > rs.seq)
+                return false;
+        }
+        return true;
+    }
+
+    /** Account a validation-forced descent restart (a dependency stall). */
+    void notePipelineRestart() { ++pipe_dep_stalls_; }
+
+    /**
+     * Snapshot of the current operation's op-log record position, taken
+     * right after opBegin. A pipelined descent restores it immediately
+     * before its memory-log writes so op-ref encoding (logWriteFromOp)
+     * references THIS op's record even when sibling ops' opBegins
+     * interleaved during the suspendable read phase.
+     */
+    struct OpRef
+    {
+        uint64_t pos = 0;
+        uint32_t len = 0;
+    };
+
+    OpRef currentOpRef(NodeId backend) const;
+    void restoreOpRef(NodeId backend, const OpRef &ref);
 
     /**
      * rnvm_mem_log/rnvm_write: record one {address, value} modification
@@ -746,6 +880,27 @@ class FrontendSession
      * bookkeeping each op's serial path would have done.
      */
     void serveBatchRound();
+
+    /**
+     * Re-run the local tiers for a read parked *before* a sibling op's
+     * window write landed at its address: the overlay/cache now hold the
+     * fresh bytes, so serving remotely would return a stale (or even
+     * torn) image. Returns true when the read was satisfied locally.
+     */
+    bool pipelineRecheckLocal(ReadAwaitable &aw);
+
+    /**
+     * Read-your-writes backstop called from ReadAwaitable::await_resume:
+     * when a sibling window write dirtied the awaitable's address AFTER
+     * its bytes were served (intra-round staleness — the cross-round
+     * case is caught by serveBatchRound's pre-gather recheck), replay
+     * the local tiers and advance served_seq so write coroutines'
+     * read-set validation does not restart over bytes that are in fact
+     * fresh. A recheck miss (e.g. the address was freed mid-window)
+     * leaves the served bytes alone — the consumer's own torn-view
+     * handling applies, exactly as it would serially.
+     */
+    void pipelineRefreshIfStale(ReadAwaitable &aw);
     Status logWriteInternal(DsId ds, RemotePtr addr, const void *value,
                             uint32_t len, bool op_ref, uint32_t val_off);
     Status appendOpLogRecord(BackendCtx &c,
@@ -854,6 +1009,20 @@ class FrontendSession
     uint64_t pipe_solo_rounds_ = 0;  //!< rounds with <= 1 pending read
     uint64_t pipe_max_in_flight_ = 0; //!< peak suspended ops
     uint64_t pipe_deferred_commits_ = 0; //!< fences coalesced to drain
+    uint64_t pipe_batched_appends_ = 0;  //!< op-log appends ridden on
+                                         //!< posted WQE chains
+    uint64_t pipe_coalesced_fences_ = 0; //!< per-op fences absorbed into
+                                         //!< the drain flushAll
+    uint64_t pipe_dep_stalls_ = 0; //!< gate waits + validation restarts
+
+    // Write-pipelining window state (cleared at every drain).
+    /** Monotone sequence bumped by every window write (logWrite/free). */
+    uint64_t pipe_write_seq_ = 0;
+    /** addr -> seq of the latest window write there (read-set checks). */
+    std::unordered_map<uint64_t, uint64_t> pipe_dirty_;
+    /** (ds, conflict key) -> gate ticket of the owning in-flight op. */
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> pipe_gates_;
+    uint64_t pipe_ticket_ = 0; //!< gate ticket source (never reused)
 
     /**
      * Symmetric baseline's replication target: the remote mirror the

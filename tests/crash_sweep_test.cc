@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "backend/backend_node.h"
 #include "backend/log_format.h"
 #include "check/crash_explorer.h"
+#include "cluster/cluster.h"
+#include "ds/bptree.h"
 #include "ds/stack.h"
 #include "frontend/session.h"
 
@@ -189,6 +192,148 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(f) + "_" +
                workloadName(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------
+// Crash with a WRITE pipeline in flight, swept across verb indices
+// (DESIGN.md §14). Each sampled point crashes the back-end somewhere
+// inside a stream of pipelined insert/erase windows, then recovers and
+// audits per window: every window acknowledged at its drain fence must
+// survive in full, unacknowledged ops may fail back to the caller but
+// must never corrupt sibling ops or the structure. The point count
+// honors ASYMNVM_SWEEP_BUDGET like the serial sweep above.
+// ---------------------------------------------------------------------
+
+TEST(PipelineCrashSweepTest, WriteWindowsRecoverAtSampledCrashPoints)
+{
+    const uint32_t points = std::max(4u, sweepBudget() / 8);
+    for (uint32_t pt = 0; pt < points; ++pt) {
+        SCOPED_TRACE("crash point " + std::to_string(pt));
+        ClusterConfig ccfg;
+        ccfg.num_backends = 1;
+        ccfg.mirrors_per_backend = 1;
+        ccfg.backend.nvm_size = 64ull << 20;
+        ccfg.backend.max_frontends = 4;
+        ccfg.backend.max_names = 8;
+        ccfg.backend.memlog_ring_size = 1ull << 20;
+        ccfg.backend.oplog_ring_size = 512ull << 10;
+        Cluster cluster(ccfg);
+        SessionConfig scfg = SessionConfig::rc(1, 256ull << 10);
+        scfg.pipeline_depth = 4;
+        auto s = cluster.makeSession(scfg);
+        ASSERT_NE(s, nullptr);
+        BpTree ds;
+        ASSERT_EQ(BpTree::create(*s, 1, "t", &ds), Status::Ok);
+        Value v{};
+        for (uint64_t k = 1; k <= 240; ++k)
+            ASSERT_EQ(ds.insert(k, Value::ofU64(k)), Status::Ok);
+        ASSERT_EQ(s->flushAll(), Status::Ok);
+
+        // Spread the sampled crash indices across the window stream so
+        // points land in descents, phase-B write-outs and drain fences.
+        // The stream below runs until the crash fires, so any index is
+        // reachable — every window appends to the op log, which always
+        // costs wire verbs even when the whole tree is cached.
+        cluster.backend(1)->failure().armCrashAfterVerbs(
+            60 + pt * 61, /*seed=*/pt);
+
+        // Windows alternate between native pipelined inserts (fresh
+        // keys) and erases (preloaded keys, until they run out),
+        // tracking what each drain acknowledged.
+        std::map<Key, uint64_t> committed_ins;
+        std::vector<Key> committed_del;
+        bool crashed = false;
+        uint64_t windows_run = 0;
+        for (uint64_t w = 0; w < 4096 && !crashed; ++w) {
+            windows_run = w + 1;
+            std::vector<Status> sts(8);
+            std::vector<Key> keys;
+            Status batch_st = Status::Ok;
+            const bool do_erase = (w % 2 == 1) && (w / 2) * 8 + 8 <= 240;
+            if (!do_erase) {
+                std::vector<std::pair<Key, Value>> kvs;
+                for (uint64_t i = 0; i < 8; ++i) {
+                    const Key k = 1000 + w * 8 + i;
+                    keys.push_back(k);
+                    kvs.emplace_back(k, Value::ofU64(k * 3));
+                }
+                batch_st = ds.insertMany(kvs, sts.data());
+            } else {
+                for (uint64_t i = 0; i < 8; ++i)
+                    keys.push_back(1 + (w / 2) * 8 + i);
+                batch_st = ds.eraseMany(keys, sts.data());
+            }
+            bool window_ok = ok(batch_st);
+            for (const Status st : sts)
+                window_ok = window_ok && ok(st);
+            // The drain's flush is the window's durability point; an
+            // explicit fence confirms it landed before the window is
+            // counted as committed.
+            if (window_ok && ok(s->flushAll())) {
+                if (!do_erase) {
+                    for (const Key k : keys)
+                        committed_ins[k] = k * 3;
+                } else {
+                    for (const Key k : keys)
+                        committed_del.push_back(k);
+                }
+            } else {
+                crashed = true;
+            }
+        }
+        ASSERT_TRUE(crashed)
+            << "crash never fired; raise the verb budget";
+
+        cluster.backend(1)->nvm().crash();
+        ASSERT_EQ(cluster.restartBackend(1), Status::Ok);
+        s->simulateCrash();
+        ASSERT_EQ(s->failover(1, cluster.backend(1)), Status::Ok);
+        BpTree reopened;
+        ASSERT_EQ(BpTree::open(*s, 1, "t", &reopened), Status::Ok);
+        ASSERT_EQ(s->recover(), Status::Ok);
+
+        BpTree audit;
+        ASSERT_EQ(BpTree::open(*s, 1, "t", &audit), Status::Ok);
+        // Acknowledged windows survive in full.
+        for (const auto &[k, val] : committed_ins) {
+            ASSERT_EQ(audit.find(k, &v), Status::Ok)
+                << "committed insert " << k << " lost";
+            EXPECT_EQ(v.asU64(), val) << "committed insert " << k
+                                      << " torn";
+        }
+        for (const Key k : committed_del) {
+            EXPECT_EQ(audit.find(k, &v), Status::NotFound)
+                << "committed erase of " << k << " resurrected";
+        }
+        // In-flight inserts are whole-or-absent; in-flight erases leave
+        // the key either gone or with its original value.
+        for (uint64_t k = 1000; k < 1000 + windows_run * 8; ++k) {
+            if (committed_ins.count(k) != 0)
+                continue;
+            const Status got = audit.find(k, &v);
+            if (got == Status::Ok)
+                EXPECT_EQ(v.asU64(), k * 3)
+                    << "in-flight insert " << k << " torn";
+            else
+                EXPECT_EQ(got, Status::NotFound);
+        }
+        for (uint64_t k = 1; k <= 240; ++k) {
+            if (std::find(committed_del.begin(), committed_del.end(),
+                          k) != committed_del.end())
+                continue;
+            const Status got = audit.find(k, &v);
+            if (got == Status::Ok)
+                EXPECT_EQ(v.asU64(), k)
+                    << "in-flight erase tore key " << k;
+            else
+                EXPECT_EQ(got, Status::NotFound);
+        }
+        // The structure stays usable after the mid-window crash.
+        ASSERT_EQ(audit.insert(99999, Value::ofU64(7)), Status::Ok);
+        ASSERT_EQ(s->flushAll(), Status::Ok);
+        ASSERT_EQ(audit.find(99999, &v), Status::Ok);
+        EXPECT_EQ(v.asU64(), 7u);
+    }
+}
 
 // ---------------------------------------------------------------------
 // Op-log ring-wrap hygiene (satellite regression).
